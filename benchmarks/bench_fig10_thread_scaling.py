@@ -1,0 +1,39 @@
+"""Fig. 10: host-thread scaling of the GPU simulation.
+
+Paper: SobelFilter speeds up steadily to 20.9x at 64 threads (large
+thread-groups, one kernel); BinarySearch stays flat around 1x (iterative,
+short kernels, heavy CPU interaction). Here: the speedup curve comes from
+the measured serial(CPU-interaction)/parallel(GPU-work) split capped by
+thread-groups per job, and the real virtual-core thread pool is exercised
+for correctness (CPython's GIL forbids in-process wall-clock scaling; see
+EXPERIMENTS.md).
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import fig10_thread_scaling
+from repro.instrument.report import format_table
+
+
+def test_fig10_thread_scaling(benchmark):
+    results = benchmark.pedantic(fig10_thread_scaling, rounds=1, iterations=1)
+    rows = []
+    threads = [point["threads"] for point in
+               results["SobelFilter"]["curve"]]
+    for name, data in results.items():
+        assert data["threadpool_verified"], f"{name} wrong under thread pool"
+        rows.append((name,) + tuple(
+            f"{point['speedup']:.2f}" for point in data["curve"]
+        ))
+    table = format_table(
+        ("benchmark",) + tuple(str(t) for t in threads), rows,
+        title="Fig. 10: modelled speedup vs host simulation threads",
+    )
+    emit("fig10_thread_scaling", table)
+    sobel = [p["speedup"] for p in results["SobelFilter"]["curve"]]
+    bsearch = [p["speedup"] for p in results["BinarySearch"]["curve"]]
+    # SobelFilter scales; BinarySearch stays nearly flat
+    assert sobel[-1] > 4.0
+    assert all(b2 >= b1 * 0.99 for b1, b2 in zip(sobel, sobel[1:]))
+    assert bsearch[-1] < 2.0
+    assert sobel[-1] > 3 * bsearch[-1]

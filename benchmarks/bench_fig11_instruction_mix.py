@@ -1,0 +1,29 @@
+"""Fig. 11: instruction mixes and empty slots across the suite.
+
+Paper: on average ~50% of instructions are arithmetic; local memory and
+control flow contribute ~10% each; SobelFilter is compute-dense with few
+empty slots while Reduction/ScanLargeArrays show many empty slots (low
+utilization). Here: the same breakdown over the executed clause slots.
+"""
+
+from conftest import emit, get_suite_stats
+
+from repro.instrument.report import format_instruction_mix
+
+
+def test_fig11_instruction_mix(benchmark):
+    collected = benchmark.pedantic(get_suite_stats, rounds=1, iterations=1)
+    named = [(name, stats) for name, stats, _result in collected]
+    table = format_instruction_mix(named)
+    emit("fig11_instruction_mix", table)
+
+    by_name = {name: stats for name, stats, _ in collected}
+    mixes = {name: stats.instruction_mix() for name, stats in by_name.items()}
+    average_arith = sum(m["arithmetic"] for m in mixes.values()) / len(mixes)
+    assert 0.25 < average_arith < 0.75, "arithmetic should dominate on average"
+    # SobelFilter: compute-dense, fewer empty slots than the barrier-heavy
+    # reduction-style kernels
+    assert mixes["SobelFilter"]["nop"] < mixes["Reduction"]["nop"]
+    assert mixes["SobelFilter"]["control_flow"] < 0.12
+    for name, _stats, result in collected:
+        assert result.verified, name

@@ -1,0 +1,30 @@
+"""Fig. 12: data-access breakdown across the memory hierarchy.
+
+Paper: fast accesses to temporaries, constants and ROM dominate; more GRF
+reads than writes (register reuse); global memory is <10% of accesses for
+every benchmark except backprop. Here: the same six categories, counted
+per executed operand.
+"""
+
+from conftest import emit, get_suite_stats
+
+from repro.instrument.report import format_data_access_breakdown
+
+
+def test_fig12_data_access_breakdown(benchmark):
+    collected = benchmark.pedantic(get_suite_stats, rounds=1, iterations=1)
+    named = [(name, stats) for name, stats, _result in collected]
+    table = format_data_access_breakdown(named)
+    emit("fig12_data_access", table)
+
+    breakdowns = {name: stats.data_access_breakdown()
+                  for name, stats, _ in collected}
+    stats_by_name = {name: stats for name, stats, _ in collected}
+    # register reuse: more GRF reads than writes, on average
+    total_reads = sum(s.grf_reads for s in stats_by_name.values())
+    total_writes = sum(s.grf_writes for s in stats_by_name.values())
+    assert total_reads > total_writes
+    # backprop is the main-memory outlier of the suite
+    main_mem = {name: b["main_memory"] for name, b in breakdowns.items()}
+    others = [v for name, v in main_mem.items() if name != "backprop"]
+    assert main_mem["backprop"] > 1.5 * (sum(others) / len(others))

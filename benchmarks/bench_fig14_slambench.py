@@ -1,0 +1,51 @@
+"""Fig. 14: SLAMBench (KFusion) metrics for fast3/express vs standard.
+
+Paper: both optimized configurations cut every metric dramatically
+(instruction categories to <=8% for fast3 and ~2% for express), but the
+*local memory* instruction ratio stays much higher (29% / 19%) — local
+memory use grows relative to total work; and the simulated metrics
+predict the real framerate ordering (fast3 3.35x, express 7.72x). Here:
+the same metric panel over our pipeline, with the native-NumPy pipeline
+standing in for hardware FPS.
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import fig14_slambench
+from repro.instrument.report import format_table
+
+
+def test_fig14_slambench(benchmark):
+    data = benchmark.pedantic(fig14_slambench, rounds=1, iterations=1)
+    relative = data["relative"]
+    metric_names = sorted(relative["fast3"])
+    rows = []
+    for key in metric_names:
+        rows.append((key, f"{relative['fast3'][key]:.2f}",
+                     f"{relative['express'][key]:.2f}"))
+    rows.append(("native FPS (relative)",
+                 f"{data['fps_relative']['fast3']:.2f}",
+                 f"{data['fps_relative']['express']:.2f}"))
+    table = format_table(("metric", "fast3", "express"), rows,
+                         title="Fig. 14: SLAMBench metrics relative to "
+                               "standard (=1.0)")
+    emit("fig14_slambench", table)
+
+    fast3 = relative["fast3"]
+    express = relative["express"]
+    # optimized configs do far less work, express less than fast3
+    assert fast3["arithmetic_instrs"] < 0.5
+    assert express["arithmetic_instrs"] < fast3["arithmetic_instrs"]
+    # local-memory work shrinks more slowly than total work (the paper's
+    # increased-local-use observation)
+    assert fast3["local_ls_instrs"] > fast3["arithmetic_instrs"]
+    assert express["local_ls_instrs"] > express["arithmetic_instrs"]
+    # clause shape is a code property: stays ~1.0 across configs
+    assert 0.9 < fast3["avg_clause_size"] < 1.1
+    # the metrics predict the framerate improvement of the optimized
+    # configurations; at our scaled-down sizes the native (NumPy) pipeline
+    # is per-op-overhead bound, so fast3 and express converge and only the
+    # optimized-vs-standard ordering is meaningful (see EXPERIMENTS.md)
+    assert data["fps_relative"]["fast3"] > 1.3
+    assert data["fps_relative"]["express"] > 1.3
+    assert data["fps_relative"]["express"] > 0.8 * data["fps_relative"]["fast3"]

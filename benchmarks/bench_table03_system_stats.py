@@ -1,0 +1,46 @@
+"""Table III: system-level CPU-GPU interaction statistics.
+
+Paper: BFS is control-interaction heavy (~1000 jobs, 308k register reads,
+8k interrupts); BinomialOption/SobelFilter are single-job with identical
+control traffic but very different page counts; stencil's 100 iterations
+touch the most pages. Here: the same counters from the driver<->GPU
+register/IRQ/MMU traffic, with the same cross-benchmark ordering.
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import table03_system_stats
+from repro.instrument.report import format_table
+
+
+def test_table03_system_stats(benchmark):
+    rows = benchmark.pedantic(table03_system_stats, rounds=1, iterations=1)
+    assert all(row["verified"] for row in rows)
+    table = format_table(
+        ("benchmark", "pages", "reg reads", "reg writes", "interrupts",
+         "jobs"),
+        [
+            (row["benchmark"], row["pages_accessed"], row["ctrl_reg_reads"],
+             row["ctrl_reg_writes"], row["interrupts_asserted"],
+             row["compute_jobs"])
+            for row in rows
+        ],
+        title="Table III: system statistics (CPU-GPU interaction)",
+    )
+    emit("table03_system_stats", table)
+
+    by_name = {row["benchmark"]: row for row in rows}
+    bfs = by_name["bfs"]
+    sobel = by_name["SobelFilter"]
+    binom = by_name["BinomialOption"]
+    stencil = by_name["stencil"]
+    # BFS: many jobs, dominant control traffic
+    assert bfs["compute_jobs"] > 10 * sobel["compute_jobs"]
+    assert bfs["ctrl_reg_reads"] > 10 * sobel["ctrl_reg_reads"]
+    assert bfs["interrupts_asserted"] > 10 * sobel["interrupts_asserted"]
+    # single-job benchmarks: identical control traffic, different pages
+    assert binom["compute_jobs"] == sobel["compute_jobs"] == 1
+    assert sobel["pages_accessed"] > 3 * binom["pages_accessed"]
+    # stencil: many iterations -> many jobs and the most pages
+    assert stencil["compute_jobs"] == 10
+    assert stencil["pages_accessed"] >= sobel["pages_accessed"]

@@ -1,0 +1,23 @@
+"""Tables I, II and IV: configurations, benchmark inventory and the GPU
+simulator feature-comparison matrix."""
+
+from conftest import emit
+
+from repro.analysis.tables import render_table_i, render_table_ii, render_table_iv
+
+
+def test_table04_feature_matrix(benchmark):
+    text = benchmark.pedantic(render_table_iv, rounds=1, iterations=1)
+    emit("table04_features", text)
+    assert "Instruction-accurate" in text
+    assert "Multi2Sim" in text
+
+
+def test_table01_and_02_configurations(benchmark):
+    def render():
+        return render_table_i() + "\n\n" + render_table_ii()
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    emit("table01_02_configs", text)
+    assert "SobelFilter" in text
+    assert "Parboil" in text

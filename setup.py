@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables editable installs on hosts without `wheel`."""
+
+from setuptools import setup
+
+setup()

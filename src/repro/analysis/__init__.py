@@ -1,0 +1,11 @@
+"""Figure/table regeneration: one function per paper artifact.
+
+Each ``figXX_*`` / ``tableXX_*`` function runs the necessary simulations
+and returns the rows/series the paper's figure reports; the benchmark
+harness under ``benchmarks/`` prints them. Keeping the logic here makes
+the same data available to tests, examples and benchmarks.
+"""
+
+from repro.analysis import figures, tables
+
+__all__ = ["figures", "tables"]

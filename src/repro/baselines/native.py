@@ -1,0 +1,31 @@
+"""Native-hardware timing stand-in.
+
+The paper's Fig. 7 reports slowdowns relative to the HiKey960. Without the
+board, the closest available "native" execution of each workload is its
+vectorized NumPy reference — real computation at hardware speed on the
+host. Slowdown ratios computed against it have the same *structure* as the
+paper's (simulation wall time / native wall time), though the absolute
+scale differs (documented in EXPERIMENTS.md).
+"""
+
+import time
+
+
+def native_seconds(workload, repeats=3, min_seconds=1e-4):
+    """Best-of-N wall time of the workload's NumPy reference.
+
+    Very fast references are re-run in a loop until they accumulate
+    *min_seconds*, so ratios aren't dominated by timer noise.
+    """
+    inputs = workload.prepare()
+    best = float("inf")
+    for _ in range(repeats):
+        iterations = 0
+        start = time.perf_counter()
+        elapsed = 0.0
+        while elapsed < min_seconds:
+            workload.reference(inputs)
+            iterations += 1
+            elapsed = time.perf_counter() - start
+        best = min(best, elapsed / iterations)
+    return best

@@ -1,0 +1,21 @@
+"""OpenCL-like runtime (the vendor ``libOpenCL.so`` of the paper's stack).
+
+The runtime JIT-compiles kernel source with :mod:`repro.clc`, places
+binaries and buffers in GPU memory through the kernel driver, moves bulk
+data with *simulated-CPU* memcpy routines, and launches NDRange jobs
+through the Job Manager doorbell — the unmodified-stack execution model of
+Fig. 2(b).
+"""
+
+from repro.cl.runtime import (
+    Buffer,
+    CommandQueue,
+    Context,
+    Event,
+    Kernel,
+    LocalMemory,
+    Program,
+)
+
+__all__ = ["Buffer", "CommandQueue", "Context", "Event", "Kernel",
+           "LocalMemory", "Program"]

@@ -1,0 +1,317 @@
+"""The OpenCL-like host runtime."""
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CLError
+from repro.clc import compile_source
+from repro.core.platform import MobilePlatform
+from repro.instrument.stats import JobStats
+
+_WORK_DIM_SLOTS = 10  # uniform slots reserved for NDRange description
+
+
+@dataclass
+class Event:
+    """A profiling event (clGetEventProfilingInfo-style).
+
+    One event is recorded per enqueued command when the queue has
+    profiling enabled; ``stats`` carries the per-job statistics for kernel
+    launches.
+    """
+
+    kind: str  # 'ndrange' | 'write' | 'read' | 'fill'
+    name: str
+    start: float
+    end: float
+    stats: object = None
+
+    @property
+    def duration(self):
+        """Host wall-clock seconds the command took (simulation time)."""
+        return self.end - self.start
+
+
+class LocalMemory:
+    """A dynamically sized ``__local`` kernel argument (clSetKernelArg with
+    a NULL pointer and a size, in real OpenCL)."""
+
+    def __init__(self, nbytes):
+        if nbytes <= 0:
+            raise CLError("local memory size must be positive")
+        self.nbytes = int(nbytes)
+
+
+class Buffer:
+    """A device buffer living in GPU-mapped memory."""
+
+    def __init__(self, context, nbytes):
+        if nbytes <= 0:
+            raise CLError("buffer size must be positive")
+        self.context = context
+        self.nbytes = int(nbytes)
+        self.region = context.platform.driver.alloc_region(self.nbytes)
+
+    @property
+    def gpu_va(self):
+        return self.region.gpu_va
+
+
+class Context:
+    """Owns the simulated platform and tracks runtime-level statistics."""
+
+    def __init__(self, platform=None):
+        self.platform = platform or MobilePlatform()
+        self.platform.initialize()
+        self.cpu_seconds = 0.0  # host wall time spent simulating guest CPU
+
+    def alloc_buffer(self, nbytes):
+        return Buffer(self, nbytes)
+
+    def buffer_from_array(self, array):
+        array = np.ascontiguousarray(array)
+        buffer = Buffer(self, array.nbytes)
+        CommandQueue(self).enqueue_write_buffer(buffer, array)
+        return buffer
+
+    def build_program(self, source, version=None, defines=None):
+        return Program(self, source, version=version, defines=defines)
+
+    # -- guest CPU data movement -------------------------------------------------
+
+    def guest_memcpy(self, dst_phys, src_phys, nbytes):
+        """memcpy on the simulated guest CPU (timed: the Fig. 9 cost)."""
+        start = time.perf_counter()
+        self.platform.guest.memcpy(dst_phys, src_phys, nbytes)
+        self.cpu_seconds += time.perf_counter() - start
+
+    @property
+    def guest_instructions(self):
+        return self.platform.guest.instructions_executed
+
+
+class Program:
+    """A JIT-compiled program: one binary per kernel, uploaded on demand."""
+
+    def __init__(self, context, source, version=None, defines=None):
+        self.context = context
+        self.source = source
+        self.compiled = compile_source(source, options=version, defines=defines)
+        self._uploaded = {}
+
+    @property
+    def kernel_names(self):
+        return sorted(self.compiled.kernels)
+
+    def kernel(self, name):
+        return Kernel(self, self.compiled.kernel(name))
+
+    def _binary_region(self, compiled_kernel):
+        """Upload the kernel binary into GPU memory (once per kernel)."""
+        region = self._uploaded.get(compiled_kernel.name)
+        if region is None:
+            platform = self.context.platform
+            driver = platform.driver
+            binary = compiled_kernel.binary
+            region = driver.alloc_region(len(binary), executable=True)
+            staging = platform.stage_bytes(binary)
+            self.context.guest_memcpy(region.phys, staging, len(binary))
+            self._uploaded[compiled_kernel.name] = region
+        return region
+
+
+class Kernel:
+    """A launchable kernel with bound arguments."""
+
+    def __init__(self, program, compiled):
+        self.program = program
+        self.compiled = compiled
+        self._args = [None] * len(compiled.params)
+        self._uniform_region = None
+        self.last_stats = None
+        self.last_cfg = None
+
+    @property
+    def name(self):
+        return self.compiled.name
+
+    @property
+    def num_args(self):
+        return len(self.compiled.params)
+
+    def set_arg(self, index, value):
+        if not 0 <= index < len(self._args):
+            raise CLError(f"argument index {index} out of range for {self.name}")
+        name, kind, _ty = self.compiled.params[index]
+        if kind == "buffer" and not isinstance(value, Buffer):
+            raise CLError(f"argument {name!r} expects a Buffer")
+        if kind == "local_ptr" and not isinstance(value, LocalMemory):
+            raise CLError(f"argument {name!r} expects LocalMemory")
+        if kind == "scalar" and isinstance(value, (Buffer, LocalMemory)):
+            raise CLError(f"argument {name!r} expects a scalar")
+        self._args[index] = value
+
+    def set_args(self, *values):
+        if len(values) != len(self._args):
+            raise CLError(
+                f"{self.name} takes {len(self._args)} arguments, got {len(values)}"
+            )
+        for index, value in enumerate(values):
+            self.set_arg(index, value)
+
+    def _encode_scalar(self, value, ty):
+        if ty.is_float:
+            return int(np.float32(value).view(np.uint32))
+        return int(np.uint32(np.int64(int(value)) & 0xFFFFFFFF))
+
+    def _build_uniforms(self, global_size, local_size):
+        num_groups = tuple(g // l for g, l in zip(global_size, local_size))
+        threads_per_group = local_size[0] * local_size[1] * local_size[2]
+        uniforms = np.zeros(self.compiled.uniform_count, dtype=np.uint32)
+        uniforms[0:3] = global_size
+        uniforms[3:6] = local_size
+        uniforms[6:9] = num_groups
+        uniforms[9] = sum(1 for g in global_size if g > 1) or 1
+        local_cursor = (
+            self.compiled.local_static_size
+            + self.compiled.scratch_per_thread * threads_per_group
+        )
+        for position, ((name, kind, ty), value) in enumerate(
+            zip(self.compiled.params, self._args)
+        ):
+            if value is None:
+                raise CLError(f"argument {position} ({name!r}) of {self.name} unset")
+            slot = _WORK_DIM_SLOTS + position
+            if kind == "buffer":
+                uniforms[slot] = value.gpu_va & 0xFFFFFFFF
+            elif kind == "local_ptr":
+                uniforms[slot] = local_cursor
+                local_cursor += (value.nbytes + 3) & ~3
+            else:
+                uniforms[slot] = self._encode_scalar(value, ty)
+        return uniforms, local_cursor
+
+
+class CommandQueue:
+    """In-order command queue (execution is synchronous in the model)."""
+
+    def __init__(self, context, profiling=False):
+        self.context = context
+        self.total_stats = JobStats()
+        self.kernels_launched = 0
+        self.profiling = profiling
+        self.events = []
+
+    def _record_event(self, kind, name, start, stats=None):
+        if self.profiling:
+            self.events.append(Event(kind, name, start, time.perf_counter(),
+                                     stats=stats))
+
+    # -- buffer transfers ------------------------------------------------------------
+
+    def enqueue_write_buffer(self, buffer, array):
+        start = time.perf_counter()
+        array = np.ascontiguousarray(array)
+        if array.nbytes > buffer.nbytes:
+            raise CLError(
+                f"write of {array.nbytes} bytes into {buffer.nbytes}-byte buffer"
+            )
+        platform = self.context.platform
+        staging = platform.stage_bytes(array.tobytes())
+        self.context.guest_memcpy(buffer.region.phys, staging, array.nbytes)
+        self._record_event("write", f"{array.nbytes}B", start)
+
+    def enqueue_read_buffer(self, buffer, dtype=np.uint8, count=None):
+        start = time.perf_counter()
+        platform = self.context.platform
+        nbytes = buffer.nbytes if count is None else count * np.dtype(dtype).itemsize
+        staging = platform.stage_bytes(b"\x00" * nbytes)
+        self.context.guest_memcpy(staging, buffer.region.phys, nbytes)
+        raw = platform.memory.read_block(staging, nbytes)
+        self._record_event("read", f"{nbytes}B", start)
+        return np.frombuffer(raw, dtype=dtype).copy()
+
+    def enqueue_copy_buffer(self, src, dst, nbytes=None):
+        """Device-to-device copy through the simulated-CPU memcpy path."""
+        nbytes = min(src.nbytes, dst.nbytes) if nbytes is None else nbytes
+        if nbytes > src.nbytes or nbytes > dst.nbytes:
+            raise CLError(f"copy of {nbytes} bytes exceeds a buffer")
+        start = time.perf_counter()
+        self.context.guest_memcpy(dst.region.phys, src.region.phys, nbytes)
+        self._record_event("copy", f"{nbytes}B", start)
+
+    def enqueue_fill_buffer(self, buffer, byte_value=0):
+        start = time.perf_counter()
+        self.context.platform.guest.memset(
+            buffer.region.phys, byte_value, buffer.nbytes
+        )
+        self.context.cpu_seconds += time.perf_counter() - start
+        self._record_event("fill", f"{buffer.nbytes}B", start)
+
+    # -- kernel launch ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalize_sizes(global_size, local_size):
+        if isinstance(global_size, int):
+            global_size = (global_size,)
+        global_size = tuple(global_size) + (1,) * (3 - len(global_size))
+        if local_size is None:
+            local_size = (_default_local(global_size[0]), 1, 1)
+        else:
+            if isinstance(local_size, int):
+                local_size = (local_size,)
+            local_size = tuple(local_size) + (1,) * (3 - len(local_size))
+        for g, l in zip(global_size, local_size):
+            if l <= 0 or g % l:
+                raise CLError(
+                    f"global size {global_size} not divisible by local {local_size}"
+                )
+        return global_size, local_size
+
+    def enqueue_nd_range(self, kernel, global_size, local_size=None):
+        """Launch *kernel*; returns the per-job statistics."""
+        event_start = time.perf_counter()
+        global_size, local_size = self._normalize_sizes(global_size, local_size)
+        context = self.context
+        platform = context.platform
+        driver = platform.driver
+
+        binary_region = kernel.program._binary_region(kernel.compiled)
+        uniforms, local_mem_size = kernel._build_uniforms(global_size, local_size)
+
+        if kernel._uniform_region is None:
+            kernel._uniform_region = driver.alloc_region(uniforms.nbytes)
+        staging = platform.stage_bytes(uniforms.tobytes())
+        context.guest_memcpy(kernel._uniform_region.phys, staging, uniforms.nbytes)
+
+        driver.run_job(
+            global_size=global_size,
+            local_size=local_size,
+            binary_region=binary_region,
+            binary_size=len(kernel.compiled.binary),
+            uniform_region=kernel._uniform_region,
+            uniform_count=len(uniforms),
+            local_mem_size=local_mem_size,
+        )
+        results = platform.last_job_results()
+        result = results[-1]
+        kernel.last_stats = result.stats
+        kernel.last_cfg = result.cfg
+        self.total_stats.merge(result.stats)
+        self.kernels_launched += 1
+        self._record_event("ndrange", kernel.name, event_start,
+                           stats=result.stats)
+        return result.stats
+
+    def finish(self):
+        """All work is synchronous; provided for API familiarity."""
+        return None
+
+
+def _default_local(global_x):
+    for candidate in (64, 32, 16, 8, 4, 2):
+        if global_x % candidate == 0:
+            return candidate
+    return 1

@@ -1,0 +1,31 @@
+"""The vendor-style JIT compiler for GPU kernels.
+
+A complete compilation pipeline for an OpenCL-C-like kernel language,
+mirroring the role of Arm's OpenCL toolchain in the paper's software stack:
+
+  preprocess -> lex -> parse -> sema -> lower to IR -> optimize ->
+  clause scheduling (slot packing, temp forwarding) -> register
+  allocation -> binary codegen
+
+Different *compiler versions* (v5.6 .. v6.2, see
+:mod:`repro.clc.versions`) toggle real optimisation passes and therefore
+produce different code for the same kernel — the effect the paper
+quantifies in Fig. 1.
+"""
+
+from repro.clc.compiler import (
+    CompiledKernel,
+    CompiledProgram,
+    CompilerOptions,
+    compile_source,
+)
+from repro.clc.versions import COMPILER_VERSIONS, DEFAULT_VERSION
+
+__all__ = [
+    "CompiledKernel",
+    "CompiledProgram",
+    "CompilerOptions",
+    "compile_source",
+    "COMPILER_VERSIONS",
+    "DEFAULT_VERSION",
+]

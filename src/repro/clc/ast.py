@@ -1,0 +1,211 @@
+"""Abstract syntax tree for the kernel language.
+
+Nodes carry ``line``/``col`` for diagnostics. ``ty`` attributes are filled
+by semantic analysis (:mod:`repro.clc.sema`).
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass
+class IntLiteral(Node):
+    value: int
+    unsigned: bool = False
+    ty: object = None
+
+
+@dataclass
+class FloatLiteral(Node):
+    value: float
+    ty: object = None
+
+
+@dataclass
+class Identifier(Node):
+    name: str
+    ty: object = None
+
+
+@dataclass
+class Unary(Node):
+    op: str  # '-' '!' '~' '+'
+    operand: object = None
+    ty: object = None
+
+
+@dataclass
+class Binary(Node):
+    op: str
+    left: object = None
+    right: object = None
+    ty: object = None
+
+
+@dataclass
+class Ternary(Node):
+    cond: object
+    then: object
+    other: object
+    ty: object = None
+
+
+@dataclass
+class Cast(Node):
+    target: object  # a type
+    operand: object = None
+    ty: object = None
+
+
+@dataclass
+class Call(Node):
+    name: str
+    args: list = field(default_factory=list)
+    ty: object = None
+
+
+@dataclass
+class Index(Node):
+    base: object
+    index: object
+    ty: object = None
+
+
+@dataclass
+class Member(Node):
+    """Vector component access: ``v.x`` / ``v.y`` / ``v.z`` / ``v.w``."""
+
+    base: object
+    name: str
+    ty: object = None
+
+
+@dataclass
+class VectorConstructor(Node):
+    """``(float4)(a, b, c, d)``."""
+
+    target: object  # VectorType
+    args: list = field(default_factory=list)
+    ty: object = None
+
+
+@dataclass
+class Deref(Node):
+    """``*ptr``."""
+
+    operand: object
+    ty: object = None
+
+
+@dataclass
+class AddressOf(Node):
+    """``&lvalue`` (needed for atomic builtins)."""
+
+    operand: object
+    ty: object = None
+
+
+# -- statements -----------------------------------------------------------------
+
+
+@dataclass
+class Declaration(Node):
+    ty: object = None  # declared type
+    name: str = ""
+    init: object = None
+    array_size: object = None  # expression or None
+    space: str = "private"  # 'private' | 'local'
+
+
+@dataclass
+class Assignment(Node):
+    target: object = None  # Identifier | Index | Member | Deref
+    op: str = "="  # '=', '+=', ...
+    value: object = None
+
+
+@dataclass
+class ExprStatement(Node):
+    expr: object = None
+
+
+@dataclass
+class If(Node):
+    cond: object = None
+    then: object = None
+    other: object = None
+
+
+@dataclass
+class For(Node):
+    init: object = None  # Declaration | Assignment | None
+    cond: object = None
+    step: object = None  # Assignment | None
+    body: object = None
+
+
+@dataclass
+class While(Node):
+    cond: object = None
+    body: object = None
+
+
+@dataclass
+class DoWhile(Node):
+    body: object = None
+    cond: object = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class Return(Node):
+    value: object = None
+
+
+@dataclass
+class Barrier(Node):
+    pass
+
+
+@dataclass
+class Block(Node):
+    statements: list = field(default_factory=list)
+
+
+# -- top level -----------------------------------------------------------------------
+
+
+@dataclass
+class Parameter(Node):
+    ty: object = None
+    name: str = ""
+
+
+@dataclass
+class KernelFunction(Node):
+    name: str = ""
+    params: list = field(default_factory=list)
+    body: object = None
+    is_kernel: bool = True
+
+
+@dataclass
+class TranslationUnit(Node):
+    kernels: list = field(default_factory=list)

@@ -1,0 +1,166 @@
+"""Binary code generation: scheduled IR -> GPU Program -> binary image.
+
+Block terminators become clause tails; blocks whose fall-through successor
+is not the next block in layout get a trailing JUMP clause. Constants become
+clause-pool ("ROM") operands; forwarded values become t0/t1 operands.
+"""
+
+from repro.errors import CompileError
+from repro.clc.ir import Const, Special, VReg
+from repro.gpu.isa import (
+    CONST_BASE,
+    NOP_INSTR,
+    OPERAND_NONE,
+    TEMP_BASE,
+    Clause,
+    Instruction,
+    Op,
+    Program,
+    Tail,
+)
+
+
+class _BlockLayout:
+    __slots__ = ("block", "plans", "first_clause", "clause_count", "extra_jump")
+
+    def __init__(self, block, plans):
+        self.block = block
+        self.plans = plans
+        self.first_clause = 0
+        self.clause_count = 0
+        self.extra_jump = None  # block to jump to from the trailing clause
+
+
+def _operand(value, assignment, temp_map, const_pool):
+    if isinstance(value, VReg):
+        temp = temp_map.get(value)
+        if temp is not None:
+            return TEMP_BASE + temp
+        try:
+            return assignment[value]
+        except KeyError:
+            raise CompileError(f"unallocated register {value!r}") from None
+    if isinstance(value, Special):
+        return value.reg
+    if isinstance(value, Const):
+        return CONST_BASE + const_pool[value.bits]
+    raise CompileError(f"bad operand {value!r}")
+
+
+def _encode_slot(instr, assignment, temp_map, const_pool):
+    if instr is None:
+        return NOP_INSTR
+    op = instr.op
+    dst = OPERAND_NONE
+    srca = srcb = srcc = OPERAND_NONE
+    if op is Op.ST:
+        srca = _operand(instr.srcs[0], assignment, temp_map, const_pool)
+        srcb = _operand(instr.group[0], assignment, temp_map, const_pool)
+    elif op is Op.LD:
+        srca = _operand(instr.srcs[0], assignment, temp_map, const_pool)
+        dst = _operand(instr.group[0], assignment, temp_map, const_pool)
+    elif op is Op.LDU:
+        dst = _operand(instr.dst, assignment, temp_map, const_pool)
+    else:
+        if instr.dst is not None:
+            dst = _operand(instr.dst, assignment, temp_map, const_pool)
+        operands = [
+            _operand(s, assignment, temp_map, const_pool) for s in instr.srcs
+        ]
+        if len(operands) > 0:
+            srca = operands[0]
+        if len(operands) > 1:
+            srcb = operands[1]
+        if len(operands) > 2:
+            srcc = operands[2]
+    return Instruction(op=op, dst=dst, srca=srca, srcb=srcb, srcc=srcc,
+                       flags=instr.flags, imm=instr.imm)
+
+
+def generate_program(fn, block_plans, assignment, temp_map):
+    """Emit the final :class:`~repro.gpu.isa.Program` for a kernel."""
+    layouts = []
+    for block in fn.blocks:
+        plans = block_plans.get(id(block), [])
+        layouts.append(_BlockLayout(block, plans))
+
+    # first pass: clause counts and indices
+    by_block = {id(layout.block): layout for layout in layouts}
+    clause_index = 0
+    for position, layout in enumerate(layouts):
+        next_block = layouts[position + 1].block if position + 1 < len(layouts) else None
+        term = layout.block.terminator
+        count = max(1, len(layout.plans))
+        extra = None
+        if term[0] in ("branch", "branchz"):
+            fall = term[3]
+            if fall is not next_block:
+                extra = fall
+        elif term[0] == "barrier":
+            if term[1] is not next_block:
+                extra = term[1]
+        if extra is not None:
+            count += 1
+        layout.extra_jump = extra
+        layout.first_clause = clause_index
+        layout.clause_count = count
+        clause_index += count
+
+    # second pass: emit
+    clauses = []
+    for position, layout in enumerate(layouts):
+        next_block = layouts[position + 1].block if position + 1 < len(layouts) else None
+        term = layout.block.terminator
+        plans = layout.plans
+        emitted = []
+        if plans:
+            for plan in plans:
+                pool = {bits: i for i, bits in enumerate(plan.constants)}
+                tuples = []
+                slots = list(plan.slots)
+                if len(slots) % 2:
+                    slots.append(None)
+                for i in range(0, len(slots), 2):
+                    fma = _encode_slot(slots[i], assignment, temp_map, pool)
+                    add = _encode_slot(slots[i + 1], assignment, temp_map, pool)
+                    tuples.append((fma, add))
+                emitted.append(Clause(tuples=tuples, constants=list(plan.constants)))
+        else:
+            emitted.append(Clause(tuples=[(NOP_INSTR, NOP_INSTR)]))
+
+        last = emitted[-1]
+        if term[0] == "end":
+            last.tail = Tail.END
+        elif term[0] == "jump":
+            target = term[1]
+            if target is next_block and layout.extra_jump is None:
+                last.tail = Tail.FALLTHROUGH
+            else:
+                last.tail = Tail.JUMP
+                last.target = by_block[id(target)].first_clause
+        elif term[0] in ("branch", "branchz"):
+            cond = term[1]
+            target = term[2]
+            last.tail = Tail.BRANCH if term[0] == "branch" else Tail.BRANCH_Z
+            cond_reg = assignment.get(cond)
+            if cond_reg is None:
+                raise CompileError(
+                    f"branch condition {cond!r} has no register in {fn.name!r}"
+                )
+            last.cond_reg = cond_reg
+            last.target = by_block[id(target)].first_clause
+        elif term[0] == "barrier":
+            last.tail = Tail.BARRIER
+        else:  # pragma: no cover
+            raise CompileError(f"unknown terminator {term[0]!r}")
+
+        if layout.extra_jump is not None:
+            jump_clause = Clause(tuples=[(NOP_INSTR, NOP_INSTR)], tail=Tail.JUMP,
+                                 target=by_block[id(layout.extra_jump)].first_clause)
+            emitted.append(jump_clause)
+
+        clauses.extend(emitted)
+
+    program = Program(clauses=clauses)
+    program.validate()
+    return program

@@ -1,0 +1,205 @@
+"""Intermediate representation: three-address code over virtual registers.
+
+The IR is deliberately non-SSA (virtual registers are mutable), which keeps
+lowering simple and matches the GPU's mutable register file. Operations map
+one-to-one onto GPU opcodes (:class:`repro.gpu.isa.Op`); three pseudo
+operand kinds exist besides virtual registers:
+
+- :class:`Const` — a 32-bit literal, materialized into the clause constant
+  pool ("ROM") by the scheduler;
+- :class:`Special` — a dispatcher-preloaded GRF register (thread ids).
+
+Control flow lives in block terminators, mirroring the Bifrost clause-tail
+model.
+"""
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.gpu.isa import Op
+
+
+class VReg:
+    """A virtual register.
+
+    Attributes:
+        index: unique id within the function.
+        name: diagnostic hint.
+        group: the vector group this register belongs to (list of VRegs
+            needing consecutive GRF allocation), or None.
+        no_temp: True if this value must live in the GRF (branch conditions,
+            vector-group members, cross-block values).
+    """
+
+    __slots__ = ("index", "name", "group", "no_temp", "no_spill")
+
+    def __init__(self, index, name=""):
+        self.index = index
+        self.name = name
+        self.group = None
+        self.no_temp = False
+        self.no_spill = False  # spill bookkeeping itself must stay in GRF
+
+    def __repr__(self):
+        return f"%{self.index}{('.' + self.name) if self.name else ''}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A 32-bit constant operand (raw bit pattern)."""
+
+    bits: int
+
+    @staticmethod
+    def from_int(value):
+        return Const(value & 0xFFFFFFFF)
+
+    @staticmethod
+    def from_float(value):
+        return Const(struct.unpack("<I", struct.pack("<f", value))[0])
+
+    @property
+    def as_float(self):
+        return struct.unpack("<f", struct.pack("<I", self.bits))[0]
+
+    @property
+    def as_int(self):
+        value = self.bits
+        return value - (1 << 32) if value & 0x80000000 else value
+
+    def __repr__(self):
+        return f"c(0x{self.bits:08x})"
+
+
+@dataclass(frozen=True)
+class Special:
+    """A preloaded GRF register operand (thread/group ids)."""
+
+    reg: int
+
+    def __repr__(self):
+        return f"s{self.reg}"
+
+
+@dataclass
+class IRInstr:
+    """One IR instruction.
+
+    ``group`` carries the vector register list for wide LD (destinations)
+    and wide ST (data sources); scalar memory ops leave it None.
+    """
+
+    op: Op
+    dst: object = None  # VReg or None
+    srcs: tuple = ()
+    flags: int = 0
+    imm: int = 0
+    group: object = None
+
+    def uses(self):
+        """All VRegs read by this instruction."""
+        regs = [s for s in self.srcs if isinstance(s, VReg)]
+        if self.op is Op.ST and self.group:
+            regs.extend(self.group)
+        return regs
+
+    def defs(self):
+        """All VRegs written by this instruction."""
+        if self.op is Op.LD and self.group:
+            return list(self.group)
+        return [self.dst] if isinstance(self.dst, VReg) else []
+
+    @property
+    def is_memory(self):
+        return self.op in (Op.LD, Op.ST, Op.LDU, Op.ATOM)
+
+    def __repr__(self):
+        parts = [self.op.name.lower()]
+        if self.dst is not None:
+            parts.append(f"{self.dst} <-")
+        parts.append(", ".join(map(repr, self.srcs)))
+        return " ".join(parts)
+
+
+class BasicBlock:
+    """A straight-line instruction sequence with one terminator.
+
+    Terminators:
+        ("jump", block)
+        ("branch", cond_vreg, target_block, fall_block)   # taken if cond != 0
+        ("branchz", cond_vreg, target_block, fall_block)  # taken if cond == 0
+        ("barrier", next_block)
+        ("end",)
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self.instrs = []
+        self.terminator = None
+
+    def emit(self, instr):
+        self.instrs.append(instr)
+        return instr
+
+    @property
+    def successors(self):
+        term = self.terminator
+        if term is None or term[0] == "end":
+            return []
+        if term[0] in ("jump", "barrier"):
+            return [term[1]]
+        return [term[2], term[3]]  # branch / branchz
+
+    def __repr__(self):
+        return f"<block {self.name} ({len(self.instrs)} instrs)>"
+
+
+class IRFunction:
+    """A lowered kernel: ordered basic blocks plus layout metadata."""
+
+    def __init__(self, name):
+        self.name = name
+        self.blocks = []
+        self._next_vreg = 0
+        # filled by lowering:
+        self.params = []  # list of (name, kind, type) — kind: buffer/scalar/local
+        self.local_static_size = 0  # bytes of __local arrays
+        self.scratch_per_thread = 0  # bytes of spilled private arrays
+        self.uniform_count = 0
+
+    def new_block(self, name):
+        block = BasicBlock(f"{name}{len(self.blocks)}")
+        self.blocks.append(block)
+        return block
+
+    def new_vreg(self, name=""):
+        reg = VReg(self._next_vreg, name)
+        self._next_vreg += 1
+        return reg
+
+    @property
+    def next_vreg_index(self):
+        """Index the next ``new_vreg`` call will use (peephole snapshots)."""
+        return self._next_vreg
+
+    def new_group(self, width, name=""):
+        """Create *width* VRegs constrained to consecutive GRF slots."""
+        members = [self.new_vreg(f"{name}{i}") for i in range(width)]
+        for member in members:
+            member.group = members
+            member.no_temp = True
+        return members
+
+    def validate(self):
+        for block in self.blocks:
+            if block.terminator is None:
+                raise ValueError(f"block {block.name} lacks a terminator")
+
+    def dump(self):
+        lines = [f"function {self.name}:"]
+        for block in self.blocks:
+            lines.append(f"  {block.name}:")
+            for instr in block.instrs:
+                lines.append(f"    {instr!r}")
+            lines.append(f"    -> {block.terminator[0]}")
+        return "\n".join(lines)

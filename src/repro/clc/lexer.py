@@ -1,0 +1,138 @@
+"""Lexer for the kernel language.
+
+Produces a stream of :class:`Token` with source positions for error
+reporting. A tiny preprocessor handles ``//`` and ``/* */`` comments and
+object-like ``#define NAME value`` macros (including ``-D`` style defines
+passed at build time).
+"""
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "__kernel", "kernel", "__global", "global", "__local", "local",
+    "__constant", "constant", "__private", "private", "const", "void",
+    "float", "int", "uint", "unsigned", "bool", "char", "uchar", "short",
+    "ushort", "long", "ulong", "size_t", "float2", "float4", "int2", "int4",
+    "uint2", "uint4", "if", "else", "for", "while", "do", "break",
+    "continue", "return", "true", "false",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<float>(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?[fF]|(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<hex>0[xX][0-9a-fA-F]+[uU]?)
+  | (?P<int>\d+[uU]?)
+  | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|\+\+|--|[-+*/%<>=!&|^~?:;,.(){}\[\]])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'float' | 'int' | 'id' | 'kw' | 'op' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def _strip_comments(source):
+    out = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+        elif ch == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment")
+            # keep newlines for line numbering
+            out.append("".join(c if c == "\n" else " " for c in source[i:end + 2]))
+            i = end + 2
+            continue
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def preprocess(source, defines=None):
+    """Strip comments and apply object-like #define substitution."""
+    source = _strip_comments(source)
+    macros = dict(defines or {})
+    lines = []
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#define"):
+            parts = stripped.split(None, 2)
+            if len(parts) < 2:
+                raise CompileError(f"malformed directive: {stripped}")
+            name = parts[1]
+            if "(" in name:
+                raise CompileError("function-like macros are not supported")
+            macros[name] = parts[2] if len(parts) > 2 else "1"
+            lines.append("")
+            continue
+        if stripped.startswith("#pragma") or stripped.startswith("#include"):
+            lines.append("")
+            continue
+        if stripped.startswith("#"):
+            raise CompileError(f"unsupported directive: {stripped.split()[0]}")
+        lines.append(line)
+    text = "\n".join(lines)
+    # iterate substitution to support macros referencing macros (bounded)
+    for _ in range(8):
+        changed = False
+        for name, value in macros.items():
+            pattern = r"\b" + re.escape(name) + r"\b"
+            new_text = re.sub(pattern, str(value), text)
+            if new_text != text:
+                text = new_text
+                changed = True
+        if not changed:
+            break
+    return text
+
+
+def tokenize(source, defines=None):
+    """Tokenize *source*; returns a list of tokens ending with EOF."""
+    text = preprocess(source, defines)
+    tokens = []
+    line = 1
+    line_start = 0
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        match = _TOKEN_RE.match(text, i)
+        if match is None:
+            raise CompileError(f"unexpected character {ch!r}", line, i - line_start + 1)
+        col = i - line_start + 1
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "hex":
+            kind = "int"
+        if kind == "id" and value in KEYWORDS:
+            kind = "kw"
+        tokens.append(Token(kind, value, line, col))
+        i = match.end()
+    tokens.append(Token("eof", "", line, 1))
+    return tokens

@@ -1,0 +1,420 @@
+"""Recursive-descent parser for the kernel language."""
+
+from repro.errors import CompileError
+from repro.clc import ast
+from repro.clc.lexer import tokenize
+from repro.clc.types import PointerType, VectorType, is_vector, type_from_name
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+_TYPE_KEYWORDS = {
+    "void", "float", "int", "uint", "unsigned", "bool", "char", "uchar",
+    "short", "ushort", "size_t", "float2", "float4", "int2", "int4",
+    "uint2", "uint4",
+}
+
+_SPACE_KEYWORDS = {
+    "__global": "global", "global": "global",
+    "__local": "local", "local": "local",
+    "__constant": "constant", "constant": "constant",
+    "__private": "private", "private": "private",
+}
+
+
+class Parser:
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    @property
+    def _cur(self):
+        return self._tokens[self._pos]
+
+    def _peek(self, offset=0):
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self):
+        token = self._cur
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind, text=None):
+        token = self._cur
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind, text=None):
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind, text=None):
+        if not self._check(kind, text):
+            token = self._cur
+            wanted = text or kind
+            raise CompileError(
+                f"expected {wanted!r}, found {token.text!r}", token.line, token.col
+            )
+        return self._advance()
+
+    def _error(self, message):
+        token = self._cur
+        raise CompileError(message, token.line, token.col)
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_translation_unit(self):
+        kernels = []
+        while not self._check("eof"):
+            kernels.append(self._parse_kernel())
+        return ast.TranslationUnit(kernels=kernels)
+
+    def _parse_kernel(self):
+        token = self._cur
+        is_kernel = bool(self._accept("kw", "__kernel") or self._accept("kw", "kernel"))
+        return_type = self._parse_type()
+        if not (hasattr(return_type, "name") and return_type.name == "void"):
+            self._error("only 'void' kernel functions are supported")
+        name = self._expect("id").text
+        self._expect("op", "(")
+        params = []
+        if not self._check("op", ")"):
+            while True:
+                params.append(self._parse_parameter())
+                if not self._accept("op", ","):
+                    break
+        self._expect("op", ")")
+        body = self._parse_block()
+        return ast.KernelFunction(
+            name=name, params=params, body=body, is_kernel=is_kernel,
+            line=token.line, col=token.col,
+        )
+
+    def _parse_parameter(self):
+        token = self._cur
+        space = None
+        while self._cur.kind == "kw" and self._cur.text in _SPACE_KEYWORDS:
+            space = _SPACE_KEYWORDS[self._advance().text]
+        self._accept("kw", "const")
+        base = self._parse_type()
+        self._accept("kw", "const")
+        if self._accept("op", "*"):
+            if is_vector(base):
+                self._error("pointers to vector types are not supported")
+            ty = PointerType(base, space or "global")
+        else:
+            if space not in (None, "private"):
+                self._error("address space qualifiers require a pointer")
+            ty = base
+        self._accept("kw", "const")
+        name = self._expect("id").text
+        return ast.Parameter(ty=ty, name=name, line=token.line, col=token.col)
+
+    def _parse_type(self):
+        token = self._cur
+        if token.kind == "kw" and token.text in _TYPE_KEYWORDS:
+            self._advance()
+            if token.text == "unsigned" and self._check("kw", "int"):
+                self._advance()
+            return type_from_name("unsigned" if token.text == "unsigned" else token.text,
+                                  token.line, token.col)
+        self._error(f"expected a type, found {token.text!r}")
+
+    # -- statements -------------------------------------------------------------------
+
+    def _parse_block(self):
+        start = self._expect("op", "{")
+        statements = []
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                raise CompileError("unterminated block", start.line, start.col)
+            statements.append(self._parse_statement())
+        self._expect("op", "}")
+        return ast.Block(statements=statements, line=start.line, col=start.col)
+
+    def _starts_declaration(self):
+        token = self._cur
+        if token.kind != "kw":
+            return False
+        return token.text in _TYPE_KEYWORDS - {"void"} or token.text in _SPACE_KEYWORDS or token.text == "const"
+
+    def _parse_statement(self):
+        token = self._cur
+        if self._check("op", "{"):
+            return self._parse_block()
+        if self._check("op", ";"):
+            self._advance()
+            return ast.Block(statements=[], line=token.line, col=token.col)
+        if self._check("kw", "if"):
+            return self._parse_if()
+        if self._check("kw", "for"):
+            return self._parse_for()
+        if self._check("kw", "while"):
+            return self._parse_while()
+        if self._check("kw", "do"):
+            return self._parse_do_while()
+        if self._accept("kw", "break"):
+            self._expect("op", ";")
+            return ast.Break(line=token.line, col=token.col)
+        if self._accept("kw", "continue"):
+            self._expect("op", ";")
+            return ast.Continue(line=token.line, col=token.col)
+        if self._accept("kw", "return"):
+            value = None
+            if not self._check("op", ";"):
+                value = self._parse_expression()
+            self._expect("op", ";")
+            return ast.Return(value=value, line=token.line, col=token.col)
+        if self._starts_declaration():
+            return self._parse_declaration()
+        return self._parse_expression_or_assignment()
+
+    def _parse_declaration(self):
+        token = self._cur
+        space = "private"
+        while self._cur.kind == "kw" and (
+            self._cur.text in _SPACE_KEYWORDS or self._cur.text == "const"
+        ):
+            word = self._advance().text
+            if word != "const":
+                space = _SPACE_KEYWORDS[word]
+        ty = self._parse_type()
+        if self._accept("op", "*"):
+            ty = PointerType(ty, space if space != "private" else "global")
+        declarations = []
+        while True:
+            name = self._expect("id").text
+            array_size = None
+            if self._accept("op", "["):
+                array_size = self._parse_expression()
+                self._expect("op", "]")
+            init = None
+            if self._accept("op", "="):
+                init = self._parse_expression()
+            declarations.append(
+                ast.Declaration(ty=ty, name=name, init=init, array_size=array_size,
+                                space=space, line=token.line, col=token.col)
+            )
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ";")
+        if len(declarations) == 1:
+            return declarations[0]
+        return ast.Block(statements=declarations, line=token.line, col=token.col)
+
+    def _parse_if(self):
+        token = self._expect("kw", "if")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        then = self._parse_statement()
+        other = None
+        if self._accept("kw", "else"):
+            other = self._parse_statement()
+        return ast.If(cond=cond, then=then, other=other, line=token.line, col=token.col)
+
+    def _parse_for(self):
+        token = self._expect("kw", "for")
+        self._expect("op", "(")
+        init = None
+        if not self._check("op", ";"):
+            if self._starts_declaration():
+                init = self._parse_declaration()
+            else:
+                init = self._parse_simple_assignment()
+                self._expect("op", ";")
+        else:
+            self._advance()
+        if isinstance(init, (ast.Declaration, ast.Block)):
+            pass  # declaration parser consumed the ';'
+        cond = None
+        if not self._check("op", ";"):
+            cond = self._parse_expression()
+        self._expect("op", ";")
+        step = None
+        if not self._check("op", ")"):
+            step = self._parse_simple_assignment()
+        self._expect("op", ")")
+        body = self._parse_statement()
+        return ast.For(init=init, cond=cond, step=step, body=body,
+                       line=token.line, col=token.col)
+
+    def _parse_while(self):
+        token = self._expect("kw", "while")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        body = self._parse_statement()
+        return ast.While(cond=cond, body=body, line=token.line, col=token.col)
+
+    def _parse_do_while(self):
+        token = self._expect("kw", "do")
+        body = self._parse_statement()
+        self._expect("kw", "while")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.DoWhile(body=body, cond=cond, line=token.line, col=token.col)
+
+    def _parse_simple_assignment(self):
+        """An assignment or side-effecting expression without trailing ';'."""
+        token = self._cur
+        expr = self._parse_unary()
+        if self._cur.kind == "op" and self._cur.text in _ASSIGN_OPS:
+            op = self._advance().text
+            value = self._parse_expression()
+            return ast.Assignment(target=expr, op=op, value=value,
+                                  line=token.line, col=token.col)
+        if self._accept("op", "++"):
+            return ast.Assignment(target=expr, op="+=",
+                                  value=ast.IntLiteral(1, line=token.line, col=token.col),
+                                  line=token.line, col=token.col)
+        if self._accept("op", "--"):
+            return ast.Assignment(target=expr, op="-=",
+                                  value=ast.IntLiteral(1, line=token.line, col=token.col),
+                                  line=token.line, col=token.col)
+        return ast.ExprStatement(expr=expr, line=token.line, col=token.col)
+
+    def _parse_expression_or_assignment(self):
+        statement = self._parse_simple_assignment()
+        if isinstance(statement, ast.ExprStatement):
+            # could still be `expr;` like a bare call
+            pass
+        self._expect("op", ";")
+        return statement
+
+    # -- expressions (precedence climbing) ------------------------------------------
+
+    def _parse_expression(self):
+        return self._parse_ternary()
+
+    def _parse_ternary(self):
+        cond = self._parse_binary(0)
+        if self._accept("op", "?"):
+            then = self._parse_expression()
+            self._expect("op", ":")
+            other = self._parse_ternary()
+            return ast.Ternary(cond=cond, then=then, other=other,
+                               line=cond.line, col=cond.col)
+        return cond
+
+    _PRECEDENCE = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def _parse_binary(self, level):
+        if level >= len(self._PRECEDENCE):
+            return self._parse_unary()
+        ops = self._PRECEDENCE[level]
+        left = self._parse_binary(level + 1)
+        while self._cur.kind == "op" and self._cur.text in ops:
+            op = self._advance().text
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(op=op, left=left, right=right,
+                              line=left.line, col=left.col)
+        return left
+
+    def _parse_unary(self):
+        token = self._cur
+        if self._cur.kind == "op" and self._cur.text in ("-", "!", "~", "+"):
+            op = self._advance().text
+            operand = self._parse_unary()
+            if op == "+":
+                return operand
+            return ast.Unary(op=op, operand=operand, line=token.line, col=token.col)
+        if self._accept("op", "*"):
+            operand = self._parse_unary()
+            return ast.Deref(operand=operand, line=token.line, col=token.col)
+        if self._accept("op", "&"):
+            operand = self._parse_unary()
+            return ast.AddressOf(operand=operand, line=token.line,
+                                 col=token.col)
+        if self._check("op", "(") and self._is_cast():
+            self._advance()
+            target = self._parse_type()
+            self._expect("op", ")")
+            if is_vector(target) and self._check("op", "("):
+                self._advance()
+                args = [self._parse_expression()]
+                while self._accept("op", ","):
+                    args.append(self._parse_expression())
+                self._expect("op", ")")
+                return ast.VectorConstructor(target=target, args=args,
+                                             line=token.line, col=token.col)
+            operand = self._parse_unary()
+            return ast.Cast(target=target, operand=operand,
+                            line=token.line, col=token.col)
+        return self._parse_postfix()
+
+    def _is_cast(self):
+        """Lookahead: '(' type ')' not followed by an operator-only token."""
+        next_token = self._peek(1)
+        return next_token.kind == "kw" and next_token.text in _TYPE_KEYWORDS
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            token = self._cur
+            if self._accept("op", "["):
+                index = self._parse_expression()
+                self._expect("op", "]")
+                expr = ast.Index(base=expr, index=index, line=token.line, col=token.col)
+            elif self._accept("op", "."):
+                name = self._expect("id").text
+                expr = ast.Member(base=expr, name=name, line=token.line, col=token.col)
+            else:
+                return expr
+
+    def _parse_primary(self):
+        token = self._cur
+        if token.kind == "int":
+            self._advance()
+            text = token.text.rstrip("uU")
+            unsigned = text != token.text
+            return ast.IntLiteral(int(text, 0), unsigned=unsigned,
+                                  line=token.line, col=token.col)
+        if token.kind == "float":
+            self._advance()
+            return ast.FloatLiteral(float(token.text.rstrip("fF")),
+                                    line=token.line, col=token.col)
+        if token.kind == "kw" and token.text in ("true", "false"):
+            self._advance()
+            return ast.IntLiteral(1 if token.text == "true" else 0,
+                                  line=token.line, col=token.col)
+        if token.kind == "id":
+            self._advance()
+            if self._check("op", "("):
+                self._advance()
+                args = []
+                if not self._check("op", ")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self._accept("op", ","):
+                            break
+                self._expect("op", ")")
+                return ast.Call(name=token.text, args=args,
+                                line=token.line, col=token.col)
+            return ast.Identifier(name=token.text, line=token.line, col=token.col)
+        if self._accept("op", "("):
+            expr = self._parse_expression()
+            self._expect("op", ")")
+            return expr
+        self._error(f"unexpected token {token.text!r}")
+
+
+def parse(source, defines=None):
+    """Parse kernel-language *source* into a TranslationUnit."""
+    return Parser(tokenize(source, defines)).parse_translation_unit()

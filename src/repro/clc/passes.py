@@ -1,0 +1,273 @@
+"""Optimisation passes.
+
+AST level:
+- :func:`unroll_loops` — full unrolling of constant-trip ``for`` loops up to
+  a per-version limit. Unrolling turns private-array indices into constants
+  (enabling register allocation of the array — the "2D register blocking"
+  SGEMM variant relies on this) at the cost of register pressure.
+
+IR level:
+- :func:`prune_unreachable` — drop blocks no path reaches (early returns).
+- :func:`local_copyprop` — forward MOV sources within a basic block.
+- :func:`eliminate_dead_code` — remove pure instructions whose results are
+  never read anywhere in the function.
+"""
+
+import copy
+
+from repro.clc import ast
+from repro.clc.ir import VReg
+from repro.gpu.isa import Op
+
+_MAX_UNROLL_BODY = 64  # statements; avoids code explosion
+
+
+def _contains_loop_escape(node):
+    """True if *node* contains a break/continue not nested in an inner loop."""
+    if isinstance(node, (ast.Break, ast.Continue)):
+        return True
+    if isinstance(node, (ast.For, ast.While, ast.DoWhile)):
+        return False  # escapes inside belong to the inner loop
+    if isinstance(node, ast.Block):
+        return any(_contains_loop_escape(s) for s in node.statements)
+    if isinstance(node, ast.If):
+        return (_contains_loop_escape(node.then)
+                or (node.other is not None and _contains_loop_escape(node.other)))
+    return False
+
+
+def _assigns_to(node, name):
+    """True if *node* (statement tree) assigns to variable *name*."""
+    if isinstance(node, ast.Assignment):
+        target = node.target
+        if isinstance(target, ast.Identifier) and target.name == name:
+            return True
+        return False
+    if isinstance(node, ast.Declaration):
+        return node.name == name
+    if isinstance(node, ast.Block):
+        return any(_assigns_to(s, name) for s in node.statements)
+    if isinstance(node, ast.If):
+        return (_assigns_to(node.then, name)
+                or (node.other is not None and _assigns_to(node.other, name)))
+    if isinstance(node, (ast.For, ast.While, ast.DoWhile)):
+        result = _assigns_to(node.body, name)
+        if isinstance(node, ast.For):
+            result = result or (node.init is not None and _assigns_to(node.init, name))
+            result = result or (node.step is not None and _assigns_to(node.step, name))
+        return result
+    return False
+
+
+def _substitute(node, name, value):
+    """Deep-copy *node*, replacing Identifier(name) with IntLiteral(value)."""
+    if not isinstance(node, ast.Node):
+        return node
+    if isinstance(node, ast.Identifier) and node.name == name:
+        return ast.IntLiteral(value, line=node.line, col=node.col)
+    clone = copy.copy(node)
+    for attr, child in vars(node).items():
+        if isinstance(child, ast.Node):
+            setattr(clone, attr, _substitute(child, name, value))
+        elif isinstance(child, list):
+            setattr(clone, attr,
+                    [_substitute(item, name, value) for item in child])
+    return clone
+
+
+def _loop_bounds(loop):
+    """Extract (var, start, limit_op, limit, step) from a canonical for loop,
+    or None."""
+    init = loop.init
+    if isinstance(init, ast.Declaration) and init.init is not None:
+        if init.array_size is not None:
+            return None
+        var = init.name
+        start = _as_const_int(init.init)
+        declared = True
+    elif isinstance(init, ast.Assignment) and init.op == "=" and \
+            isinstance(init.target, ast.Identifier):
+        var = init.target.name
+        start = _as_const_int(init.value)
+        declared = False
+    else:
+        return None
+    if start is None:
+        return None
+    cond = loop.cond
+    if not (isinstance(cond, ast.Binary) and cond.op in ("<", "<=")
+            and isinstance(cond.left, ast.Identifier) and cond.left.name == var):
+        return None
+    limit = _as_const_int(cond.right)
+    if limit is None:
+        return None
+    step_stmt = loop.step
+    if not (isinstance(step_stmt, ast.Assignment)
+            and isinstance(step_stmt.target, ast.Identifier)
+            and step_stmt.target.name == var
+            and step_stmt.op in ("+=", "-=")):
+        return None
+    step = _as_const_int(step_stmt.value)
+    if step is None or step == 0:
+        return None
+    if step_stmt.op == "-=":
+        step = -step
+    return var, start, cond.op, limit, step, declared
+
+
+def _as_const_int(node):
+    if isinstance(node, ast.IntLiteral):
+        return node.value
+    if isinstance(node, ast.Unary) and node.op == "-":
+        inner = _as_const_int(node.operand)
+        return -inner if inner is not None else None
+    if isinstance(node, ast.Binary):
+        left = _as_const_int(node.left)
+        right = _as_const_int(node.right)
+        if left is None or right is None:
+            return None
+        try:
+            return {
+                "+": left + right, "-": left - right, "*": left * right,
+                "<<": left << right, ">>": left >> right,
+            }.get(node.op)
+        except (TypeError, ValueError):
+            return None
+    return None
+
+
+def unroll_loops(node, limit):
+    """Recursively unroll constant-trip for-loops with trip count <= limit."""
+    if limit <= 1 or not isinstance(node, ast.Node):
+        return node
+    # transform children first (inner loops unroll before outer ones)
+    for attr, child in vars(node).items():
+        if isinstance(child, ast.Node):
+            setattr(node, attr, unroll_loops(child, limit))
+        elif isinstance(child, list):
+            setattr(node, attr, [unroll_loops(item, limit) for item in child])
+    if not isinstance(node, ast.For):
+        return node
+    bounds = _loop_bounds(node)
+    if bounds is None:
+        return node
+    var, start, op, stop, step, declared = bounds
+    values = []
+    current = start
+    while (current < stop if op == "<" else current <= stop) if step > 0 else \
+            (current > stop if op == "<" else current >= stop):
+        values.append(current)
+        current += step
+        if len(values) > limit:
+            return node
+    if not values:
+        return ast.Block(statements=[], line=node.line, col=node.col)
+    if _assigns_to(node.body, var) or _contains_loop_escape(node.body):
+        return node
+    if _statement_count(node.body) * len(values) > _MAX_UNROLL_BODY:
+        return node
+    statements = [_substitute(node.body, var, v) for v in values]
+    if not declared:
+        statements.append(
+            ast.Assignment(target=ast.Identifier(var, line=node.line, col=node.col),
+                           op="=", value=ast.IntLiteral(current),
+                           line=node.line, col=node.col)
+        )
+    return ast.Block(statements=statements, line=node.line, col=node.col)
+
+
+def _statement_count(node):
+    if isinstance(node, ast.Block):
+        return sum(_statement_count(s) for s in node.statements)
+    if isinstance(node, ast.If):
+        return 1 + _statement_count(node.then) + (
+            _statement_count(node.other) if node.other else 0)
+    if isinstance(node, (ast.For, ast.While, ast.DoWhile)):
+        return 2 + _statement_count(node.body)
+    return 1
+
+
+# -- IR passes ----------------------------------------------------------------------
+
+
+def prune_unreachable(fn):
+    """Remove blocks unreachable from the entry block."""
+    if not fn.blocks:
+        return fn
+    reachable = set()
+    stack = [fn.blocks[0]]
+    while stack:
+        block = stack.pop()
+        if id(block) in reachable:
+            continue
+        reachable.add(id(block))
+        stack.extend(block.successors)
+    fn.blocks = [b for b in fn.blocks if id(b) in reachable]
+    return fn
+
+
+def local_copyprop(fn):
+    """Forward MOV sources to later uses within each basic block."""
+    for block in fn.blocks:
+        available = {}  # VReg -> operand
+        for instr in block.instrs:
+            # rewrite sources
+            new_srcs = []
+            for src in instr.srcs:
+                while isinstance(src, VReg) and src in available:
+                    src = available[src]
+                new_srcs.append(src)
+            instr.srcs = tuple(new_srcs)
+            if instr.op is Op.ST and instr.group:
+                group = []
+                for member in instr.group:
+                    replaced = member
+                    while isinstance(replaced, VReg) and replaced in available:
+                        candidate = available[replaced]
+                        if not isinstance(candidate, VReg):
+                            break  # stores need registers; keep the VReg
+                        replaced = candidate
+                    group.append(replaced)
+                instr.group = group
+            # invalidate mappings clobbered by this definition
+            for defined in instr.defs():
+                available.pop(defined, None)
+                stale = [k for k, v in available.items() if v is defined]
+                for key in stale:
+                    available.pop(key)
+            # record plain register-to-operand moves
+            if (instr.op is Op.MOV and isinstance(instr.dst, VReg)
+                    and instr.dst.group is None):
+                source = instr.srcs[0]
+                if not (isinstance(source, VReg) and source.group is not None):
+                    available[instr.dst] = source
+    return fn
+
+
+def eliminate_dead_code(fn):
+    """Remove pure instructions whose destination is never read."""
+    while True:
+        used = set()
+        for block in fn.blocks:
+            for instr in block.instrs:
+                used.update(instr.uses())
+            term = block.terminator
+            if term and term[0] in ("branch", "branchz"):
+                used.add(term[1])
+        changed = False
+        for block in fn.blocks:
+            kept = []
+            for instr in block.instrs:
+                defs = instr.defs()
+                removable = (
+                    instr.op not in (Op.ST, Op.ATOM)
+                    and defs
+                    and not any(d in used for d in defs)
+                )
+                if removable:
+                    changed = True
+                else:
+                    kept.append(instr)
+            block.instrs = kept
+        if not changed:
+            return fn

@@ -1,0 +1,198 @@
+"""Linear-scan register allocation onto the GRF.
+
+Virtual registers are mapped to GRF registers r0..r52 (r53..r63 are
+dispatcher-preloaded thread-id registers). Vector groups (wide LD/ST
+operands) receive consecutive registers. Values forwarded to clause
+temporaries are excluded.
+
+Liveness is computed on the *scheduled* instruction order (the clause
+scheduler may have reordered instructions), with conservative whole-block
+extension for values live across block boundaries.
+"""
+
+from repro.errors import CompileError
+from repro.clc.ir import VReg
+from repro.gpu.isa import ALLOCATABLE_REGS
+
+
+class SpillRequired(Exception):
+    """Raised when allocation fails; carries spill candidates ordered by
+    live-interval length (longest first — best pressure relief)."""
+
+    def __init__(self, candidates):
+        super().__init__("register pressure exceeds the GRF")
+        self.candidates = candidates
+
+
+def _block_positions(fn, block_plans):
+    """Assign each scheduled instruction a global position; returns
+    (ordered_instrs, block_ranges) where block_ranges[block] = (start, end)
+    with *end* covering the terminator position."""
+    ordered = []
+    ranges = {}
+    for block in fn.blocks:
+        start = len(ordered)
+        for plan in block_plans.get(id(block), []):
+            ordered.extend(plan.instructions())
+        end = len(ordered)  # terminator position
+        ordered.append(("term", block))
+        ranges[id(block)] = (start, end)
+    return ordered, ranges
+
+
+def _terminator_uses(block):
+    term = block.terminator
+    if term and term[0] in ("branch", "branchz") and isinstance(term[1], VReg):
+        return [term[1]]
+    return []
+
+
+def _liveness(fn, block_plans):
+    """Backward dataflow: live-in/live-out sets per block (by id)."""
+    use_sets = {}
+    def_sets = {}
+    for block in fn.blocks:
+        uses = set()
+        defs = set()
+        for plan in block_plans.get(id(block), []):
+            for instr in plan.instructions():
+                for u in instr.uses():
+                    if u not in defs:
+                        uses.add(u)
+                for d in instr.defs():
+                    defs.add(d)
+        for u in _terminator_uses(block):
+            if u not in defs:
+                uses.add(u)
+        use_sets[id(block)] = uses
+        def_sets[id(block)] = defs
+
+    live_in = {id(b): set() for b in fn.blocks}
+    live_out = {id(b): set() for b in fn.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(fn.blocks):
+            out = set()
+            for successor in block.successors:
+                out |= live_in[id(successor)]
+            if out != live_out[id(block)]:
+                live_out[id(block)] = out
+                changed = True
+            new_in = use_sets[id(block)] | (out - def_sets[id(block)])
+            if new_in != live_in[id(block)]:
+                live_in[id(block)] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def _intervals(fn, block_plans, temp_map):
+    """Compute a conservative [start, end] interval per VReg."""
+    ordered, ranges = _block_positions(fn, block_plans)
+    live_in, live_out = _liveness(fn, block_plans)
+
+    starts = {}
+    ends = {}
+
+    def touch(reg, position):
+        if reg in temp_map:
+            return
+        if reg not in starts:
+            starts[reg] = position
+        starts[reg] = min(starts[reg], position)
+        ends[reg] = max(ends.get(reg, position), position)
+
+    position = 0
+    for block in fn.blocks:
+        block_start, block_end = ranges[id(block)]
+        for reg in live_in[id(block)]:
+            touch(reg, block_start)
+        for plan in block_plans.get(id(block), []):
+            for instr in plan.instructions():
+                for reg in instr.uses():
+                    touch(reg, position)
+                for reg in instr.defs():
+                    touch(reg, position)
+                position += 1
+        for reg in _terminator_uses(block):
+            touch(reg, block_end)
+        for reg in live_out[id(block)]:
+            touch(reg, block_end)
+        position += 1  # terminator slot
+    return starts, ends
+
+
+def allocate_registers(fn, block_plans, temp_map):
+    """Allocate GRF registers; returns (assignment dict, registers used).
+
+    Raises:
+        CompileError: if the kernel needs more than the allocatable GRF.
+    """
+    starts, ends = _intervals(fn, block_plans, temp_map)
+
+    # treat each vector group as a single allocation unit
+    units = []  # (start, end, members_tuple)
+    seen_groups = set()
+    for reg in starts:
+        if reg.group is not None:
+            key = id(reg.group[0])
+            if key in seen_groups:
+                continue
+            seen_groups.add(key)
+            members = tuple(reg.group)
+            start = min(starts.get(m, starts[reg]) for m in members if m in starts)
+            end = max(ends.get(m, ends[reg]) for m in members if m in ends)
+            units.append((start, end, members))
+        else:
+            units.append((starts[reg], ends[reg], (reg,)))
+
+    units.sort(key=lambda unit: (unit[0], unit[1]))
+    free = set(range(ALLOCATABLE_REGS))
+    active = []  # (end, base, width)
+    assignment = {}
+    max_used = -1
+
+    for start, end, members in units:
+        # expire finished intervals
+        still_active = []
+        for a_end, a_base, a_width in active:
+            if a_end < start:
+                for r in range(a_base, a_base + a_width):
+                    free.add(r)
+            else:
+                still_active.append((a_end, a_base, a_width))
+        active = still_active
+        width = len(members)
+        base = _find_base(free, width)
+        if base is None:
+            candidates = sorted(
+                (unit for unit in units
+                 if len(unit[2]) == 1 and not unit[2][0].no_spill
+                 and unit[2][0].group is None),
+                key=lambda unit: unit[0] - unit[1],  # longest interval first
+            )
+            ordered = [unit[2][0] for unit in candidates]
+            if not ordered:
+                raise CompileError(
+                    f"kernel {fn.name!r} exceeds the register file "
+                    f"({ALLOCATABLE_REGS} allocatable registers) and no "
+                    "value is spillable"
+                )
+            raise SpillRequired(ordered)
+        for r in range(base, base + width):
+            free.discard(r)
+        active.append((end, base, width))
+        for offset, member in enumerate(members):
+            assignment[member] = base + offset
+        max_used = max(max_used, base + width - 1)
+
+    return assignment, max_used + 1
+
+
+def _find_base(free, width):
+    if width == 1:
+        return min(free) if free else None
+    for base in sorted(free):
+        if all(base + i in free for i in range(width)):
+            return base
+    return None

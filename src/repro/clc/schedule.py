@@ -1,0 +1,201 @@
+"""Clause formation: slot packing, dual-issue scheduling, temp forwarding.
+
+This is the pass that shapes the Bifrost clause model metrics the paper
+analyses (Figs. 11/13, Fig. 1):
+
+- instructions are packed into clauses of up to 8 (FMA, ADD) tuples;
+- the ADD pipe only executes simple ops, so an FMA-class op landing on an
+  ADD slot forces a NOP ("empty slots introduced by the OpenCL toolchain");
+- with ``dual_issue`` enabled, independent ADD-class ops are hoisted into
+  otherwise-empty ADD slots (fewer NOPs, fewer tuples, fewer "arithmetic
+  cycles" — the v6.1 effect of Fig. 1);
+- with ``temp_forward`` enabled, single-use values whose definition and use
+  share a clause are rewritten onto the clause temporaries ``t0``/``t1``,
+  cutting global-register-file traffic (Fig. 4b).
+
+Constants used by a clause are deduplicated into its embedded pool.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.clc.ir import Const, VReg
+from repro.gpu.isa import MAX_CONSTS, Op, can_use_add_slot
+
+MAX_TUPLES = 8
+_SCHED_WINDOW = 12
+
+
+@dataclass
+class ClausePlan:
+    """A planned clause: slot instruction list + constant pool."""
+
+    slots: list = field(default_factory=list)  # IRInstr or None; even=FMA
+    constants: list = field(default_factory=list)
+
+    @property
+    def tuple_count(self):
+        return (len(self.slots) + 1) // 2
+
+    def instructions(self):
+        return [instr for instr in self.slots if instr is not None]
+
+
+def _instr_constants(instr):
+    consts = [s.bits for s in instr.srcs if isinstance(s, Const)]
+    return consts
+
+
+def _depends_on(instr, earlier):
+    """True if *instr* must not be scheduled before *earlier*."""
+    uses = set(instr.uses())
+    defs = set(instr.defs())
+    for e in earlier:
+        e_defs = set(e.defs())
+        e_uses = set(e.uses())
+        if uses & e_defs or defs & e_uses or defs & e_defs:
+            return True
+        if instr.is_memory and e.is_memory:
+            return True
+    return False
+
+
+def _order_slots(instrs, dual_issue):
+    """Produce the slot sequence (instr or None) respecting slot classes."""
+    remaining = list(instrs)
+    slots = []
+    parity = 0  # 0 -> next slot is FMA (accepts anything), 1 -> ADD slot
+    while remaining:
+        pick_index = None
+        if parity == 0:
+            pick_index = 0
+        else:
+            window = len(remaining) if dual_issue else 1
+            window = min(window, _SCHED_WINDOW)
+            for j in range(window):
+                candidate = remaining[j]
+                if not can_use_add_slot(candidate.op):
+                    continue
+                if j == 0 or not _depends_on(candidate, remaining[:j]):
+                    pick_index = j
+                    break
+        if pick_index is None:
+            slots.append(None)
+        else:
+            slots.append(remaining.pop(pick_index))
+        parity ^= 1
+    return slots
+
+
+def schedule_block(instrs, dual_issue=False):
+    """Pack a block's instructions into a list of :class:`ClausePlan`."""
+    if not instrs:
+        return []
+    slots = _order_slots(instrs, dual_issue)
+    plans = []
+    current = ClausePlan()
+    pool = {}
+    for index in range(0, len(slots), 2):
+        tuple_slots = slots[index:index + 2]
+        new_consts = []
+        for instr in tuple_slots:
+            if instr is not None:
+                for bits in _instr_constants(instr):
+                    if bits not in pool and bits not in new_consts:
+                        new_consts.append(bits)
+        if (current.tuple_count >= MAX_TUPLES
+                or len(pool) + len(new_consts) > MAX_CONSTS):
+            if current.slots:
+                plans.append(current)
+            current = ClausePlan()
+            pool = {}
+            new_consts = []
+            for instr in tuple_slots:
+                if instr is not None:
+                    for bits in _instr_constants(instr):
+                        if bits not in pool and bits not in new_consts:
+                            new_consts.append(bits)
+        for bits in new_consts:
+            pool[bits] = len(pool)
+            current.constants.append(bits)
+        current.slots.extend(tuple_slots)
+    # trim trailing empty slots
+    while current.slots and current.slots[-1] is None:
+        current.slots.pop()
+    if current.slots:
+        plans.append(current)
+    for plan in plans:
+        while plan.slots and plan.slots[-1] is None:
+            plan.slots.pop()
+    return [plan for plan in plans if plan.slots]
+
+
+_TEMPABLE_DEF_OPS = {
+    Op.MOV, Op.FADD, Op.FSUB, Op.FMUL, Op.FMA, Op.FMIN, Op.FMAX, Op.FABS,
+    Op.FNEG, Op.FFLOOR, Op.FRCP, Op.FSQRT, Op.FRSQ, Op.FEXP, Op.FLOG,
+    Op.FSIN, Op.FCOS, Op.F2I, Op.F2U, Op.I2F, Op.U2F, Op.IADD, Op.ISUB,
+    Op.IMUL, Op.IAND, Op.IOR, Op.IXOR, Op.ISHL, Op.ISHR, Op.IASHR, Op.IMIN,
+    Op.IMAX, Op.UMIN, Op.UMAX, Op.IABS, Op.CMP, Op.SELECT, Op.LDU,
+}
+
+
+def assign_temporaries(block_plans, fn):
+    """Forward single-def single-use same-clause values to t0/t1.
+
+    Returns a dict mapping VReg -> temp index (0 or 1). Only values defined
+    by register-file-producing ops, not marked ``no_temp``, not members of
+    vector groups, with exactly one def and one use — both inside the same
+    clause — are eligible.
+    """
+    def_count = {}
+    use_count = {}
+    for plans in block_plans.values():
+        for plan in plans:
+            for instr in plan.instructions():
+                for d in instr.defs():
+                    def_count[d] = def_count.get(d, 0) + 1
+                for u in instr.uses():
+                    use_count[u] = use_count.get(u, 0) + 1
+    # branch conditions are read at the clause boundary from the GRF and
+    # must never live in clause temporaries
+    banned = set()
+    for block in fn.blocks:
+        term = block.terminator
+        if term and term[0] in ("branch", "branchz") and isinstance(term[1], VReg):
+            banned.add(term[1])
+
+    temp_map = {}
+    for plans in block_plans.values():
+        for plan in plans:
+            instructions = plan.instructions()
+            active = {}  # temp index -> position of pending use
+            positions = {}
+            for position, instr in enumerate(instructions):
+                positions[id(instr)] = position
+            for position, instr in enumerate(instructions):
+                dst = instr.dst
+                if (not isinstance(dst, VReg) or dst.no_temp
+                        or dst in banned
+                        or dst.group is not None
+                        or instr.op not in _TEMPABLE_DEF_OPS):
+                    continue
+                if def_count.get(dst) != 1 or use_count.get(dst) != 1:
+                    continue
+                use_position = None
+                for later_pos in range(position + 1, len(instructions)):
+                    later = instructions[later_pos]
+                    if dst in later.uses():
+                        use_position = later_pos
+                        break
+                if use_position is None:
+                    continue  # the single use is in another clause/block
+                slot = None
+                for candidate in (0, 1):
+                    pending = active.get(candidate)
+                    if pending is None or pending <= position:
+                        slot = candidate
+                        break
+                if slot is None:
+                    continue
+                active[slot] = use_position
+                temp_map[dst] = slot
+    return temp_map

@@ -1,0 +1,76 @@
+"""Register spilling.
+
+When linear-scan allocation cannot fit the live values into the GRF, the
+longest-lived spillable value is evicted to per-thread scratch memory (the
+same local-memory region dynamic private arrays use). Each definition is
+followed by a store and each use preceded by a reload, splitting the long
+live range into short ones — the classic spill-everywhere strategy.
+
+Real Mali compilers do exactly this above the register-capacity knee (the
+paper's SGEMM variant 6 observes it: "meant to increase register usage, but
+the increase is just 3% on Mali" — the compiler spilled instead).
+"""
+
+from repro.clc.ir import Const, IRInstr, VReg
+from repro.clc.lower import emit_scratch_base
+from repro.gpu.isa import MEM_SPACE_LOCAL, Op
+
+
+def spillable_candidates(fn):
+    """VRegs eligible for spilling, with terminator conditions excluded
+    (clause tails read conditions straight from the GRF)."""
+    banned = set()
+    for block in fn.blocks:
+        term = block.terminator
+        if term and term[0] in ("branch", "branchz") and isinstance(term[1], VReg):
+            banned.add(term[1])
+    eligible = set()
+    for block in fn.blocks:
+        for instr in block.instrs:
+            for reg in instr.defs() + instr.uses():
+                if (reg.group is None and not reg.no_spill
+                        and reg not in banned):
+                    eligible.add(reg)
+    return eligible
+
+
+def spill_vreg(fn, victim):
+    """Rewrite *fn* so *victim* lives in per-thread scratch memory."""
+    if victim.group is not None or victim.no_spill:
+        raise ValueError(f"{victim!r} is not spillable")
+    base = emit_scratch_base(fn)
+    offset = fn.scratch_per_thread
+    fn.scratch_per_thread += 4
+    victim.no_spill = True  # its residual short ranges must not re-spill
+
+    def make_addr(out):
+        addr = fn.new_vreg("spadr")
+        addr.no_spill = True
+        addr.no_temp = True
+        out.append(IRInstr(Op.IADD, dst=addr,
+                           srcs=(base, Const.from_int(offset))))
+        return addr
+
+    for block in fn.blocks:
+        rewritten = []
+        for instr in block.instrs:
+            if victim in instr.uses():
+                addr = make_addr(rewritten)
+                reload = fn.new_vreg(f"{victim.name}_r")
+                reload.no_spill = True
+                rewritten.append(IRInstr(Op.LD, dst=reload, srcs=(addr,),
+                                         flags=MEM_SPACE_LOCAL,
+                                         group=[reload]))
+                instr.srcs = tuple(reload if s is victim else s
+                                   for s in instr.srcs)
+                if instr.op is Op.ST and instr.group:
+                    instr.group = [reload if m is victim else m
+                                   for m in instr.group]
+            rewritten.append(instr)
+            if victim in instr.defs():
+                addr = make_addr(rewritten)
+                rewritten.append(IRInstr(Op.ST, srcs=(addr,),
+                                         flags=MEM_SPACE_LOCAL,
+                                         group=[victim]))
+        block.instrs = rewritten
+    return offset

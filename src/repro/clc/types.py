@@ -1,0 +1,115 @@
+"""Type system for the kernel language.
+
+Scalar types map to the GPU's 32-bit register model (``char``/``short``
+are widened to 32-bit, ``long`` is not supported); vector types are
+2- or 4-wide and scalarized during lowering, except for vector memory
+accesses which lower to wide LD/ST when the compiler version supports
+them. Pointers carry an address space (global, local, constant).
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    name: str  # 'float' | 'int' | 'uint' | 'bool' | 'void'
+
+    @property
+    def is_float(self):
+        return self.name == "float"
+
+    @property
+    def is_integer(self):
+        return self.name in ("int", "uint", "bool")
+
+    @property
+    def is_signed(self):
+        return self.name in ("int", "bool")
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class VectorType:
+    element: ScalarType
+    width: int  # 2 or 4
+
+    def __str__(self):
+        return f"{self.element}{self.width}"
+
+
+@dataclass(frozen=True)
+class PointerType:
+    pointee: ScalarType
+    space: str  # 'global' | 'local' | 'constant'
+
+    def __str__(self):
+        return f"__{self.space} {self.pointee}*"
+
+
+FLOAT = ScalarType("float")
+INT = ScalarType("int")
+UINT = ScalarType("uint")
+BOOL = ScalarType("bool")
+VOID = ScalarType("void")
+
+FLOAT2 = VectorType(FLOAT, 2)
+FLOAT4 = VectorType(FLOAT, 4)
+INT4 = VectorType(INT, 4)
+
+_BY_NAME = {
+    "float": FLOAT,
+    "int": INT,
+    "uint": UINT,
+    "unsigned": UINT,
+    "bool": BOOL,
+    "void": VOID,
+    "size_t": UINT,
+    "char": INT,
+    "uchar": UINT,
+    "short": INT,
+    "ushort": UINT,
+    "float2": FLOAT2,
+    "float4": FLOAT4,
+    "int2": VectorType(INT, 2),
+    "int4": INT4,
+    "uint2": VectorType(UINT, 2),
+    "uint4": VectorType(UINT, 4),
+}
+
+
+def type_from_name(name, line=None, col=None):
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise CompileError(f"unknown type {name!r}", line, col) from None
+
+
+def is_scalar(ty):
+    return isinstance(ty, ScalarType)
+
+
+def is_vector(ty):
+    return isinstance(ty, VectorType)
+
+
+def is_pointer(ty):
+    return isinstance(ty, PointerType)
+
+
+def is_arithmetic(ty):
+    return is_scalar(ty) and ty.name != "void"
+
+
+def unify_arithmetic(a, b, line=None, col=None):
+    """Usual arithmetic conversions over our scalar set."""
+    if not is_arithmetic(a) or not is_arithmetic(b):
+        raise CompileError(f"cannot combine {a} and {b}", line, col)
+    if FLOAT in (a, b):
+        return FLOAT
+    if UINT in (a, b):
+        return UINT
+    return INT

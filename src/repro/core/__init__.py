@@ -1,0 +1,11 @@
+"""The simulated platform: CPU + GPU + memory + devices, wired together.
+
+:class:`~repro.core.platform.MobilePlatform` is the paper's Fig. 5 — a
+full-system view where the guest software stack (driver + OpenCL runtime)
+drives a simulated GPU through memory-mapped registers, interrupts and
+shared memory, with bulk CPU work executed on the simulated guest CPU.
+"""
+
+from repro.core.platform import MobilePlatform, PlatformConfig
+
+__all__ = ["MobilePlatform", "PlatformConfig"]

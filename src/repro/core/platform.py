@@ -1,0 +1,129 @@
+"""Platform assembly (the paper's Versatile-Express/Juno-like model).
+
+Memory map::
+
+    0x0000_0000 .. 0x0FFF_FFFF   low RAM (guest code, staging buffers)
+    0x1000_0000                  UART
+    0x1001_0000                  timer
+    0x1002_0000                  interrupt controller
+    0x1003_0000                  block device
+    0x1004_0000                  GPU control registers
+    0x2000_0000 ..               driver heap (buffers, page tables, jobs)
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cpu.devices import (
+    UART,
+    BlockDevice,
+    InterruptController,
+    NetworkDevice,
+    Timer,
+)
+from repro.cpu.routines import GuestRoutines
+from repro.driver.kbase import KBaseDriver
+from repro.gpu import regs as gpu_regs
+from repro.gpu.device import GPUConfig, GPUDevice
+from repro.mem.bus import Bus
+from repro.mem.physical import PhysicalMemory
+
+UART_BASE = 0x1000_0000
+TIMER_BASE = 0x1001_0000
+IRQC_BASE = 0x1002_0000
+BLOCK_BASE = 0x1003_0000
+GPU_BASE = 0x1004_0000
+NET_BASE = 0x1005_0000
+
+GUEST_CODE_BASE = 0x0010_0000
+STAGING_BASE = 0x0080_0000
+STAGING_SIZE = 0x0400_0000  # 64 MiB staging window
+HEAP_BASE = 0x2000_0000
+HEAP_SIZE = 0x4000_0000  # 1 GiB driver heap
+
+
+@dataclass
+class PlatformConfig:
+    """Full-platform configuration.
+
+    Attributes:
+        gpu: GPU configuration (cores, host threads, instrumentation).
+        cpu_engine: "dbt" (our simulator) or "interpretive" (baseline mode).
+        memory_size: physical memory size in bytes.
+    """
+
+    gpu: GPUConfig = field(default_factory=GPUConfig)
+    cpu_engine: str = "dbt"
+    memory_size: int = 1 << 32
+
+
+class MobilePlatform:
+    """A fully wired simulated mobile CPU/GPU platform."""
+
+    def __init__(self, config=None):
+        self.config = config or PlatformConfig()
+        self.memory = PhysicalMemory(self.config.memory_size)
+        self.bus = Bus(self.memory)
+
+        self.uart = UART()
+        self.timer = Timer()
+        self.irqc = InterruptController()
+        self.block = BlockDevice(self.memory)
+        self.net = NetworkDevice()
+        self.gpu = GPUDevice(
+            self.memory, config=self.config.gpu, irq_callback=self._gpu_irq
+        )
+
+        self.bus.map_device("uart", UART_BASE, 0x1000, self.uart)
+        self.bus.map_device("timer", TIMER_BASE, 0x1000, self.timer)
+        self.bus.map_device("irqc", IRQC_BASE, 0x1000, self.irqc)
+        self.bus.map_device("block", BLOCK_BASE, 0x1000, self.block)
+        self.bus.map_device("net", NET_BASE, 0x1000, self.net)
+        self.bus.map_device("gpu", GPU_BASE, gpu_regs.MMIO_WINDOW_SIZE, self.gpu)
+
+        self.guest = GuestRoutines(
+            self.bus, code_base=GUEST_CODE_BASE, engine=self.config.cpu_engine
+        )
+        self.driver = KBaseDriver(
+            self.bus, self.irqc, GPU_BASE, heap_base=HEAP_BASE, heap_size=HEAP_SIZE
+        )
+        self._staging_next = STAGING_BASE
+
+    def _gpu_irq(self, gpu):
+        """Route GPU interrupt assertions to the interrupt controller."""
+        self.timer.tick()
+        if gpu._job_irq_rawstat & gpu._job_irq_mask:
+            self.irqc.raise_irq(InterruptController.SRC_GPU_JOB)
+        if gpu._mmu_irq_rawstat & gpu._mmu_irq_mask:
+            self.irqc.raise_irq(InterruptController.SRC_GPU_MMU)
+
+    # -- staging (host <-> guest data exchange) -------------------------------
+
+    def stage_bytes(self, data):
+        """Place host bytes into the staging window; returns their address.
+
+        The staging window models the user-space buffer the application
+        hands to the runtime; moving it into GPU memory is then a guest
+        (simulated-CPU) memcpy.
+        """
+        if len(data) > STAGING_SIZE:
+            raise ValueError("staging window exceeded")
+        if self._staging_next + len(data) > STAGING_BASE + STAGING_SIZE:
+            self._staging_next = STAGING_BASE
+        address = self._staging_next
+        self.memory.write_block(address, data)
+        self._staging_next += (len(data) + 63) & ~63
+        return address
+
+    def initialize(self):
+        """Run the driver's GPU bring-up; idempotent."""
+        if not self.driver.initialized:
+            self.driver.initialize_gpu()
+        return self
+
+    # -- statistics -----------------------------------------------------------------
+
+    def system_stats(self):
+        return self.gpu.snapshot_system_stats()
+
+    def last_job_results(self):
+        return self.gpu.last_results

@@ -1,0 +1,185 @@
+"""Two-pass assembler for the guest CPU ISA.
+
+Syntax (one instruction or directive per line; ``#`` starts a comment)::
+
+    label:
+        ldi   x1, 0xdeadbeef      # 32-bit immediate (two words)
+        li    x2, 0x123456789abc  # pseudo: expands to ldi/ldih as needed
+        addi  x2, x2, -8
+        lw    x3, x2, 4           # x3 = *(u32*)(x2 + 4)
+        sw    x3, x2, 0
+        beq   x3, x0, done
+        jal   lr, subroutine
+        jr    x15                 # pseudo: jalr x0, x15, 0
+        mov   x4, x3              # pseudo: addi x4, x3, 0
+    done:
+        halt
+
+Register names: ``x0``-``x15``, with aliases ``zero`` (x0), ``sp`` (x14),
+``lr`` (x15). Branch/JAL targets may be labels (word-relative offsets are
+computed) or literal integers.
+"""
+
+import struct
+
+from repro.errors import GuestError
+from repro.cpu.isa import CpuOp, REG_LR, REG_SP, REG_ZERO, TWO_WORD_OPS, encode
+
+_REG_ALIASES = {"zero": REG_ZERO, "sp": REG_SP, "lr": REG_LR}
+
+_THREE_REG = {
+    "add": CpuOp.ADD, "sub": CpuOp.SUB, "and": CpuOp.AND, "or": CpuOp.OR,
+    "xor": CpuOp.XOR, "sll": CpuOp.SLL, "srl": CpuOp.SRL, "sra": CpuOp.SRA,
+    "mul": CpuOp.MUL, "divu": CpuOp.DIVU, "slt": CpuOp.SLT, "sltu": CpuOp.SLTU,
+}
+
+_TWO_REG_IMM = {
+    "addi": CpuOp.ADDI, "andi": CpuOp.ANDI, "ori": CpuOp.ORI, "xori": CpuOp.XORI,
+    "slli": CpuOp.SLLI, "srli": CpuOp.SRLI, "srai": CpuOp.SRAI,
+    "lbu": CpuOp.LBU, "lw": CpuOp.LW, "ld": CpuOp.LD,
+    "sb": CpuOp.SB, "sw": CpuOp.SW, "sd": CpuOp.SD,
+    "jalr": CpuOp.JALR,
+}
+
+_BRANCHES = {
+    "beq": CpuOp.BEQ, "bne": CpuOp.BNE, "blt": CpuOp.BLT,
+    "bge": CpuOp.BGE, "bltu": CpuOp.BLTU, "bgeu": CpuOp.BGEU,
+}
+
+
+def _parse_reg(token):
+    token = token.strip().rstrip(",").lower()
+    if token in _REG_ALIASES:
+        return _REG_ALIASES[token]
+    if token.startswith("x"):
+        try:
+            index = int(token[1:])
+        except ValueError:
+            raise GuestError(f"bad register {token!r}") from None
+        if 0 <= index < 16:
+            return index
+    raise GuestError(f"bad register {token!r}")
+
+
+def _parse_int(token):
+    token = token.strip().rstrip(",")
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise GuestError(f"bad integer {token!r}") from None
+
+
+def _tokenize(line):
+    code = line.split("#", 1)[0].strip()
+    if not code:
+        return None, None
+    label = None
+    if ":" in code:
+        label, code = code.split(":", 1)
+        label = label.strip()
+        code = code.strip()
+    if not code:
+        return label, None
+    parts = code.replace(",", " ").split()
+    return label, parts
+
+
+def assemble(source):
+    """Assemble *source* text into a ``bytes`` machine-code image."""
+    # pass 1: measure sizes, collect labels
+    labels = {}
+    parsed = []
+    word_offset = 0
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        label, parts = _tokenize(line)
+        if label is not None:
+            if label in labels:
+                raise GuestError(f"duplicate label {label!r} (line {line_no})")
+            labels[label] = word_offset
+        if parts is None:
+            continue
+        mnemonic = parts[0].lower()
+        size = _instruction_words(mnemonic, parts, line_no)
+        parsed.append((word_offset, mnemonic, parts, line_no))
+        word_offset += size
+
+    # pass 2: emit
+    words = []
+    for offset, mnemonic, parts, line_no in parsed:
+        words.extend(_emit(offset, mnemonic, parts, labels, line_no))
+    return struct.pack(f"<{len(words)}I", *words)
+
+
+def _instruction_words(mnemonic, parts, line_no):
+    if mnemonic in ("ldi", "ldih"):
+        return 2
+    if mnemonic == "li":
+        value = _parse_int(parts[2]) & ((1 << 64) - 1)
+        return 2 if value < (1 << 32) else 4
+    if mnemonic in _THREE_REG or mnemonic in _TWO_REG_IMM or mnemonic in _BRANCHES:
+        return 1
+    if mnemonic in ("jal", "jr", "mov", "halt", "nop", "ecall"):
+        return 1
+    raise GuestError(f"unknown mnemonic {mnemonic!r} (line {line_no})")
+
+
+def _resolve_target(token, labels, current_word, line_no):
+    token = token.strip().rstrip(",")
+    if token in labels:
+        return labels[token] - current_word
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise GuestError(f"unknown label {token!r} (line {line_no})") from None
+
+
+def _emit(offset, mnemonic, parts, labels, line_no):
+    try:
+        if mnemonic in _THREE_REG:
+            rd, rs1, rs2 = (_parse_reg(p) for p in parts[1:4])
+            return [encode(_THREE_REG[mnemonic], rd, rs1, rs2)]
+        if mnemonic in _TWO_REG_IMM:
+            rd = _parse_reg(parts[1])
+            rs1 = _parse_reg(parts[2])
+            imm = _parse_int(parts[3]) if len(parts) > 3 else 0
+            return [encode(_TWO_REG_IMM[mnemonic], rd, rs1, 0, imm)]
+        if mnemonic in _BRANCHES:
+            rs1 = _parse_reg(parts[1])
+            rs2 = _parse_reg(parts[2])
+            delta = _resolve_target(parts[3], labels, offset, line_no)
+            return [encode(_BRANCHES[mnemonic], 0, rs1, rs2, delta)]
+        if mnemonic == "jal":
+            rd = _parse_reg(parts[1])
+            delta = _resolve_target(parts[2], labels, offset, line_no)
+            return [encode(CpuOp.JAL, rd, 0, 0, delta)]
+        if mnemonic == "jr":
+            rs1 = _parse_reg(parts[1])
+            return [encode(CpuOp.JALR, 0, rs1, 0, 0)]
+        if mnemonic == "mov":
+            rd = _parse_reg(parts[1])
+            rs1 = _parse_reg(parts[2])
+            return [encode(CpuOp.ADDI, rd, rs1, 0, 0)]
+        if mnemonic == "ldi":
+            rd = _parse_reg(parts[1])
+            value = _parse_int(parts[2])
+            return [encode(CpuOp.LDI, rd), value & 0xFFFFFFFF]
+        if mnemonic == "ldih":
+            rd = _parse_reg(parts[1])
+            value = _parse_int(parts[2])
+            return [encode(CpuOp.LDIH, rd), value & 0xFFFFFFFF]
+        if mnemonic == "li":
+            rd = _parse_reg(parts[1])
+            value = _parse_int(parts[2]) & ((1 << 64) - 1)
+            words = [encode(CpuOp.LDI, rd), value & 0xFFFFFFFF]
+            if value >= (1 << 32):
+                words += [encode(CpuOp.LDIH, rd), (value >> 32) & 0xFFFFFFFF]
+            return words
+        if mnemonic == "halt":
+            return [encode(CpuOp.HALT)]
+        if mnemonic == "nop":
+            return [encode(CpuOp.NOP)]
+        if mnemonic == "ecall":
+            return [encode(CpuOp.ECALL)]
+    except IndexError:
+        raise GuestError(f"missing operand (line {line_no})") from None
+    raise GuestError(f"unknown mnemonic {mnemonic!r} (line {line_no})")

@@ -1,0 +1,119 @@
+"""Guest CPU instruction set.
+
+A 64-bit RISC ISA with 16 general-purpose registers (``x0`` hardwired to
+zero, ``x14`` = stack pointer alias ``sp``, ``x15`` = link register ``lr``).
+
+Encoding: 32-bit words, ``op(8) | rd(4) | rs1(4) | rs2(4) | imm12(12)``
+from the top bit downward:
+
+- bits 31-24: opcode
+- bits 23-20: rd
+- bits 19-16: rs1
+- bits 15-12: rs2
+- bits 11-0: signed 12-bit immediate
+
+:attr:`CpuOp.LDI` consumes a second 32-bit word holding an unsigned 32-bit
+immediate; :attr:`CpuOp.LDIH` ORs its second word into bits 32-63 — together
+they materialize any 64-bit constant.
+"""
+
+import enum
+
+NUM_REGS = 16
+REG_ZERO = 0
+REG_SP = 14
+REG_LR = 15
+
+MASK64 = (1 << 64) - 1
+
+
+class CpuOp(enum.IntEnum):
+    HALT = 0x00
+    NOP = 0x01
+
+    # register-register ALU
+    ADD = 0x10
+    SUB = 0x11
+    AND = 0x12
+    OR = 0x13
+    XOR = 0x14
+    SLL = 0x15
+    SRL = 0x16
+    SRA = 0x17
+    MUL = 0x18
+    DIVU = 0x19
+    SLT = 0x1A  # rd = (rs1 <s rs2)
+    SLTU = 0x1B
+
+    # register-immediate ALU
+    ADDI = 0x20
+    ANDI = 0x21
+    ORI = 0x22
+    XORI = 0x23
+    SLLI = 0x24
+    SRLI = 0x25
+    SRAI = 0x26
+
+    # wide immediates (two-word forms)
+    LDI = 0x28  # rd = next_word (zero-extended)
+    LDIH = 0x29  # rd |= next_word << 32
+
+    # memory (address = rs1 + imm12)
+    LBU = 0x30
+    LW = 0x31  # 32-bit zero-extended
+    LD = 0x32  # 64-bit
+    SB = 0x34
+    SW = 0x35
+    SD = 0x36
+
+    # control (branch targets are imm12 words relative to the branch)
+    BEQ = 0x40
+    BNE = 0x41
+    BLT = 0x42
+    BGE = 0x43
+    BLTU = 0x44
+    BGEU = 0x45
+    JAL = 0x48  # rd = return address; pc += imm12 words
+    JALR = 0x49  # rd = return address; pc = rs1 + imm12
+
+    ECALL = 0x50  # simulator hypercall (a7-style code in x1)
+
+
+TWO_WORD_OPS = frozenset({CpuOp.LDI, CpuOp.LDIH})
+
+BRANCH_OPS = frozenset(
+    {CpuOp.BEQ, CpuOp.BNE, CpuOp.BLT, CpuOp.BGE, CpuOp.BLTU, CpuOp.BGEU}
+)
+
+BLOCK_TERMINATORS = BRANCH_OPS | {CpuOp.JAL, CpuOp.JALR, CpuOp.HALT, CpuOp.ECALL}
+
+
+def encode(op, rd=0, rs1=0, rs2=0, imm=0):
+    """Encode one instruction word."""
+    if not -2048 <= imm <= 4095:
+        raise ValueError(f"immediate {imm} out of 12-bit range")
+    return (
+        ((int(op) & 0xFF) << 24)
+        | ((rd & 0xF) << 20)
+        | ((rs1 & 0xF) << 16)
+        | ((rs2 & 0xF) << 12)
+        | (imm & 0xFFF)
+    )
+
+
+def decode(word):
+    """Decode one instruction word to (op, rd, rs1, rs2, imm_signed)."""
+    op = CpuOp((word >> 24) & 0xFF)
+    rd = (word >> 20) & 0xF
+    rs1 = (word >> 16) & 0xF
+    rs2 = (word >> 12) & 0xF
+    imm = word & 0xFFF
+    if imm & 0x800:
+        imm -= 0x1000
+    return op, rd, rs1, rs2, imm
+
+
+def sign64(value):
+    """Interpret a 64-bit pattern as signed."""
+    value &= MASK64
+    return value - (1 << 64) if value >> 63 else value

@@ -1,0 +1,10 @@
+"""GPU kernel driver (the vendor "kbase"-like driver).
+
+Owns GPU virtual address space, builds page tables in guest physical
+memory, constructs job descriptors, rings the GPU doorbell, and services
+interrupts — the low-level CPU-GPU interaction layer of Fig. 2(a)/(b).
+"""
+
+from repro.driver.kbase import KBaseDriver, Region
+
+__all__ = ["KBaseDriver", "Region"]

@@ -1,0 +1,212 @@
+"""The GPU device driver.
+
+Modelled on Arm's Mali "kbase" kernel module: it manages a GPU VA zone,
+builds the page tables the GPU MMU walks, allocates physical memory for
+buffers/binaries/descriptors, performs the power-up sequence, submits job
+chains through the doorbell registers and waits for completion by reading
+the interrupt controller and the GPU's IRQ status registers.
+
+Every register access the driver makes lands in the GPU's
+:class:`~repro.instrument.stats.SystemStats` — these are the Table III
+"Ctrl. Reg Reads/Writes".
+"""
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import DriverError, JobFault
+from repro.cpu.devices import IRQC_ACK, IRQC_PENDING, InterruptController
+from repro.gpu import regs
+from repro.gpu.jobmanager import (
+    DESCRIPTOR_SIZE,
+    JOB_TYPE_COMPUTE,
+)
+from repro.mem.pagetable import PTE_EXEC, PTE_READ, PTE_WRITE, PageTableBuilder
+from repro.mem.physical import PAGE_SIZE
+
+
+def _round_up(value, alignment):
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass
+class Region:
+    """A GPU-mapped memory region.
+
+    Attributes:
+        gpu_va: base GPU virtual address.
+        phys: base physical address (regions are physically contiguous).
+        size: mapped size in bytes (page-aligned).
+    """
+
+    gpu_va: int
+    phys: int
+    size: int
+
+
+class KBaseDriver:
+    """Kernel-side GPU driver.
+
+    Args:
+        bus: the system bus (registers are accessed through it, so every
+            access is routed to — and counted by — the GPU device).
+        irqc: the platform interrupt controller.
+        gpu_mmio_base: physical base of the GPU register window.
+        heap_base/heap_size: physical carve-out the driver allocates
+            buffers, page tables and descriptors from.
+        gpu_va_base: start of the GPU virtual address zone.
+    """
+
+    def __init__(self, bus, irqc, gpu_mmio_base, heap_base, heap_size,
+                 gpu_va_base=0x0100_0000):
+        self.bus = bus
+        self.irqc = irqc
+        self.gpu_mmio_base = gpu_mmio_base
+        self._heap_next = heap_base
+        self._heap_end = heap_base + heap_size
+        self._va_next = gpu_va_base
+        self._page_table = PageTableBuilder(bus.memory, self._alloc_frame)
+        self._descriptor_region = None
+        self.initialized = False
+        self.jobs_submitted = 0
+
+    # -- low-level register access -------------------------------------------
+
+    def _read(self, offset):
+        return self.bus.read_u32(self.gpu_mmio_base + offset)
+
+    def _write(self, offset, value):
+        self.bus.write_u32(self.gpu_mmio_base + offset, value)
+
+    # -- physical / virtual allocators ----------------------------------------
+
+    def _alloc_frame(self):
+        frame = self._alloc_phys(PAGE_SIZE)
+        self.bus.memory.fill(frame, PAGE_SIZE, 0)
+        return frame
+
+    def _alloc_phys(self, size):
+        size = _round_up(size, PAGE_SIZE)
+        if self._heap_next + size > self._heap_end:
+            raise DriverError("driver heap exhausted")
+        base = self._heap_next
+        self._heap_next += size
+        return base
+
+    def alloc_region(self, size, executable=False):
+        """Allocate and GPU-map a region of at least *size* bytes."""
+        size = _round_up(max(size, 1), PAGE_SIZE)
+        phys = self._alloc_phys(size)
+        gpu_va = self._va_next
+        self._va_next += size + PAGE_SIZE  # guard page between regions
+        flags = PTE_READ | PTE_WRITE | (PTE_EXEC if executable else 0)
+        self._page_table.map_range(gpu_va, phys, size, flags)
+        self._write(regs.MMU_FLUSH, 1)
+        return Region(gpu_va=gpu_va, phys=phys, size=size)
+
+    def free_region(self, region):
+        """Unmap a region from the GPU (physical memory is not recycled)."""
+        offset = 0
+        while offset < region.size:
+            self._page_table.unmap_page(region.gpu_va + offset)
+            offset += PAGE_SIZE
+        self._write(regs.MMU_FLUSH, 1)
+
+    # -- initialization -----------------------------------------------------------
+
+    def initialize_gpu(self):
+        """Probe and power up the GPU; install page tables and IRQ masks."""
+        gpu_id = self._read(regs.GPU_ID)
+        if gpu_id != regs.GPU_ID_VALUE:
+            raise DriverError(f"unexpected GPU id 0x{gpu_id:08x}")
+        present = self._read(regs.SHADER_PRESENT)
+        self._write(regs.PWR_ON, present)
+        ready = self._read(regs.SHADER_READY)
+        if ready != present:
+            raise DriverError("shader cores failed to power up")
+        self._write(regs.JOB_IRQ_MASK, regs.JOB_IRQ_DONE | regs.JOB_IRQ_FAULT)
+        self._write(regs.MMU_IRQ_MASK, regs.MMU_IRQ_FAULT)
+        root = self._page_table.root
+        self._write(regs.MMU_PGD_LO, root & 0xFFFFFFFF)
+        self._write(regs.MMU_PGD_HI, root >> 32)
+        self._write(regs.MMU_ENABLE, 1)
+        self._descriptor_region = self.alloc_region(PAGE_SIZE)
+        self.initialized = True
+
+    # -- job submission ----------------------------------------------------------
+
+    def build_descriptor(self, global_size, local_size, binary_region,
+                         binary_size, uniform_region, uniform_count,
+                         local_mem_size=0, slot=0, next_va=0):
+        """Write a compute-job descriptor; returns its GPU VA.
+
+        Multiple descriptors can share the descriptor page via *slot* to
+        form job chains.
+        """
+        if not self.initialized:
+            raise DriverError("driver not initialized")
+        offset = slot * DESCRIPTOR_SIZE
+        if offset + DESCRIPTOR_SIZE > self._descriptor_region.size:
+            raise DriverError(f"descriptor slot {slot} out of range")
+        blob = struct.pack(
+            "<IIIIIIIIQIIQIIQ",
+            JOB_TYPE_COMPUTE,
+            0,  # flags
+            global_size[0], global_size[1], global_size[2],
+            local_size[0], local_size[1], local_size[2],
+            binary_region.gpu_va,
+            binary_size,
+            local_mem_size,
+            uniform_region.gpu_va if uniform_region is not None else 0,
+            uniform_count,
+            0,  # reserved
+            next_va,
+        )
+        assert len(blob) == DESCRIPTOR_SIZE
+        self.bus.write_block(self._descriptor_region.phys + offset, blob)
+        return self._descriptor_region.gpu_va + offset
+
+    def submit_and_wait(self, descriptor_va):
+        """Ring the doorbell and wait for (poll + acknowledge) completion.
+
+        Raises:
+            JobFault: the GPU reported a job or MMU fault; fault details are
+                read back from the MMU fault registers.
+        """
+        self._write(regs.JOB_SUBMIT_LO, descriptor_va & 0xFFFFFFFF)
+        self._write(regs.JOB_SUBMIT_HI, descriptor_va >> 32)
+        self.jobs_submitted += 1
+        # interrupt-driven completion: check the interrupt controller, then
+        # the GPU's own IRQ status registers
+        pending = self.irqc.read_reg(IRQC_PENDING)
+        rawstat = self._read(regs.JOB_IRQ_RAWSTAT)
+        if not rawstat:
+            raise DriverError("job submitted but no completion IRQ")
+        status = self._read(regs.JOB_STATUS)
+        self._write(regs.JOB_IRQ_CLEAR, rawstat)
+        ack_mask = InterruptController.SRC_GPU_JOB
+        if rawstat & regs.JOB_IRQ_FAULT:
+            mmu_raw = self._read(regs.MMU_IRQ_RAWSTAT)
+            fault_lo = self._read(regs.MMU_FAULT_ADDR_LO)
+            fault_hi = self._read(regs.MMU_FAULT_ADDR_HI)
+            fault_status = self._read(regs.MMU_FAULT_STATUS)
+            self._write(regs.MMU_IRQ_CLEAR, mmu_raw)
+            ack_mask |= InterruptController.SRC_GPU_MMU
+            self.irqc.write_reg(IRQC_ACK, ack_mask)
+            fault_addr = fault_lo | (fault_hi << 32)
+            raise JobFault(
+                f"GPU job fault: status={status} mmu_status={fault_status}"
+                f" addr=0x{fault_addr:x}"
+            )
+        self.irqc.write_reg(IRQC_ACK, ack_mask)
+        del pending
+        return status
+
+    def run_job(self, global_size, local_size, binary_region, binary_size,
+                uniform_region, uniform_count, local_mem_size=0):
+        """Convenience: build a single-job descriptor, submit it, wait."""
+        descriptor_va = self.build_descriptor(
+            global_size, local_size, binary_region, binary_size,
+            uniform_region, uniform_count, local_mem_size,
+        )
+        return self.submit_and_wait(descriptor_va)

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the simulator.
+
+Every subsystem raises a subclass of :class:`SimError`, so callers can
+distinguish simulator faults from ordinary Python errors.
+"""
+
+
+class SimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class MemoryError_(SimError):
+    """Physical memory access outside any mapped region."""
+
+
+class BusError(SimError):
+    """MMIO access to an unmapped or misaligned device address."""
+
+
+class MMUFault(SimError):
+    """Address translation failure (unmapped page or permission violation).
+
+    Attributes:
+        vaddr: faulting virtual address.
+        access: 'r', 'w' or 'x'.
+    """
+
+    def __init__(self, vaddr, access, message=""):
+        super().__init__(message or f"MMU fault at 0x{vaddr:x} ({access})")
+        self.vaddr = vaddr
+        self.access = access
+
+
+class DecodeError(SimError):
+    """Invalid instruction or clause encoding."""
+
+
+class GuestError(SimError):
+    """Guest CPU program fault (bad opcode, misaligned access, ...)."""
+
+
+class CompileError(SimError):
+    """Kernel-language compilation failure.
+
+    Attributes:
+        line: 1-based source line of the error, or None.
+        col: 1-based source column of the error, or None.
+    """
+
+    def __init__(self, message, line=None, col=None):
+        location = f" at {line}:{col}" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.col = col
+
+
+class CLError(SimError):
+    """OpenCL-like runtime API misuse (bad arg index, wrong sizes, ...)."""
+
+
+class DriverError(SimError):
+    """GPU kernel-driver failure (out of VA space, bad descriptor, ...)."""
+
+
+class JobFault(SimError):
+    """A GPU job terminated with a fault (MMU fault, invalid clause, ...)."""

@@ -1,0 +1,20 @@
+"""Bifrost-like mobile GPU model (the paper's simulated Mali-G71).
+
+Subpackages/modules:
+
+- :mod:`repro.gpu.isa` — the GPU instruction set (opcodes, operand model,
+  clause structure).
+- :mod:`repro.gpu.encoding` — binary encoder/decoder for programs, clauses
+  and instruction words.
+- :mod:`repro.gpu.regs` — the memory-mapped control register file.
+- :mod:`repro.gpu.mmu` — the GPU MMU (page-table walker + fault reporting).
+- :mod:`repro.gpu.warp` — quad (4-lane) warp execution with divergence.
+- :mod:`repro.gpu.shadercore` — shader cores executing workgroups.
+- :mod:`repro.gpu.jobmanager` — the Job Manager parsing job descriptors and
+  orchestrating shader cores.
+- :mod:`repro.gpu.device` — the top-level GPU device on the system bus.
+"""
+
+from repro.gpu.device import GPUDevice, GPUConfig
+
+__all__ = ["GPUDevice", "GPUConfig"]

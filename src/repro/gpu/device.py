@@ -1,0 +1,198 @@
+"""Top-level GPU device on the system bus.
+
+Exposes the control-register file (:mod:`repro.gpu.regs`) to the CPU side,
+owns the GPU MMU and the Job Manager, and drives the interrupt line. All
+register traffic and interrupt assertions are counted into
+:class:`~repro.instrument.stats.SystemStats` (Table III).
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import BusError, JobFault
+from repro.gpu import regs
+from repro.gpu.jobmanager import JobManager
+from repro.gpu.mmu import GPUMMU
+from repro.instrument.stats import SystemStats
+from repro.mem.bus import MMIODevice
+
+
+@dataclass
+class GPUConfig:
+    """Static GPU configuration.
+
+    Attributes:
+        num_shader_cores: modelled physical shader cores (G71 MP8 -> 8).
+        num_host_threads: execution units used by the simulator; more than
+            ``num_shader_cores`` creates virtual cores (Section III-B3).
+        instrument: collect per-job program-execution statistics.
+        collect_cfg: build the divergence CFG (Fig. 6) while executing.
+        tracer: optional instruction tracer (see repro.validate) recording
+            every executed instruction's result — the paper's validation
+            "instruction tracing mode".
+    """
+
+    num_shader_cores: int = 8
+    num_host_threads: int = 1
+    instrument: bool = True
+    collect_cfg: bool = False
+    tracer: object = None
+    engine: str = "interpreter"  # or "jit" (clause-translating engine)
+
+
+class GPUDevice(MMIODevice):
+    """The simulated Mali-G71-like GPU."""
+
+    def __init__(self, memory, config=None, irq_callback=None):
+        self.config = config or GPUConfig()
+        self.mmu = GPUMMU(memory)
+        self.job_manager = JobManager(
+            self.mmu,
+            num_shader_cores=self.config.num_shader_cores,
+            num_host_threads=self.config.num_host_threads,
+            instrument=self.config.instrument,
+            collect_cfg=self.config.collect_cfg,
+            tracer=self.config.tracer,
+            engine=self.config.engine,
+        )
+        self.system_stats = SystemStats()
+        self._irq_callback = irq_callback
+        self._shader_ready = 0
+        self._job_irq_rawstat = 0
+        self._job_irq_mask = 0
+        self._mmu_irq_rawstat = 0
+        self._mmu_irq_mask = 0
+        self._job_status = regs.JOB_STATUS_IDLE
+        self._job_count = 0
+        self._submit_lo = 0
+        self._pgd_lo = 0
+        self._pgd_hi = 0
+        self.last_results = []
+
+    # -- IRQ handling -----------------------------------------------------------
+
+    @property
+    def irq_pending(self):
+        return bool(
+            (self._job_irq_rawstat & self._job_irq_mask)
+            or (self._mmu_irq_rawstat & self._mmu_irq_mask)
+        )
+
+    def _assert_irq(self):
+        self.system_stats.interrupts_asserted += 1
+        if self._irq_callback is not None:
+            self._irq_callback(self)
+
+    def _raise_job_irq(self, bits):
+        self._job_irq_rawstat |= bits
+        if self._job_irq_rawstat & self._job_irq_mask:
+            self._assert_irq()
+
+    def _raise_mmu_irq(self, bits):
+        self._mmu_irq_rawstat |= bits
+        if self._mmu_irq_rawstat & self._mmu_irq_mask:
+            self._assert_irq()
+
+    # -- register file -----------------------------------------------------------
+
+    def read_reg(self, offset):
+        self.system_stats.ctrl_reg_reads += 1
+        if offset == regs.GPU_ID:
+            return regs.GPU_ID_VALUE
+        if offset == regs.SHADER_PRESENT:
+            return (1 << self.config.num_shader_cores) - 1
+        if offset == regs.SHADER_READY:
+            return self._shader_ready
+        if offset == regs.JOB_IRQ_RAWSTAT:
+            return self._job_irq_rawstat
+        if offset == regs.JOB_IRQ_MASK:
+            return self._job_irq_mask
+        if offset == regs.JOB_STATUS:
+            return self._job_status
+        if offset == regs.JOB_COUNT:
+            return self._job_count
+        if offset == regs.MMU_IRQ_RAWSTAT:
+            return self._mmu_irq_rawstat
+        if offset == regs.MMU_IRQ_MASK:
+            return self._mmu_irq_mask
+        if offset == regs.MMU_PGD_LO:
+            return self._pgd_lo
+        if offset == regs.MMU_PGD_HI:
+            return self._pgd_hi
+        if offset == regs.MMU_ENABLE:
+            return int(self.mmu.enabled)
+        if offset == regs.MMU_FAULT_ADDR_LO:
+            return self.mmu.fault_addr & 0xFFFFFFFF
+        if offset == regs.MMU_FAULT_ADDR_HI:
+            return (self.mmu.fault_addr >> 32) & 0xFFFFFFFF
+        if offset == regs.MMU_FAULT_STATUS:
+            return self.mmu.fault_status
+        raise BusError(f"read of unknown GPU register 0x{offset:x}")
+
+    def write_reg(self, offset, value):
+        self.system_stats.ctrl_reg_writes += 1
+        if offset == regs.PWR_ON:
+            self._shader_ready |= value & ((1 << self.config.num_shader_cores) - 1)
+        elif offset == regs.PWR_OFF:
+            self._shader_ready &= ~value
+        elif offset == regs.JOB_IRQ_CLEAR:
+            self._job_irq_rawstat &= ~value
+        elif offset == regs.JOB_IRQ_MASK:
+            self._job_irq_mask = value
+        elif offset == regs.JOB_SUBMIT_LO:
+            self._submit_lo = value
+        elif offset == regs.JOB_SUBMIT_HI:
+            self._doorbell(self._submit_lo | (value << 32))
+        elif offset == regs.MMU_IRQ_CLEAR:
+            self._mmu_irq_rawstat &= ~value
+        elif offset == regs.MMU_IRQ_MASK:
+            self._mmu_irq_mask = value
+        elif offset == regs.MMU_PGD_LO:
+            self._pgd_lo = value
+            self._update_pgd()
+        elif offset == regs.MMU_PGD_HI:
+            self._pgd_hi = value
+            self._update_pgd()
+        elif offset == regs.MMU_ENABLE:
+            self.mmu.enabled = bool(value & 1)
+            if self.mmu.enabled:
+                self.mmu.flush_tlb()
+        elif offset == regs.MMU_FLUSH:
+            # TLB invalidate only; shader binaries are immutable while
+            # mapped, so the decode cache survives ("decoded exactly once")
+            self.mmu.flush_tlb()
+            self.system_stats.tlb_flushes += 1
+        else:
+            raise BusError(f"write of unknown GPU register 0x{offset:x}")
+
+    def _update_pgd(self):
+        self.mmu.set_page_table(self._pgd_lo | (self._pgd_hi << 32))
+
+    # -- job execution ---------------------------------------------------------------
+
+    def _doorbell(self, descriptor_va):
+        """Job submission: run the descriptor chain on the shader cores."""
+        if not self._shader_ready:
+            self._job_status = regs.JOB_STATUS_FAULT
+            self._raise_job_irq(regs.JOB_IRQ_FAULT)
+            return
+        try:
+            results = self.job_manager.run_job_chain(descriptor_va)
+        except JobFault:
+            self.system_stats.mmu_faults += 1
+            self.mmu.fault_status = self.mmu.fault_status or 1
+            self._job_status = regs.JOB_STATUS_FAULT
+            self._raise_mmu_irq(regs.MMU_IRQ_FAULT)
+            self._raise_job_irq(regs.JOB_IRQ_FAULT)
+            return
+        self.last_results = results
+        self._job_count += len(results)
+        self.system_stats.compute_jobs += len(results)
+        self._job_status = regs.JOB_STATUS_DONE
+        self._raise_job_irq(regs.JOB_IRQ_DONE)
+
+    # -- statistics snapshot ------------------------------------------------------------
+
+    def snapshot_system_stats(self):
+        """Return SystemStats including the MMU's distinct-page count."""
+        self.system_stats.pages_accessed = len(self.mmu.pages_accessed)
+        return self.system_stats

@@ -1,0 +1,105 @@
+"""Clause-level disassembler for GPU program binaries.
+
+Renders decoded programs (or raw binary images) in a readable form:
+operands are printed with their architectural names (``r``/``t``/``c``
+register files, preloaded id registers), clause tails and embedded
+constant pools are shown per clause.
+"""
+
+from repro.gpu.encoding import decode_program
+from repro.gpu.isa import (
+    CONST_BASE,
+    OPERAND_NONE,
+    REG_GLOBAL_ID,
+    REG_GROUP_FLAT,
+    REG_GROUP_ID,
+    REG_LANE,
+    REG_LOCAL_ID,
+    TEMP_BASE,
+    CmpMode,
+    Op,
+    Tail,
+    is_const,
+    is_grf,
+    is_temp,
+)
+
+_SPECIAL_NAMES = {
+    REG_GROUP_ID: "gidgrp.x", REG_GROUP_ID + 1: "gidgrp.y",
+    REG_GROUP_ID + 2: "gidgrp.z",
+    REG_GLOBAL_ID: "gid.x", REG_GLOBAL_ID + 1: "gid.y",
+    REG_GLOBAL_ID + 2: "gid.z",
+    REG_LOCAL_ID: "lid.x", REG_LOCAL_ID + 1: "lid.y",
+    REG_LOCAL_ID + 2: "lid.z",
+    REG_GROUP_FLAT: "grpflat", REG_LANE: "lane",
+}
+
+
+def operand_name(operand):
+    """Architectural name of an operand field."""
+    if operand == OPERAND_NONE:
+        return "-"
+    if operand in _SPECIAL_NAMES:
+        return _SPECIAL_NAMES[operand]
+    if is_grf(operand):
+        return f"r{operand}"
+    if is_temp(operand):
+        return f"t{operand - TEMP_BASE}"
+    if is_const(operand):
+        return f"c{operand - CONST_BASE}"
+    return f"?{operand}"
+
+
+def format_instruction(instr):
+    """One-slot disassembly, e.g. ``fma r3, r1, c0, r3``."""
+    if instr.op is Op.NOP:
+        return "nop"
+    parts = []
+    if instr.dst != OPERAND_NONE:
+        parts.append(operand_name(instr.dst))
+    for src in (instr.srca, instr.srcb, instr.srcc):
+        if src != OPERAND_NONE:
+            parts.append(operand_name(src))
+    text = f"{instr.op.name.lower()} {', '.join(parts)}"
+    if instr.op is Op.CMP:
+        text += f" [{CmpMode(instr.flags).name.lower()}]"
+    elif instr.op is Op.LDU:
+        text += f" [u{instr.imm}]"
+    elif instr.op in (Op.LD, Op.ST):
+        space = "local" if instr.mem_is_local else "global"
+        text += f" [{space} x{instr.mem_width}]"
+    return text
+
+
+def format_clause(clause, index=None, base_address=0xAA000000):
+    """Multi-line disassembly of one clause."""
+    lines = []
+    header = f"clause"
+    if index is not None:
+        header += f" {index} @{base_address + index * 0x10:08x}"
+    header += f"  size={clause.size}  tail={clause.tail.name.lower()}"
+    if clause.tail in (Tail.JUMP, Tail.BRANCH, Tail.BRANCH_Z):
+        header += f" -> {clause.target}"
+    if clause.tail in (Tail.BRANCH, Tail.BRANCH_Z):
+        header += f" if {operand_name(clause.cond_reg)}"
+    lines.append(header)
+    for fma, add in clause.tuples:
+        lines.append(f"  {{FMA}} {format_instruction(fma):34s}"
+                     f"{{ADD}} {format_instruction(add)}")
+    if clause.constants:
+        pool = ", ".join(f"c{i}=0x{value:08x}"
+                         for i, value in enumerate(clause.constants))
+        lines.append(f"  pool: {pool}")
+    return "\n".join(lines)
+
+
+def disassemble(program_or_binary, base_address=0xAA000000):
+    """Disassemble a Program or an encoded binary image to text."""
+    program = program_or_binary
+    if isinstance(program_or_binary, (bytes, bytearray)):
+        program = decode_program(bytes(program_or_binary))
+    blocks = [
+        format_clause(clause, index, base_address)
+        for index, clause in enumerate(program.clauses)
+    ]
+    return "\n".join(blocks)

@@ -1,0 +1,211 @@
+"""The Job Manager.
+
+"The Job Manager receives jobs from the GPU device driver, and schedules
+them for execution on the GPU. The jobs contain information specific to the
+shader being executed, including job dependences, dimensions, and pointers
+to the shader binary, which is then used to map jobs onto SCs."
+
+The driver writes a job descriptor into GPU-visible memory and rings the
+doorbell register with its GPU VA. The Job Manager parses the descriptor
+*through the GPU MMU* (so descriptor pages count as GPU page traffic),
+decodes the shader binary once (the decode cache of Section III-B3), splits
+the NDRange into thread-groups and maps them onto compute units — optionally
+many more host threads than shader cores (virtual cores, Fig. 10).
+"""
+
+import struct
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DecodeError, JobFault, MMUFault
+from repro.gpu.encoding import decode_program
+from repro.gpu.shadercore import ComputeUnit, WorkgroupShape
+from repro.instrument.cfg import DivergenceCFG
+from repro.instrument.stats import JobStats, merge_stats
+
+JOB_TYPE_COMPUTE = 1
+
+# descriptor field offsets (bytes)
+_OFF_TYPE = 0x00
+_OFF_FLAGS = 0x04
+_OFF_GLOBAL = 0x08  # 3 x u32
+_OFF_LOCAL = 0x14  # 3 x u32
+_OFF_BINARY_VA = 0x20  # u64
+_OFF_BINARY_SIZE = 0x28  # u32
+_OFF_LOCAL_MEM = 0x2C  # u32
+_OFF_UNIFORM_VA = 0x30  # u64
+_OFF_UNIFORM_COUNT = 0x38  # u32
+_OFF_NEXT = 0x40  # u64
+DESCRIPTOR_SIZE = 0x48
+
+
+@dataclass
+class JobDescriptor:
+    """Parsed compute-job descriptor."""
+
+    job_type: int
+    flags: int
+    global_size: tuple
+    local_size: tuple
+    binary_va: int
+    binary_size: int
+    local_mem_size: int
+    uniform_va: int
+    uniform_count: int
+    next_va: int
+
+
+@dataclass
+class JobResult:
+    """Outcome of one retired job."""
+
+    descriptor: JobDescriptor
+    stats: JobStats
+    cfg: DivergenceCFG
+    host_local_slabs: int
+
+
+class JobManager:
+    """Parses descriptors, owns the decode cache, dispatches thread-groups."""
+
+    def __init__(self, mmu, num_shader_cores=8, num_host_threads=1,
+                 instrument=True, collect_cfg=False, tracer=None,
+                 engine="interpreter"):
+        self.mmu = mmu
+        self.num_shader_cores = num_shader_cores
+        self.num_host_threads = num_host_threads
+        self.instrument = instrument
+        self.collect_cfg = collect_cfg
+        self.tracer = tracer
+        self.engine = engine
+        self.decode_cache_enabled = True  # ablation knob (Section III-B3)
+        self._decode_cache = {}
+        self.decode_count = 0
+        self.results = []
+        self._units = []
+
+    def invalidate_decode_cache(self):
+        self._decode_cache.clear()
+
+    # -- descriptor parsing (through the MMU) ---------------------------------
+
+    def parse_descriptor(self, descriptor_va):
+        raw = self.mmu.load_block(descriptor_va, DESCRIPTOR_SIZE)
+
+        def u32(offset):
+            return struct.unpack_from("<I", raw, offset)[0]
+
+        def u64(offset):
+            return struct.unpack_from("<Q", raw, offset)[0]
+
+        return JobDescriptor(
+            job_type=u32(_OFF_TYPE),
+            flags=u32(_OFF_FLAGS),
+            global_size=(u32(_OFF_GLOBAL), u32(_OFF_GLOBAL + 4), u32(_OFF_GLOBAL + 8)),
+            local_size=(u32(_OFF_LOCAL), u32(_OFF_LOCAL + 4), u32(_OFF_LOCAL + 8)),
+            binary_va=u64(_OFF_BINARY_VA),
+            binary_size=u32(_OFF_BINARY_SIZE),
+            local_mem_size=u32(_OFF_LOCAL_MEM),
+            uniform_va=u64(_OFF_UNIFORM_VA),
+            uniform_count=u32(_OFF_UNIFORM_COUNT),
+            next_va=u64(_OFF_NEXT),
+        )
+
+    def _decode_binary(self, descriptor):
+        key = (descriptor.binary_va, descriptor.binary_size)
+        program = (self._decode_cache.get(key)
+                   if self.decode_cache_enabled else None)
+        if program is None:
+            image = self.mmu.load_block(descriptor.binary_va, descriptor.binary_size)
+            program = decode_program(image)
+            if self.decode_cache_enabled:
+                self._decode_cache[key] = program
+            self.decode_count += 1
+        return program
+
+    def _load_uniforms(self, descriptor):
+        if descriptor.uniform_count == 0:
+            return np.zeros(1, dtype=np.uint32)
+        raw = self.mmu.load_block(descriptor.uniform_va, 4 * descriptor.uniform_count)
+        return np.frombuffer(raw, dtype=np.uint32).copy()
+
+    # -- execution ----------------------------------------------------------------
+
+    def run_job_chain(self, descriptor_va):
+        """Run a descriptor chain; returns the list of JobResults.
+
+        Raises:
+            JobFault: on MMU faults or malformed descriptors/binaries; the
+                device latches the corresponding IRQ state before re-raising.
+        """
+        results = []
+        current = descriptor_va
+        while current:
+            results.append(self.run_job(current))
+            current = results[-1].descriptor.next_va
+        return results
+
+    def run_job(self, descriptor_va):
+        try:
+            descriptor = self.parse_descriptor(descriptor_va)
+            if descriptor.job_type != JOB_TYPE_COMPUTE:
+                raise JobFault(f"unsupported job type {descriptor.job_type}")
+            program = self._decode_binary(descriptor)
+            uniforms = self._load_uniforms(descriptor)
+        except (MMUFault, DecodeError, struct.error) as exc:
+            if isinstance(exc, MMUFault):
+                self.mmu.latch_fault(exc)
+            raise JobFault(f"job setup failed: {exc}") from exc
+
+        shape = WorkgroupShape(descriptor.global_size, descriptor.local_size)
+        num_units = max(1, self.num_host_threads)
+        units = [
+            ComputeUnit(unit_id=i, virtual=i >= self.num_shader_cores)
+            for i in range(num_units)
+        ]
+        for unit in units:
+            unit.prepare(descriptor.local_mem_size, self.instrument,
+                         self.collect_cfg, tracer=self.tracer,
+                         engine=self.engine)
+
+        try:
+            if num_units == 1:
+                for flat_group in range(shape.total_groups):
+                    units[0].run_workgroup(program, uniforms, self.mmu, shape, flat_group)
+            else:
+                self._run_parallel(units, program, uniforms, shape)
+        except MMUFault as exc:
+            self.mmu.latch_fault(exc)
+            raise JobFault(f"job faulted: {exc}") from exc
+
+        stats = merge_stats(unit.stats for unit in units if unit.stats is not None)
+        cfg = None
+        if self.collect_cfg:
+            cfg = DivergenceCFG()
+            for unit in units:
+                if unit.cfg is not None:
+                    cfg.merge(unit.cfg)
+        host_slabs = sum(1 for unit in units if unit.virtual)
+        result = JobResult(descriptor, stats, cfg, host_slabs)
+        self.results.append(result)
+        return result
+
+    def _run_parallel(self, units, program, uniforms, shape):
+        """Map thread-groups onto host threads (the Fig. 10 optimization)."""
+        groups = list(range(shape.total_groups))
+
+        def worker(unit, chunk):
+            for flat_group in chunk:
+                unit.run_workgroup(program, uniforms, self.mmu, shape, flat_group)
+
+        chunks = [groups[i::len(units)] for i in range(len(units))]
+        with ThreadPoolExecutor(max_workers=len(units)) as pool:
+            futures = [
+                pool.submit(worker, unit, chunk)
+                for unit, chunk in zip(units, chunks)
+                if chunk
+            ]
+            for future in futures:
+                future.result()

@@ -1,0 +1,80 @@
+"""GPU Memory Management Unit.
+
+"Our simulator incorporates a complete software implementation of the GPU's
+MMU. The driver provides the MMU with page table pointers, and the MMU
+reports errors (permissions violations, faults) to the driver through memory
+mapped registers and interrupts." (Section III-B5)
+
+The MMU walks the *same* page tables the driver built in simulated physical
+memory (:mod:`repro.mem.pagetable`) and records every distinct GPU-VA page
+touched — the paper's "pages accessed by the GPU" system statistic.
+"""
+
+from repro.errors import MMUFault
+from repro.mem.pagetable import PageTableWalker
+from repro.mem.physical import PAGE_SHIFT
+
+
+class GPUMMU:
+    """Translation front-end shared by the Job Manager and shader cores."""
+
+    def __init__(self, memory):
+        self._memory = memory
+        self._walker = None
+        self.enabled = False
+        self.pages_accessed = set()
+        self.fault_addr = 0
+        self.fault_status = 0
+        self.translations = 0
+
+    def set_page_table(self, root):
+        """Driver handing over the page-table base (MMU_PGD register)."""
+        self._walker = PageTableWalker(self._memory, root)
+
+    def flush_tlb(self):
+        if self._walker is not None:
+            self._walker.flush_tlb()
+
+    def translate(self, vaddr, access="r"):
+        """Translate a GPU virtual address, recording the touched page.
+
+        Raises:
+            MMUFault: translation failure; the caller (job manager) latches
+                fault registers and raises the MMU IRQ.
+        """
+        if not self.enabled or self._walker is None:
+            raise MMUFault(vaddr, access, "GPU MMU not enabled")
+        self.translations += 1
+        self.pages_accessed.add(vaddr >> PAGE_SHIFT)
+        return self._walker.translate(vaddr, access)
+
+    def latch_fault(self, fault):
+        self.fault_addr = fault.vaddr
+        self.fault_status = {"r": 1, "w": 2, "x": 3}[fault.access]
+
+    # -- guest memory access through translation -----------------------------
+
+    def load_u32(self, vaddr):
+        return self._memory.read_u32(self.translate(vaddr, "r"))
+
+    def store_u32(self, vaddr, value):
+        self._memory.write_u32(self.translate(vaddr, "w"), value)
+
+    def load_u64(self, vaddr):
+        low = self.load_u32(vaddr)
+        high = self.load_u32(vaddr + 4)
+        return low | (high << 32)
+
+    def load_block(self, vaddr, length):
+        """Read a byte range page-by-page through translation."""
+        out = bytearray()
+        remaining = length
+        position = vaddr
+        while remaining:
+            page_room = (1 << PAGE_SHIFT) - (position & ((1 << PAGE_SHIFT) - 1))
+            chunk = min(remaining, page_room)
+            paddr = self.translate(position, "r")
+            out += self._memory.read_block(paddr, chunk)
+            position += chunk
+            remaining -= chunk
+        return bytes(out)

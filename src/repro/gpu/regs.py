@@ -1,0 +1,46 @@
+"""GPU control-register map.
+
+The driver talks to the GPU exclusively through these memory-mapped
+registers (plus shared memory and the IRQ line) — the paper's CPU-GPU
+interface. Register traffic is counted for the Table III system statistics.
+"""
+
+# identification / power
+GPU_ID = 0x000  # RO: architecture/product id
+SHADER_PRESENT = 0x004  # RO: bitmask of physical shader cores
+SHADER_READY = 0x008  # RO: bitmask of powered cores
+PWR_ON = 0x00C  # WO: power up cores in mask
+PWR_OFF = 0x010  # WO: power down cores in mask
+
+# job manager
+JOB_IRQ_RAWSTAT = 0x020  # RO: pending job IRQ sources
+JOB_IRQ_CLEAR = 0x024  # WO
+JOB_IRQ_MASK = 0x028  # RW
+JOB_STATUS = 0x02C  # RO: status of the last retired job
+JOB_SUBMIT_LO = 0x030  # WO: descriptor GPU VA, low half
+JOB_SUBMIT_HI = 0x034  # WO: high half; writing rings the doorbell
+JOB_COUNT = 0x038  # RO: total retired jobs
+
+# MMU
+MMU_IRQ_RAWSTAT = 0x040  # RO
+MMU_IRQ_CLEAR = 0x044  # WO
+MMU_IRQ_MASK = 0x048  # RW
+MMU_PGD_LO = 0x04C  # RW: page table base, low half
+MMU_PGD_HI = 0x050  # RW
+MMU_ENABLE = 0x054  # RW: 1 enables translation
+MMU_FLUSH = 0x058  # WO: TLB invalidate
+MMU_FAULT_ADDR_LO = 0x05C  # RO
+MMU_FAULT_ADDR_HI = 0x060  # RO
+MMU_FAULT_STATUS = 0x064  # RO: 1=read 2=write 3=execute fault
+
+GPU_ID_VALUE = 0x6071_0000  # "G-71"-like product id
+
+JOB_IRQ_DONE = 1 << 0
+JOB_IRQ_FAULT = 1 << 1
+MMU_IRQ_FAULT = 1 << 0
+
+JOB_STATUS_IDLE = 0
+JOB_STATUS_DONE = 1
+JOB_STATUS_FAULT = 2
+
+MMIO_WINDOW_SIZE = 0x1000

@@ -1,0 +1,160 @@
+"""Shader-core / compute-unit simulation.
+
+Each :class:`ComputeUnit` executes one thread-group (OpenCL workgroup) at a
+time, as the hardware shader cores do. The dispatcher (Section III-B2)
+iterates over the job dimensions, groups threads into quads ("warps") that
+execute in lockstep, and groups warps into thread-groups.
+
+Virtual cores (Section III-B3): the number of execution units is decoupled
+from the number of modelled shader cores. Units beyond the physical core
+count are *virtual*: their workgroup-local storage is allocated by the
+simulator outside the guest system ("the simulator allocates additional
+local memory for each host thread, outwith the guest system"), and local
+accesses are transparently served from it.
+"""
+
+import numpy as np
+
+from repro.gpu.isa import (
+    REG_GLOBAL_ID,
+    REG_GROUP_FLAT,
+    REG_GROUP_ID,
+    REG_LANE,
+    REG_LOCAL_ID,
+)
+from repro.gpu.warp import WARP_WIDTH, ClauseInterpreter, QuadWarp
+from repro.instrument.stats import JobStats
+
+
+class WorkgroupShape:
+    """NDRange geometry helpers shared by the dispatcher and the units."""
+
+    def __init__(self, global_size, local_size):
+        if len(global_size) != 3 or len(local_size) != 3:
+            raise ValueError("global/local size must be 3-dimensional")
+        for gdim, ldim in zip(global_size, local_size):
+            if ldim <= 0 or gdim <= 0:
+                raise ValueError("NDRange dimensions must be positive")
+            if gdim % ldim:
+                raise ValueError(
+                    f"global size {global_size} not divisible by local size {local_size}"
+                )
+        self.global_size = tuple(global_size)
+        self.local_size = tuple(local_size)
+        self.num_groups = tuple(g // l for g, l in zip(global_size, local_size))
+        self.threads_per_group = local_size[0] * local_size[1] * local_size[2]
+        self.warps_per_group = -(-self.threads_per_group // WARP_WIDTH)
+        self.total_groups = self.num_groups[0] * self.num_groups[1] * self.num_groups[2]
+
+    def group_coords(self, flat_group):
+        nx, ny, _ = self.num_groups
+        gx = flat_group % nx
+        gy = (flat_group // nx) % ny
+        gz = flat_group // (nx * ny)
+        return gx, gy, gz
+
+    def local_coords(self, linear):
+        lx_size, ly_size, _ = self.local_size
+        lx = linear % lx_size
+        ly = (linear // lx_size) % ly_size
+        lz = linear // (lx_size * ly_size)
+        return lx, ly, lz
+
+
+class ComputeUnit:
+    """One execution unit (a shader core, or a virtual core).
+
+    Owns its own :class:`~repro.instrument.stats.JobStats` so parallel units
+    never contend; stats are totalled at job completion (Section IV-A).
+    """
+
+    def __init__(self, unit_id, virtual=False):
+        self.unit_id = unit_id
+        self.virtual = virtual
+        self.stats = None
+        self.cfg = None
+        self.tracer = None
+        self._local = None
+
+    def prepare(self, local_mem_bytes, instrument, collect_cfg, tracer=None,
+                engine="interpreter"):
+        self.stats = JobStats() if instrument else None
+        self.tracer = tracer
+        self.engine = engine
+        self._jit_cache = {}
+        if collect_cfg:
+            from repro.instrument.cfg import DivergenceCFG
+
+            self.cfg = DivergenceCFG()
+        else:
+            self.cfg = None
+        words = max(1, local_mem_bytes // 4)
+        if self._local is None or len(self._local) < words:
+            self._local = np.zeros(words, dtype=np.uint32)
+
+    def _executor(self, program, uniforms, mem):
+        """Pick the execution engine for this job.
+
+        The JIT engine (paper future work, Section VII-A) is used when
+        requested and when no instrumentation/CFG/trace collection is
+        active; translated clauses are cached per (program, uniforms).
+        """
+        use_jit = (self.engine == "jit" and self.stats is None
+                   and self.cfg is None and self.tracer is None)
+        if not use_jit:
+            return ClauseInterpreter(
+                program, uniforms, mem, local=self._local, stats=self.stats,
+                cfg=self.cfg, tracer=self.tracer,
+            )
+        from repro.gpu.jit import ClauseJIT
+
+        key = (id(program), uniforms.tobytes())
+        cached = self._jit_cache.get(key)
+        if cached is None or cached.local is not self._local:
+            cached = ClauseJIT(program, uniforms, mem, local=self._local)
+            self._jit_cache[key] = cached
+        return cached
+
+    def run_workgroup(self, program, uniforms, mem, shape, flat_group):
+        """Execute one thread-group to completion (including barriers)."""
+        self._local[:] = 0
+        interp = self._executor(program, uniforms, mem)
+        warps = self._spawn_warps(shape, flat_group)
+        if self.stats is not None:
+            self.stats.workgroups += 1
+            self.stats.warps_launched += len(warps)
+            self.stats.threads_launched += shape.threads_per_group
+        while True:
+            runnable = [w for w in warps if not w.finished and not w.blocked]
+            for warp in runnable:
+                interp.run_warp(warp)
+            if all(warp.finished for warp in warps):
+                return
+            if all(warp.finished or warp.blocked for warp in warps):
+                # every live warp reached the barrier: release them together
+                for warp in warps:
+                    warp.release_barrier()
+
+    def _spawn_warps(self, shape, flat_group):
+        gx, gy, gz = shape.group_coords(flat_group)
+        lx_size, ly_size, lz_size = shape.local_size
+        warps = []
+        for warp_index in range(shape.warps_per_group):
+            first = warp_index * WARP_WIDTH
+            active = min(WARP_WIDTH, shape.threads_per_group - first)
+            warp = QuadWarp(active_lanes=active)
+            for lane in range(active):
+                lx, ly, lz = shape.local_coords(first + lane)
+                warp.regs[lane, REG_GLOBAL_ID + 0] = gx * lx_size + lx
+                warp.regs[lane, REG_GLOBAL_ID + 1] = gy * ly_size + ly
+                warp.regs[lane, REG_GLOBAL_ID + 2] = gz * lz_size + lz
+                warp.regs[lane, REG_LOCAL_ID + 0] = lx
+                warp.regs[lane, REG_LOCAL_ID + 1] = ly
+                warp.regs[lane, REG_LOCAL_ID + 2] = lz
+                warp.regs[lane, REG_GROUP_ID + 0] = gx
+                warp.regs[lane, REG_GROUP_ID + 1] = gy
+                warp.regs[lane, REG_GROUP_ID + 2] = gz
+                warp.regs[lane, REG_GROUP_FLAT] = flat_group
+                warp.regs[lane, REG_LANE] = lane
+            warps.append(warp)
+        return warps

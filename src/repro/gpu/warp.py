@@ -1,0 +1,604 @@
+"""Quad-warp execution of clauses.
+
+Threads execute in quads of four — the paper's 128-bit datapath
+vectorization scheme ("Threads are grouped into bundles of four (a 'quad'),
+which fill the width of a 128-bit data processing unit"). Lane state is held
+in NumPy vectors so each instruction issue operates on the whole quad, like
+the hardware datapath.
+
+Divergence is handled by minimum-PC scheduling at clause granularity: each
+lane carries its own next-clause index; on every step the warp executes the
+lanes positioned at the numerically smallest clause index. Because the
+compiler lays out clauses in forward order, diverged lanes naturally
+reconverge at the join clause. Divergent branches are recorded for the
+Fig. 6 CFG.
+"""
+
+import numpy as np
+
+from repro.errors import GuestError
+from repro.gpu.isa import (
+    ATOM_ADD,
+    ATOM_AND,
+    ATOM_MAX,
+    ATOM_MIN,
+    ATOM_MODE_SHIFT,
+    ATOM_OR,
+    ATOM_SUB,
+    ATOM_XCHG,
+    ATOM_XOR,
+    CONST_BASE,
+    NUM_GRF,
+    NUM_TEMPS,
+    OPERAND_NONE,
+    REG_LANE,
+    TEMP_BASE,
+    CmpMode,
+    Op,
+    Tail,
+    is_const,
+    is_grf,
+    is_temp,
+)
+
+WARP_WIDTH = 4
+_END_PC = 1 << 30
+
+_SHIFT_MASK = np.uint32(31)
+
+
+def _as_f32(values):
+    return values.view(np.float32)
+
+
+class QuadWarp:
+    """Architectural state of one quad: registers, temps, per-lane PCs."""
+
+    __slots__ = ("regs", "temps", "pcs", "live", "at_barrier", "clause_steps")
+
+    def __init__(self, active_lanes=WARP_WIDTH):
+        self.regs = np.zeros((WARP_WIDTH, NUM_GRF), dtype=np.uint32)
+        self.regs[:, REG_LANE] = np.arange(WARP_WIDTH, dtype=np.uint32)
+        self.temps = np.zeros((WARP_WIDTH, NUM_TEMPS), dtype=np.uint32)
+        self.pcs = np.zeros(WARP_WIDTH, dtype=np.int64)
+        self.live = np.zeros(WARP_WIDTH, dtype=bool)
+        self.live[:active_lanes] = True
+        self.pcs[~self.live] = _END_PC
+        self.at_barrier = np.zeros(WARP_WIDTH, dtype=bool)
+        self.clause_steps = 0
+
+    @property
+    def finished(self):
+        return bool((self.pcs >= _END_PC).all())
+
+    @property
+    def blocked(self):
+        """True when every still-running lane waits at a barrier."""
+        running = self.pcs < _END_PC
+        return bool(running.any() and (self.at_barrier | ~running).all())
+
+    def release_barrier(self):
+        self.at_barrier[:] = False
+
+
+class ClauseInterpreter:
+    """Executes decoded clauses for quad warps.
+
+    Args:
+        program: decoded :class:`~repro.gpu.isa.Program`.
+        uniforms: uint32 vector backing the uniform ("Constant Read") port.
+        mem: object with ``load_u32(vaddr)`` / ``store_u32(vaddr, value)``
+            for global (main) memory, going through the GPU MMU.
+        local: uint32 NumPy array backing workgroup-local memory
+            (byte offsets are divided by 4), or None when the kernel uses
+            no local memory.
+        stats: a :class:`~repro.instrument.stats.JobStats` to fill, or None
+            to run without instrumentation (the Fig. 8 "w/o instrum." mode).
+        cfg: a :class:`~repro.instrument.cfg.DivergenceCFG` or None.
+    """
+
+    def __init__(self, program, uniforms, mem, local=None, stats=None,
+                 cfg=None, tracer=None):
+        self.program = program
+        self.uniforms = uniforms
+        self.mem = mem
+        self.local = local
+        self.stats = stats
+        self.cfg = cfg
+        self.tracer = tracer
+        self._dispatch = _DISPATCH
+
+    # -- warp scheduling ------------------------------------------------------
+
+    def run_warp(self, warp, max_clauses=1_000_000):
+        """Run *warp* until it finishes or blocks at a barrier.
+
+        Returns ``"done"`` or ``"barrier"``.
+        """
+        while True:
+            if warp.finished:
+                return "done"
+            if warp.blocked:
+                return "barrier"
+            runnable = (warp.pcs < _END_PC) & ~warp.at_barrier
+            current = int(warp.pcs[runnable].min())
+            mask = runnable & (warp.pcs == current)
+            self._execute_clause(warp, current, mask)
+            warp.clause_steps += 1
+            if warp.clause_steps > max_clauses:
+                raise GuestError(
+                    f"warp exceeded {max_clauses} clauses; kernel is likely stuck"
+                )
+
+    # -- clause execution -------------------------------------------------------
+
+    def _execute_clause(self, warp, clause_index, mask):
+        clause = self.program.clauses[clause_index]
+        lanes = int(mask.sum())
+        stats = self.stats
+        if stats is not None:
+            # decode-time clause metrics: execution only records clause
+            # frequency and scales by active lanes (paper Section IV-A)
+            metrics = clause.metrics()
+            stats.clauses_executed += 1
+            size = clause.size
+            stats.clause_size_histogram[size] = \
+                stats.clause_size_histogram.get(size, 0) + 1
+            stats.arith_cycles += size
+            stats.ls_cycles += metrics.ls_beats
+            stats.arith_instrs += metrics.arith_instrs * lanes
+            stats.nop_instrs += metrics.nop_instrs * lanes
+            stats.ls_global_instrs += metrics.ls_global_instrs * lanes
+            stats.ls_local_instrs += metrics.ls_local_instrs * lanes
+            stats.const_load_instrs += metrics.const_load_instrs * lanes
+            stats.temp_reads += metrics.temp_reads * lanes
+            stats.temp_writes += metrics.temp_writes * lanes
+            stats.grf_reads += metrics.grf_reads * lanes
+            stats.grf_writes += metrics.grf_writes * lanes
+            stats.const_reads += metrics.const_reads * lanes
+            stats.rom_reads += metrics.rom_reads * lanes
+            stats.main_mem_accesses += metrics.main_mem_accesses * lanes
+            stats.local_mem_accesses += metrics.local_mem_accesses * lanes
+        for fma, add in clause.tuples:
+            if fma.op is not Op.NOP:
+                self._execute_instr(warp, clause, fma, mask, lanes)
+            if add.op is not Op.NOP:
+                self._execute_instr(warp, clause, add, mask, lanes)
+        self._apply_tail(warp, clause, clause_index, mask, lanes)
+
+    def _apply_tail(self, warp, clause, clause_index, mask, lanes):
+        tail = clause.tail
+        stats = self.stats
+        if tail is Tail.FALLTHROUGH:
+            warp.pcs[mask] = clause_index + 1
+            next_pcs = None
+        elif tail is Tail.END:
+            warp.pcs[mask] = _END_PC
+            next_pcs = None
+        elif tail is Tail.JUMP:
+            warp.pcs[mask] = clause.target
+            next_pcs = None
+            if stats is not None:
+                stats.cf_instrs += lanes
+                stats.branch_events += 1
+        elif tail is Tail.BARRIER:
+            warp.pcs[mask] = clause_index + 1
+            warp.at_barrier |= mask
+            next_pcs = None
+        else:  # BRANCH / BRANCH_Z
+            cond = warp.regs[:, clause.cond_reg] != 0
+            if tail is Tail.BRANCH_Z:
+                cond = ~cond
+            taken = mask & cond
+            not_taken = mask & ~cond
+            warp.pcs[taken] = clause.target
+            warp.pcs[not_taken] = clause_index + 1
+            next_pcs = warp.pcs
+            if stats is not None:
+                stats.cf_instrs += lanes
+                stats.branch_events += 1
+                if taken.any() and not_taken.any():
+                    stats.divergent_branches += 1
+                    if self.cfg is not None:
+                        self.cfg.record_divergence(clause_index)
+        if self.cfg is not None:
+            self.cfg.record_execution(clause_index, lanes)
+            if next_pcs is None:
+                # uniform successor for all masked lanes
+                if tail is Tail.END:
+                    self.cfg.record_edge(clause_index, DivergenceCFGEnd, lanes)
+                else:
+                    successor = clause.target if tail is Tail.JUMP else clause_index + 1
+                    self.cfg.record_edge(clause_index, successor, lanes)
+            else:
+                for lane in np.flatnonzero(mask):
+                    pc = int(warp.pcs[lane])
+                    dst = DivergenceCFGEnd if pc >= _END_PC else pc
+                    self.cfg.record_edge(clause_index, dst, 1)
+
+    # -- operand access ---------------------------------------------------------
+
+    def _read(self, warp, clause, operand, lanes):
+        if is_grf(operand):
+            return warp.regs[:, operand]
+        if is_temp(operand):
+            return warp.temps[:, operand - TEMP_BASE]
+        if is_const(operand):
+            value = clause.constants[operand - CONST_BASE]
+            return np.full(WARP_WIDTH, value, dtype=np.uint32)
+        raise GuestError(f"invalid source operand {operand}")
+
+    def _write(self, warp, operand, values, mask, lanes):
+        if is_grf(operand):
+            np.copyto(warp.regs[:, operand], values.view(np.uint32), where=mask)
+        elif is_temp(operand):
+            np.copyto(warp.temps[:, operand - TEMP_BASE], values.view(np.uint32), where=mask)
+        else:
+            raise GuestError(f"invalid destination operand {operand}")
+
+    # -- instruction execution ----------------------------------------------------
+
+    def _execute_instr(self, warp, clause, instr, mask, lanes):
+        op = instr.op
+        if op is Op.LD or op is Op.ST:
+            self._execute_memory(warp, clause, instr, mask, lanes)
+            return
+        if op is Op.ATOM:
+            self._execute_atomic(warp, clause, instr, mask, lanes)
+            return
+        if op is Op.LDU:
+            values = np.full(WARP_WIDTH, self.uniforms[instr.imm], dtype=np.uint32)
+            self._write(warp, instr.dst, values, mask, lanes)
+            if self.tracer is not None:
+                self.tracer.record_quad(warp, mask, instr, values)
+            return
+        handler = self._dispatch[op]
+        result = handler(self, warp, clause, instr, lanes)
+        self._write(warp, instr.dst, result, mask, lanes)
+        if self.tracer is not None:
+            self.tracer.record_quad(warp, mask, instr,
+                                    result.view(np.uint32))
+
+    def _execute_memory(self, warp, clause, instr, mask, lanes):
+        width = instr.mem_width
+        local = instr.mem_is_local
+        addrs = self._read(warp, clause, instr.srca, lanes)
+        lanes_index = np.flatnonzero(mask)
+        if instr.op is Op.LD:
+            base = instr.dst
+            for element in range(width):
+                values = warp.regs[:, base + element].copy()
+                for lane in lanes_index:
+                    addr = int(addrs[lane]) + 4 * element
+                    if local:
+                        values[lane] = self.local[addr >> 2]
+                    else:
+                        values[lane] = self.mem.load_u32(addr)
+                self._write_vector_reg(warp, base + element, values, mask, lanes)
+                if self.tracer is not None:
+                    self.tracer.record_quad(warp, mask, instr, values,
+                                            element=element)
+        else:  # ST
+            base = instr.srcb
+            for element in range(width):
+                values = self._read(warp, clause, base + element, lanes)
+                for lane in lanes_index:
+                    addr = int(addrs[lane]) + 4 * element
+                    if local:
+                        self.local[addr >> 2] = values[lane]
+                    else:
+                        self.mem.store_u32(addr, int(values[lane]))
+                if self.tracer is not None:
+                    self.tracer.record_quad(warp, mask, instr,
+                                            values.view(np.uint32),
+                                            element=element)
+
+    def _execute_atomic(self, warp, clause, instr, mask, lanes):
+        """Atomic read-modify-write: lanes apply in lane order (the
+        machine's serialization point); dst receives each lane's old value."""
+        local = instr.mem_is_local
+        addrs = self._read(warp, clause, instr.srca, lanes)
+        values = self._read(warp, clause, instr.srcb, lanes)
+        mode = (instr.flags >> ATOM_MODE_SHIFT) & 0x7
+        old = warp.regs[:, instr.dst].copy() if is_grf(instr.dst) else \
+            np.zeros(WARP_WIDTH, dtype=np.uint32)
+        for lane in np.flatnonzero(mask):
+            addr = int(addrs[lane])
+            if local:
+                current = int(self.local[addr >> 2])
+            else:
+                current = self.mem.load_u32(addr)
+            old[lane] = current
+            updated = _atomic_apply(mode, current, int(values[lane]))
+            if local:
+                self.local[addr >> 2] = updated
+            else:
+                self.mem.store_u32(addr, updated)
+        self._write(warp, instr.dst, old, mask, lanes)
+        if self.tracer is not None:
+            self.tracer.record_quad(warp, mask, instr, old)
+
+    def _write_vector_reg(self, warp, reg, values, mask, lanes):
+        np.copyto(warp.regs[:, reg], values, where=mask)
+
+    # -- arithmetic handlers --------------------------------------------------
+
+    def _h_mov(self, warp, clause, instr, lanes):
+        return self._read(warp, clause, instr.srca, lanes)
+
+    def _binary_f(self, warp, clause, instr, lanes, fn):
+        a = _as_f32(self._read(warp, clause, instr.srca, lanes))
+        b = _as_f32(self._read(warp, clause, instr.srcb, lanes))
+        with np.errstate(all="ignore"):
+            return fn(a, b).astype(np.float32)
+
+    def _unary_f(self, warp, clause, instr, lanes, fn):
+        a = _as_f32(self._read(warp, clause, instr.srca, lanes))
+        with np.errstate(all="ignore"):
+            return fn(a).astype(np.float32)
+
+    def _h_fadd(self, w, c, i, n):
+        return self._binary_f(w, c, i, n, np.add)
+
+    def _h_fsub(self, w, c, i, n):
+        return self._binary_f(w, c, i, n, np.subtract)
+
+    def _h_fmul(self, w, c, i, n):
+        return self._binary_f(w, c, i, n, np.multiply)
+
+    def _h_fma(self, w, c, i, n):
+        a = _as_f32(self._read(w, c, i.srca, n))
+        b = _as_f32(self._read(w, c, i.srcb, n))
+        acc = _as_f32(self._read(w, c, i.srcc, n))
+        with np.errstate(all="ignore"):
+            return (a * b + acc).astype(np.float32)
+
+    def _h_fmin(self, w, c, i, n):
+        return self._binary_f(w, c, i, n, np.fmin)
+
+    def _h_fmax(self, w, c, i, n):
+        return self._binary_f(w, c, i, n, np.fmax)
+
+    def _h_fabs(self, w, c, i, n):
+        return self._unary_f(w, c, i, n, np.abs)
+
+    def _h_fneg(self, w, c, i, n):
+        return self._unary_f(w, c, i, n, np.negative)
+
+    def _h_ffloor(self, w, c, i, n):
+        return self._unary_f(w, c, i, n, np.floor)
+
+    def _h_frcp(self, w, c, i, n):
+        return self._unary_f(w, c, i, n, lambda x: np.float32(1.0) / x)
+
+    def _h_fsqrt(self, w, c, i, n):
+        return self._unary_f(w, c, i, n, np.sqrt)
+
+    def _h_frsq(self, w, c, i, n):
+        return self._unary_f(w, c, i, n, lambda x: np.float32(1.0) / np.sqrt(x))
+
+    def _h_fexp(self, w, c, i, n):
+        return self._unary_f(w, c, i, n, np.exp)
+
+    def _h_flog(self, w, c, i, n):
+        return self._unary_f(w, c, i, n, np.log)
+
+    def _h_fsin(self, w, c, i, n):
+        return self._unary_f(w, c, i, n, np.sin)
+
+    def _h_fcos(self, w, c, i, n):
+        return self._unary_f(w, c, i, n, np.cos)
+
+    def _h_f2i(self, w, c, i, n):
+        # saturating conversion (the architecture's defined out-of-range
+        # behaviour; NaN converts to 0)
+        a = _as_f32(self._read(w, c, i.srca, n))
+        with np.errstate(all="ignore"):
+            safe = np.nan_to_num(a.astype(np.float64), nan=0.0)
+            clipped = np.clip(safe, -2147483648.0, 2147483647.0)
+            return clipped.astype(np.int64).astype(np.int32).view(np.uint32)
+
+    def _h_f2u(self, w, c, i, n):
+        a = _as_f32(self._read(w, c, i.srca, n))
+        with np.errstate(all="ignore"):
+            safe = np.nan_to_num(a.astype(np.float64), nan=0.0)
+            clipped = np.clip(safe, 0.0, 4294967295.0)
+            return clipped.astype(np.int64).astype(np.uint32)
+
+    def _h_i2f(self, w, c, i, n):
+        a = self._read(w, c, i.srca, n).view(np.int32)
+        return a.astype(np.float32)
+
+    def _h_u2f(self, w, c, i, n):
+        a = self._read(w, c, i.srca, n)
+        return a.astype(np.float32)
+
+    def _binary_u(self, warp, clause, instr, lanes, fn):
+        a = self._read(warp, clause, instr.srca, lanes)
+        b = self._read(warp, clause, instr.srcb, lanes)
+        return fn(a, b).astype(np.uint32)
+
+    def _h_iadd(self, w, c, i, n):
+        return self._binary_u(w, c, i, n, np.add)
+
+    def _h_isub(self, w, c, i, n):
+        return self._binary_u(w, c, i, n, np.subtract)
+
+    def _h_imul(self, w, c, i, n):
+        a = self._read(w, c, i.srca, n).astype(np.uint64)
+        b = self._read(w, c, i.srcb, n).astype(np.uint64)
+        return (a * b).astype(np.uint32)
+
+    def _h_iand(self, w, c, i, n):
+        return self._binary_u(w, c, i, n, np.bitwise_and)
+
+    def _h_ior(self, w, c, i, n):
+        return self._binary_u(w, c, i, n, np.bitwise_or)
+
+    def _h_ixor(self, w, c, i, n):
+        return self._binary_u(w, c, i, n, np.bitwise_xor)
+
+    def _h_ishl(self, w, c, i, n):
+        return self._binary_u(w, c, i, n, lambda a, b: a << (b & _SHIFT_MASK))
+
+    def _h_ishr(self, w, c, i, n):
+        return self._binary_u(w, c, i, n, lambda a, b: a >> (b & _SHIFT_MASK))
+
+    def _h_iashr(self, w, c, i, n):
+        a = self._read(w, c, i.srca, n).view(np.int32)
+        b = self._read(w, c, i.srcb, n)
+        return (a >> (b & _SHIFT_MASK).astype(np.int32)).view(np.uint32)
+
+    def _h_imin(self, w, c, i, n):
+        a = self._read(w, c, i.srca, n).view(np.int32)
+        b = self._read(w, c, i.srcb, n).view(np.int32)
+        return np.minimum(a, b).view(np.uint32)
+
+    def _h_imax(self, w, c, i, n):
+        a = self._read(w, c, i.srca, n).view(np.int32)
+        b = self._read(w, c, i.srcb, n).view(np.int32)
+        return np.maximum(a, b).view(np.uint32)
+
+    def _h_umin(self, w, c, i, n):
+        return self._binary_u(w, c, i, n, np.minimum)
+
+    def _h_umax(self, w, c, i, n):
+        return self._binary_u(w, c, i, n, np.maximum)
+
+    def _h_iabs(self, w, c, i, n):
+        a = self._read(w, c, i.srca, n).view(np.int32)
+        return np.abs(a).view(np.uint32)
+
+    def _h_idiv(self, w, c, i, n):
+        a = self._read(w, c, i.srca, n).view(np.int32).astype(np.int64)
+        b = self._read(w, c, i.srcb, n).view(np.int32).astype(np.int64)
+        safe = np.where(b == 0, 1, b)
+        quotient = np.where(b == 0, 0, (a / safe).astype(np.int64))
+        # C semantics: truncate toward zero
+        quotient = np.trunc(a / safe)
+        quotient = np.where(b == 0, 0, quotient)
+        return quotient.astype(np.int64).astype(np.int32).view(np.uint32)
+
+    def _h_irem(self, w, c, i, n):
+        a = self._read(w, c, i.srca, n).view(np.int32).astype(np.int64)
+        b = self._read(w, c, i.srcb, n).view(np.int32).astype(np.int64)
+        safe = np.where(b == 0, 1, b)
+        quotient = np.trunc(a / safe).astype(np.int64)
+        remainder = a - quotient * safe
+        remainder = np.where(b == 0, 0, remainder)
+        return remainder.astype(np.int32).view(np.uint32)
+
+    def _h_udiv(self, w, c, i, n):
+        a = self._read(w, c, i.srca, n).astype(np.uint64)
+        b = self._read(w, c, i.srcb, n).astype(np.uint64)
+        safe = np.where(b == 0, 1, b)
+        return np.where(b == 0, 0, a // safe).astype(np.uint32)
+
+    def _h_urem(self, w, c, i, n):
+        a = self._read(w, c, i.srca, n).astype(np.uint64)
+        b = self._read(w, c, i.srcb, n).astype(np.uint64)
+        safe = np.where(b == 0, 1, b)
+        return np.where(b == 0, 0, a % safe).astype(np.uint32)
+
+    def _h_cmp(self, w, c, i, n):
+        mode = CmpMode(i.flags)
+        raw_a = self._read(w, c, i.srca, n)
+        raw_b = self._read(w, c, i.srcb, n)
+        if mode <= CmpMode.FGE:
+            a, b = _as_f32(raw_a), _as_f32(raw_b)
+        elif mode <= CmpMode.IGE:
+            a, b = raw_a.view(np.int32), raw_b.view(np.int32)
+        else:
+            a, b = raw_a, raw_b
+        with np.errstate(invalid="ignore"):
+            result = _CMP_FNS[mode](a, b)
+        return result.astype(np.uint32)
+
+    def _h_select(self, w, c, i, n):
+        a = self._read(w, c, i.srca, n)
+        b = self._read(w, c, i.srcb, n)
+        cond = self._read(w, c, i.srcc, n)
+        return np.where(cond != 0, a, b)
+
+
+def _atomic_apply(mode, current, operand):
+    """32-bit atomic update function shared by all engines."""
+    if mode == ATOM_ADD:
+        return (current + operand) & 0xFFFFFFFF
+    if mode == ATOM_SUB:
+        return (current - operand) & 0xFFFFFFFF
+    if mode == ATOM_MIN:
+        a = current - (1 << 32) if current & 0x80000000 else current
+        b = operand - (1 << 32) if operand & 0x80000000 else operand
+        return min(a, b) & 0xFFFFFFFF
+    if mode == ATOM_MAX:
+        a = current - (1 << 32) if current & 0x80000000 else current
+        b = operand - (1 << 32) if operand & 0x80000000 else operand
+        return max(a, b) & 0xFFFFFFFF
+    if mode == ATOM_AND:
+        return current & operand
+    if mode == ATOM_OR:
+        return current | operand
+    if mode == ATOM_XOR:
+        return current ^ operand
+    if mode == ATOM_XCHG:
+        return operand & 0xFFFFFFFF
+    raise GuestError(f"unknown atomic mode {mode}")
+
+
+DivergenceCFGEnd = "END"
+
+_CMP_FNS = {
+    CmpMode.FEQ: np.equal, CmpMode.FNE: np.not_equal,
+    CmpMode.FLT: np.less, CmpMode.FLE: np.less_equal,
+    CmpMode.FGT: np.greater, CmpMode.FGE: np.greater_equal,
+    CmpMode.IEQ: np.equal, CmpMode.INE: np.not_equal,
+    CmpMode.ILT: np.less, CmpMode.ILE: np.less_equal,
+    CmpMode.IGT: np.greater, CmpMode.IGE: np.greater_equal,
+    CmpMode.ULT: np.less, CmpMode.ULE: np.less_equal,
+    CmpMode.UGT: np.greater, CmpMode.UGE: np.greater_equal,
+}
+
+_DISPATCH = {
+    Op.MOV: ClauseInterpreter._h_mov,
+    Op.FADD: ClauseInterpreter._h_fadd,
+    Op.FSUB: ClauseInterpreter._h_fsub,
+    Op.FMUL: ClauseInterpreter._h_fmul,
+    Op.FMA: ClauseInterpreter._h_fma,
+    Op.FMIN: ClauseInterpreter._h_fmin,
+    Op.FMAX: ClauseInterpreter._h_fmax,
+    Op.FABS: ClauseInterpreter._h_fabs,
+    Op.FNEG: ClauseInterpreter._h_fneg,
+    Op.FFLOOR: ClauseInterpreter._h_ffloor,
+    Op.FRCP: ClauseInterpreter._h_frcp,
+    Op.FSQRT: ClauseInterpreter._h_fsqrt,
+    Op.FRSQ: ClauseInterpreter._h_frsq,
+    Op.FEXP: ClauseInterpreter._h_fexp,
+    Op.FLOG: ClauseInterpreter._h_flog,
+    Op.FSIN: ClauseInterpreter._h_fsin,
+    Op.FCOS: ClauseInterpreter._h_fcos,
+    Op.F2I: ClauseInterpreter._h_f2i,
+    Op.F2U: ClauseInterpreter._h_f2u,
+    Op.I2F: ClauseInterpreter._h_i2f,
+    Op.U2F: ClauseInterpreter._h_u2f,
+    Op.IADD: ClauseInterpreter._h_iadd,
+    Op.ISUB: ClauseInterpreter._h_isub,
+    Op.IMUL: ClauseInterpreter._h_imul,
+    Op.IAND: ClauseInterpreter._h_iand,
+    Op.IOR: ClauseInterpreter._h_ior,
+    Op.IXOR: ClauseInterpreter._h_ixor,
+    Op.ISHL: ClauseInterpreter._h_ishl,
+    Op.ISHR: ClauseInterpreter._h_ishr,
+    Op.IASHR: ClauseInterpreter._h_iashr,
+    Op.IMIN: ClauseInterpreter._h_imin,
+    Op.IMAX: ClauseInterpreter._h_imax,
+    Op.UMIN: ClauseInterpreter._h_umin,
+    Op.UMAX: ClauseInterpreter._h_umax,
+    Op.IDIV: ClauseInterpreter._h_idiv,
+    Op.IREM: ClauseInterpreter._h_irem,
+    Op.UDIV: ClauseInterpreter._h_udiv,
+    Op.UREM: ClauseInterpreter._h_urem,
+    Op.IABS: ClauseInterpreter._h_iabs,
+    Op.CMP: ClauseInterpreter._h_cmp,
+    Op.SELECT: ClauseInterpreter._h_select,
+}

@@ -1,0 +1,27 @@
+"""Instrumentation: execution statistics, divergence CFGs, reports.
+
+The paper's Section IV: instruction counts and breakdowns, data-access
+breakdowns across the architecturally visible memory hierarchy, clause
+metrics, system-level CPU-GPU interaction counters, and a control-flow
+graph pinpointing thread divergence on actual GPU instructions (Fig. 6).
+"""
+
+from repro.instrument.stats import JobStats, SystemStats, merge_stats
+from repro.instrument.cfg import DivergenceCFG
+from repro.instrument.report import (
+    format_clause_histogram,
+    format_data_access_breakdown,
+    format_instruction_mix,
+    format_table,
+)
+
+__all__ = [
+    "JobStats",
+    "SystemStats",
+    "merge_stats",
+    "DivergenceCFG",
+    "format_clause_histogram",
+    "format_data_access_breakdown",
+    "format_instruction_mix",
+    "format_table",
+]

@@ -1,0 +1,111 @@
+"""Divergence control-flow graph (paper Fig. 6).
+
+The simulator tracks the program counter on clause boundaries and builds a
+control-flow graph whose edges carry the number of threads that followed
+them. Basic blocks where lanes of a warp chose different successors are
+flagged as divergence points, "pinpointing the divergence on actual GPU
+instructions".
+"""
+
+import networkx as nx
+
+
+class DivergenceCFG:
+    """Collects clause-boundary transitions and renders the CFG.
+
+    Nodes are clause indices (plus the virtual ``END`` node); edge weights
+    are thread counts. ``divergences[node]`` counts warp-level divergent
+    branch events whose branch clause was *node*.
+    """
+
+    END = "END"
+
+    def __init__(self, base_address=0xAA000000):
+        self._edges = {}
+        self._divergences = {}
+        self._executions = {}
+        self.base_address = base_address
+
+    # -- collection (called from the warp executor) --------------------------
+
+    def record_execution(self, clause_index, thread_count):
+        self._executions[clause_index] = self._executions.get(clause_index, 0) + thread_count
+
+    def record_edge(self, src_clause, dst_clause, thread_count):
+        key = (src_clause, dst_clause)
+        self._edges[key] = self._edges.get(key, 0) + thread_count
+
+    def record_divergence(self, clause_index, warp_count=1):
+        self._divergences[clause_index] = self._divergences.get(clause_index, 0) + warp_count
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def edges(self):
+        return dict(self._edges)
+
+    @property
+    def divergences(self):
+        return dict(self._divergences)
+
+    def merge(self, other):
+        for (src, dst), count in other._edges.items():
+            self.record_edge(src, dst, count)
+        for node, count in other._divergences.items():
+            self.record_divergence(node, count)
+        for node, count in other._executions.items():
+            self.record_execution(node, count)
+        return self
+
+    def node_label(self, node):
+        """Paper-style label: the clause's instruction address."""
+        if node == self.END:
+            return "END"
+        return f"{self.base_address + node * 0x10:x}"
+
+    def to_networkx(self):
+        """Build a weighted DiGraph; edge attr ``fraction`` is the share of
+        threads leaving the source node along that edge."""
+        graph = nx.DiGraph()
+        out_totals = {}
+        for (src, _dst), count in self._edges.items():
+            out_totals[src] = out_totals.get(src, 0) + count
+        for (src, dst), count in self._edges.items():
+            graph.add_edge(
+                src,
+                dst,
+                threads=count,
+                fraction=count / out_totals[src] if out_totals[src] else 0.0,
+            )
+        for node in graph.nodes:
+            graph.nodes[node]["label"] = self.node_label(node)
+            graph.nodes[node]["divergent"] = node in self._divergences
+            graph.nodes[node]["executions"] = self._executions.get(node, 0)
+        return graph
+
+    def divergence_fraction(self, node):
+        """Fraction of branch events at *node* that diverged."""
+        executed = self._executions.get(node, 0)
+        if not executed:
+            return 0.0
+        return self._divergences.get(node, 0) / executed
+
+    def to_dot(self):
+        """Render in the style of Fig. 6: divergent blocks are annotated,
+        edges carry the proportion of threads following them."""
+        graph = self.to_networkx()
+        lines = ["digraph cfg {", "  node [shape=box];"]
+        for node, data in graph.nodes(data=True):
+            label = data["label"]
+            if data["divergent"]:
+                pct = 100.0 * self.divergence_fraction(node)
+                label += f"\\n({pct:.1f}% dvg.)"
+            lines.append(f'  "{data["label"]}" [label="{label}"];')
+        for src, dst, data in graph.edges(data=True):
+            pct = 100.0 * data["fraction"]
+            lines.append(
+                f'  "{graph.nodes[src]["label"]}" -> "{graph.nodes[dst]["label"]}"'
+                f' [label="{pct:.2f}%"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Plain-text report formatting for statistics tables and figure series.
+
+Benchmarks print the same rows/series the paper reports; these helpers keep
+the formatting in one place.
+"""
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned plain-text table."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_instruction_mix(named_stats):
+    """Fig. 11-style rows: benchmark, % arith, % load/store, % nop, % cf."""
+    rows = []
+    for name, stats in named_stats:
+        mix = stats.instruction_mix()
+        rows.append(
+            (
+                name,
+                f"{100 * mix['arithmetic']:.1f}",
+                f"{100 * mix['load_store']:.1f}",
+                f"{100 * mix['nop']:.1f}",
+                f"{100 * mix['control_flow']:.1f}",
+            )
+        )
+    return format_table(
+        ("benchmark", "arith%", "ls%", "nop%", "cf%"),
+        rows,
+        title="Instruction mix (Fig. 11)",
+    )
+
+
+def format_data_access_breakdown(named_stats):
+    """Fig. 12-style rows across the visible memory hierarchy."""
+    rows = []
+    for name, stats in named_stats:
+        b = stats.data_access_breakdown()
+        rows.append(
+            (
+                name,
+                f"{100 * b['temp']:.1f}",
+                f"{100 * b['grf_read']:.1f}",
+                f"{100 * b['grf_write']:.1f}",
+                f"{100 * b['constant_read']:.1f}",
+                f"{100 * b['rom']:.1f}",
+                f"{100 * b['main_memory']:.1f}",
+            )
+        )
+    return format_table(
+        ("benchmark", "temp%", "grfR%", "grfW%", "const%", "rom%", "mainmem%"),
+        rows,
+        title="Data access breakdown (Fig. 12)",
+    )
+
+
+def format_clause_histogram(named_stats, max_size=8):
+    """Fig. 13-style rows: per-benchmark clause-size distribution."""
+    rows = []
+    for name, stats in named_stats:
+        histogram = stats.clause_size_histogram
+        total = sum(histogram.values()) or 1
+        row = [name]
+        for size in range(1, max_size + 1):
+            row.append(f"{100 * histogram.get(size, 0) / total:.1f}")
+        rows.append(tuple(row))
+    headers = ("benchmark",) + tuple(f"sz{size}" for size in range(1, max_size + 1))
+    return format_table(headers, rows, title="Clause size distribution % (Fig. 13)")

@@ -1,0 +1,89 @@
+"""First-order cycle estimation from functional statistics.
+
+The paper positions its functional simulator as "a prerequisite to detailed
+timing simulation" and names micro-architectural performance modelling as
+future work (Section VII-A). This module provides that first step: a
+machine-description-driven cycle estimate computed *from the functional
+statistics* the simulator already collects — no second execution needed.
+
+The model is deliberately first-order (issue-bound, not stall-accurate):
+
+- each execution engine issues one tuple per cycle; the instrumented
+  ``arith_cycles`` (tuples issued, including empty slots) divided by the
+  machine's total EE count bounds arithmetic time;
+- the load/store unit costs ``ls_cycles`` beats plus a per-access DRAM
+  penalty for the fraction of traffic that misses on-chip storage;
+- thread-group occupancy limits how much of the machine a job can use;
+- divergence serializes: each divergent branch re-issues its path.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MachineDescription:
+    """Timing parameters of the modelled GPU (defaults: G71 MP8-like)."""
+
+    shader_cores: int = 8
+    engines_per_core: int = 3  # Bifrost EEs per SC
+    warps_per_engine: int = 4  # latency-hiding depth
+    ls_units_per_core: int = 1
+    dram_latency: float = 100.0  # cycles per missing access
+    dram_hit_fraction: float = 0.9  # on-chip hit rate assumption
+    barrier_cost: float = 20.0  # cycles per barrier per workgroup
+    job_overhead: float = 500.0  # JM setup cycles per job
+
+
+class CycleModel:
+    """Estimates execution cycles for a job from its JobStats."""
+
+    def __init__(self, machine=None):
+        self.machine = machine or MachineDescription()
+
+    def estimate(self, stats, jobs=1):
+        """Estimated cycles for *stats* (merged over *jobs* jobs).
+
+        Returns a dict with the bound components and the total, so callers
+        can see whether a kernel is issue-, memory- or occupancy-bound.
+        """
+        m = self.machine
+        total_engines = m.shader_cores * m.engines_per_core
+
+        # occupancy: a job cannot use more cores than it has workgroups
+        groups = max(stats.workgroups, 1)
+        usable_cores = min(m.shader_cores, groups)
+        usable_engines = usable_cores * m.engines_per_core
+        occupancy = usable_engines / total_engines
+
+        arith_bound = stats.arith_cycles / max(usable_engines, 1)
+
+        ls_beats = stats.ls_cycles
+        misses = (stats.main_mem_accesses * (1.0 - m.dram_hit_fraction))
+        memory_bound = (
+            ls_beats / max(usable_cores * m.ls_units_per_core, 1)
+            + misses * m.dram_latency
+            / max(usable_cores * m.warps_per_engine, 1)
+        )
+
+        divergence_penalty = stats.divergent_branches * 2.0
+        barrier_cycles = 0.0
+        # each barrier tail executed once per warp; approximate workgroup
+        # barriers from clause histogram is not possible, so use warps
+        barrier_cycles = m.barrier_cost * stats.workgroups
+
+        total = (max(arith_bound, memory_bound)
+                 + divergence_penalty + barrier_cycles
+                 + m.job_overhead * jobs)
+        return {
+            "arith_bound": arith_bound,
+            "memory_bound": memory_bound,
+            "divergence_penalty": divergence_penalty,
+            "barrier_cycles": barrier_cycles,
+            "occupancy": occupancy,
+            "bound_by": "memory" if memory_bound > arith_bound else "arith",
+            "total_cycles": total,
+        }
+
+    def estimate_runtime_seconds(self, stats, jobs=1, frequency_hz=850e6):
+        """Wall-clock estimate at a given GPU clock (G71: ~850 MHz)."""
+        return self.estimate(stats, jobs)["total_cycles"] / frequency_hz

@@ -1,0 +1,135 @@
+"""Workload base class and result record."""
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cl import CommandQueue, Context
+from repro.instrument.stats import JobStats
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one workload execution on the simulated platform.
+
+    Attributes:
+        name: workload name.
+        stats: merged per-job statistics over all kernel launches.
+        jobs: number of kernel launches (Table III "Comp. Jobs").
+        verified: True if outputs matched the NumPy reference.
+        gpu_seconds: host wall time inside kernel launches (GPU simulation).
+        total_seconds: host wall time of the whole run, including the
+            simulated-CPU driver work (full-system time, Fig. 7).
+        cpu_seconds: host wall time spent simulating guest CPU data
+            movement (the Fig. 9 "driver runtime").
+        guest_instructions: guest CPU instructions executed for this run.
+        extra: workload-specific metrics.
+    """
+
+    name: str
+    stats: JobStats
+    jobs: int
+    verified: bool
+    gpu_seconds: float = 0.0
+    total_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    guest_instructions: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class Workload(abc.ABC):
+    """A benchmark: kernel source + host orchestration + NumPy oracle.
+
+    Subclasses set ``name``, ``suite``, ``paper_input`` (the Table II
+    configuration) and implement :meth:`execute` (device run, returning
+    outputs for verification) and :meth:`reference` (NumPy oracle).
+    """
+
+    name = ""
+    suite = ""
+    paper_input = ""
+    source = ""
+
+    def __init__(self, **params):
+        defaults = dict(self.default_params())
+        unknown = set(params) - set(defaults)
+        if unknown:
+            raise TypeError(f"{self.name}: unknown parameters {sorted(unknown)}")
+        defaults.update(params)
+        self.params = defaults
+        self.rng = np.random.default_rng(self.seed())
+
+    def seed(self):
+        return abs(hash(self.name)) % (2**32)
+
+    @staticmethod
+    def default_params():
+        """Mapping of parameter name -> default (scaled-down) value."""
+        return {}
+
+    # -- to implement ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def prepare(self):
+        """Generate the (seeded, deterministic) problem inputs."""
+
+    @abc.abstractmethod
+    def execute(self, context, queue, inputs, version=None):
+        """Run on the simulated platform; returns device outputs."""
+
+    @abc.abstractmethod
+    def reference(self, inputs):
+        """NumPy oracle; returns expected outputs."""
+
+    def check(self, outputs, expected):
+        """Compare device outputs with the oracle (override for custom
+        tolerances)."""
+        for got, want in zip(outputs, expected):
+            got = np.asarray(got)
+            want = np.asarray(want)
+            if got.dtype.kind == "f" or want.dtype.kind == "f":
+                if not np.allclose(got.astype(np.float64),
+                                   want.astype(np.float64),
+                                   rtol=2e-4, atol=2e-5):
+                    return False
+            elif not np.array_equal(got, want):
+                return False
+        return True
+
+    # -- harness -------------------------------------------------------------------
+
+    def run(self, context=None, version=None, verify=True):
+        """Full run: prepare, execute, verify; returns a WorkloadResult."""
+        context = context or Context()
+        queue = CommandQueue(context)
+        inputs = self.prepare()
+        cpu_before = context.cpu_seconds
+        guest_before = context.guest_instructions
+        start = time.perf_counter()
+        outputs = self.execute(context, queue, inputs, version=version)
+        total_seconds = time.perf_counter() - start
+        verified = True
+        if verify:
+            expected = self.reference(inputs)
+            verified = self.check(outputs, expected)
+        return WorkloadResult(
+            name=self.name,
+            stats=queue.total_stats,
+            jobs=queue.kernels_launched,
+            verified=verified,
+            total_seconds=total_seconds,
+            cpu_seconds=context.cpu_seconds - cpu_before,
+            guest_instructions=context.guest_instructions - guest_before,
+        )
+
+    def run_native(self, repeats=1):
+        """Time the NumPy oracle (the paper's native-hardware stand-in)."""
+        inputs = self.prepare()
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            self.reference(inputs)
+            best = min(best, time.perf_counter() - start)
+        return best

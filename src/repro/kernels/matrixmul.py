@@ -1,0 +1,89 @@
+"""MatrixMul — the Fig. 1 compiler-version study kernel.
+
+Written with ``vload4`` so that toolchain versions with and without wide
+load/store support produce visibly different LS instruction/cycle counts,
+and with an inner pattern whose slot packing responds to dual-issue
+scheduling — the knobs the paper's Fig. 1 varies across Arm compiler
+versions 5.6-6.2.
+"""
+
+import numpy as np
+
+from repro.kernels.base import Workload
+
+
+class MatrixMul(Workload):
+    name = "MatrixMul"
+    suite = "AMD APP 2.5"
+    paper_input = "compiler study (Fig. 1)"
+
+    # N is a build-time define (like real OpenCL hosts pass -D N=...), so
+    # the k-loop has a compile-time trip count the unroller can act on.
+    source = """
+    __kernel void matrixmul(__global float* a, __global float* b,
+                            __global float* c, int n) {
+        int col = get_global_id(0);
+        int row = get_global_id(1);
+        float acc = 0.0f;
+        for (int k = 0; k < N; k += 4) {
+            float4 av = vload4(0, a + row * N + k);
+            acc += av.x * b[k * N + col];
+            acc += av.y * b[(k + 1) * N + col];
+            acc += av.z * b[(k + 2) * N + col];
+            acc += av.w * b[(k + 3) * N + col];
+        }
+        c[row * N + col] = acc;
+    }
+    """
+
+    @staticmethod
+    def default_params():
+        return {"n": 32}
+
+    def prepare(self):
+        n = self.params["n"]
+        if n % 4:
+            raise ValueError("MatrixMul size must be a multiple of 4")
+        return {
+            "a": self.rng.random((n, n), dtype=np.float32),
+            "b": self.rng.random((n, n), dtype=np.float32),
+        }
+
+    def execute(self, context, queue, inputs, version=None):
+        n = self.params["n"]
+        buf_a = context.buffer_from_array(inputs["a"])
+        buf_b = context.buffer_from_array(inputs["b"])
+        buf_c = context.alloc_buffer(4 * n * n)
+        program = context.build_program(self.source, version=version,
+                                        defines={"N": n})
+        kernel = program.kernel("matrixmul")
+        kernel.set_args(buf_a, buf_b, buf_c, n)
+        queue.enqueue_nd_range(kernel, (n, n), (min(8, n), min(8, n)))
+        out = queue.enqueue_read_buffer(buf_c, np.float32)
+        self.last_kernel = kernel
+        return [out.reshape(n, n)]
+
+    def reference(self, inputs):
+        return [(inputs["a"] @ inputs["b"]).astype(np.float32)]
+
+    def check(self, outputs, expected):
+        return np.allclose(outputs[0], expected[0], rtol=1e-3, atol=1e-4)
+
+    def compile_metrics(self, version):
+        """Static + dynamic metrics for one compiler version (Fig. 1)."""
+        from repro.cl import Context
+
+        context = Context()
+        result = self.run(context=context, version=version)
+        stats = result.stats
+        kernel = self.last_kernel
+        return {
+            "version": version,
+            "arith_cycles": stats.arith_cycles,
+            "arith_instrs": stats.arith_instrs,
+            "ls_cycles": stats.ls_cycles,
+            "ls_instrs": stats.ls_instrs,
+            "registers": kernel.compiled.work_registers,
+            "nops": stats.nop_instrs,
+            "verified": result.verified,
+        }

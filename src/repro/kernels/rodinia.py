@@ -1,0 +1,116 @@
+"""Rodinia 3.1 workloads (Table II)."""
+
+import numpy as np
+
+from repro.kernels.base import Workload
+
+
+class Backprop(Workload):
+    """Neural-network layer forward pass (Rodinia back propagation).
+
+    Each thread computes one hidden unit: a long dot product over the input
+    layer with strided global loads — the main-memory-dominated workload of
+    Fig. 12.
+    """
+
+    name = "backprop"
+    suite = "Rodinia 3.1"
+    paper_input = "65536 nodes"
+
+    source = """
+    __kernel void layer_forward(__global float* input_units,
+                                __global float* weights,
+                                __global float* hidden_units,
+                                int n_in, int n_hidden) {
+        int j = get_global_id(0);
+        __global float* wp = weights + n_hidden + j;
+        __global float* ip = input_units;
+        float sum = weights[j];
+        for (int i = 0; i < n_in; i += 1) {
+            sum = mad(wp[0], ip[0], sum);
+            wp = wp + n_hidden;
+            ip = ip + 1;
+        }
+        hidden_units[j] = 1.0f / (1.0f + exp(0.0f - sum));
+    }
+    """
+
+    @staticmethod
+    def default_params():
+        return {"n_in": 512, "n_hidden": 64}
+
+    def prepare(self):
+        p = self.params
+        return {
+            "input": self.rng.random(p["n_in"], dtype=np.float32),
+            "weights": (self.rng.random((p["n_in"] + 1, p["n_hidden"]))
+                        .astype(np.float32) - 0.5),
+        }
+
+    def execute(self, context, queue, inputs, version=None):
+        p = self.params
+        buf_in = context.buffer_from_array(inputs["input"])
+        buf_w = context.buffer_from_array(inputs["weights"])
+        buf_out = context.alloc_buffer(4 * p["n_hidden"])
+        kernel = context.build_program(self.source, version=version) \
+            .kernel("layer_forward")
+        kernel.set_args(buf_in, buf_w, buf_out, p["n_in"], p["n_hidden"])
+        queue.enqueue_nd_range(kernel, (p["n_hidden"],),
+                               (min(16, p["n_hidden"]),))
+        return [queue.enqueue_read_buffer(buf_out, np.float32)]
+
+    def reference(self, inputs):
+        weights = inputs["weights"].astype(np.float64)
+        sums = weights[0] + inputs["input"].astype(np.float64) @ weights[1:]
+        return [(1.0 / (1.0 + np.exp(-sums))).astype(np.float32)]
+
+
+class NearestNeighbor(Workload):
+    """Nearest neighbour: per-record Euclidean distance to a target; the
+    host scans the distances for the k smallest (as in Rodinia)."""
+
+    name = "nn"
+    suite = "Rodinia 3.1"
+    paper_input = "5 records, 30 lat, 90 long"
+
+    source = """
+    __kernel void nn_distance(__global float* lat, __global float* lng,
+                              __global float* dist, float lat0, float lng0) {
+        int i = get_global_id(0);
+        float dlat = lat[i] - lat0;
+        float dlng = lng[i] - lng0;
+        dist[i] = sqrt(dlat * dlat + dlng * dlng);
+    }
+    """
+
+    @staticmethod
+    def default_params():
+        return {"records": 1024, "k": 5}
+
+    def prepare(self):
+        n = self.params["records"]
+        return {
+            "lat": (self.rng.random(n, dtype=np.float32) * 60).astype(np.float32),
+            "lng": (self.rng.random(n, dtype=np.float32) * 180).astype(np.float32),
+            "target": (np.float32(30.0), np.float32(90.0)),
+        }
+
+    def execute(self, context, queue, inputs, version=None):
+        n = self.params["records"]
+        buf_lat = context.buffer_from_array(inputs["lat"])
+        buf_lng = context.buffer_from_array(inputs["lng"])
+        buf_dist = context.alloc_buffer(4 * n)
+        kernel = context.build_program(self.source, version=version) \
+            .kernel("nn_distance")
+        lat0, lng0 = inputs["target"]
+        kernel.set_args(buf_lat, buf_lng, buf_dist, lat0, lng0)
+        queue.enqueue_nd_range(kernel, (n,), (64,))
+        dist = queue.enqueue_read_buffer(buf_dist, np.float32)
+        nearest = np.argsort(dist)[: self.params["k"]].astype(np.int64)
+        return [dist, nearest]
+
+    def reference(self, inputs):
+        lat0, lng0 = inputs["target"]
+        dist = np.sqrt((inputs["lat"] - lat0) ** 2 + (inputs["lng"] - lng0) ** 2)
+        nearest = np.argsort(dist)[: self.params["k"]].astype(np.int64)
+        return [dist.astype(np.float32), nearest]

@@ -1,0 +1,300 @@
+"""Six SGEMM kernels, iteratively optimized for desktop GPUs (Fig. 15).
+
+Modelled on the myGEMM / CLBlast progression the paper evaluates:
+
+1. naive            — one thread per element, global memory only
+2. local-mem tiling — square tiles staged in local memory
+3. more work/thread — each thread computes four output rows
+4. wider data types — float4 global loads into local tiles
+5. transposed input — A is transposed for unit-stride tile loads
+6. 2D reg blocking  — each thread accumulates a 4x4 block in registers,
+                      no local tiling (low local traffic, high global
+                      traffic — the Mali-pessimal variant of Fig. 15)
+
+All variants compute C = A @ B for square matrices.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.base import Workload
+
+_SGEMM1 = """
+__kernel void sgemm1(__global float* a, __global float* b, __global float* c,
+                     int n) {
+    int col = get_global_id(0);
+    int row = get_global_id(1);
+    float acc = 0.0f;
+    for (int k = 0; k < n; k += 1) {
+        acc += a[row * n + k] * b[k * n + col];
+    }
+    c[row * n + col] = acc;
+}
+"""
+
+_SGEMM2 = """
+__kernel void sgemm2(__global float* a, __global float* b, __global float* c,
+                     int n) {
+    __local float asub[64];
+    __local float bsub[64];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int col = get_global_id(0);
+    int row = get_global_id(1);
+    float acc = 0.0f;
+    int ntiles = n / 8;
+    for (int t = 0; t < ntiles; t += 1) {
+        asub[ly * 8 + lx] = a[row * n + t * 8 + lx];
+        bsub[ly * 8 + lx] = b[(t * 8 + ly) * n + col];
+        barrier(1);
+        for (int k = 0; k < 8; k += 1) {
+            acc += asub[ly * 8 + k] * bsub[k * 8 + lx];
+        }
+        barrier(1);
+    }
+    c[row * n + col] = acc;
+}
+"""
+
+_SGEMM3 = """
+__kernel void sgemm3(__global float* a, __global float* b, __global float* c,
+                     int n) {
+    __local float asub[256];
+    __local float bsub[64];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int col = get_global_id(0);
+    int row0 = get_group_id(1) * 32 + ly * 4;
+    float acc0 = 0.0f;
+    float acc1 = 0.0f;
+    float acc2 = 0.0f;
+    float acc3 = 0.0f;
+    int ntiles = n / 8;
+    for (int t = 0; t < ntiles; t += 1) {
+        for (int w = 0; w < 4; w += 1) {
+            asub[(ly * 4 + w) * 8 + lx] = a[(row0 + w) * n + t * 8 + lx];
+        }
+        bsub[ly * 8 + lx] = b[(t * 8 + ly) * n + col];
+        barrier(1);
+        for (int k = 0; k < 8; k += 1) {
+            float bv = bsub[k * 8 + lx];
+            acc0 += asub[(ly * 4) * 8 + k] * bv;
+            acc1 += asub[(ly * 4 + 1) * 8 + k] * bv;
+            acc2 += asub[(ly * 4 + 2) * 8 + k] * bv;
+            acc3 += asub[(ly * 4 + 3) * 8 + k] * bv;
+        }
+        barrier(1);
+    }
+    c[row0 * n + col] = acc0;
+    c[(row0 + 1) * n + col] = acc1;
+    c[(row0 + 2) * n + col] = acc2;
+    c[(row0 + 3) * n + col] = acc3;
+}
+"""
+
+_SGEMM4 = """
+__kernel void sgemm4(__global float* a, __global float* b, __global float* c,
+                     int n) {
+    __local float asub[256];
+    __local float bsub[256];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int col = get_global_id(0);
+    int row = get_global_id(1);
+    float acc = 0.0f;
+    int ntiles = n / 32;
+    for (int t = 0; t < ntiles; t += 1) {
+        float4 av = vload4(0, a + row * n + t * 32 + lx * 4);
+        vstore4(av, 0, asub + ly * 32 + lx * 4);
+        for (int w = 0; w < 4; w += 1) {
+            bsub[(ly * 4 + w) * 8 + lx] = b[(t * 32 + ly * 4 + w) * n + col];
+        }
+        barrier(1);
+        for (int k = 0; k < 32; k += 1) {
+            acc += asub[ly * 32 + k] * bsub[k * 8 + lx];
+        }
+        barrier(1);
+    }
+    c[row * n + col] = acc;
+}
+"""
+
+_SGEMM5 = """
+__kernel void sgemm5(__global float* at, __global float* b, __global float* c,
+                     int n) {
+    __local float asub[64];
+    __local float bsub[64];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int col = get_global_id(0);
+    int row = get_global_id(1);
+    float acc = 0.0f;
+    int ntiles = n / 8;
+    for (int t = 0; t < ntiles; t += 1) {
+        asub[ly * 8 + lx] = at[(t * 8 + ly) * n + get_group_id(1) * 8 + lx];
+        bsub[ly * 8 + lx] = b[(t * 8 + ly) * n + col];
+        barrier(1);
+        for (int k = 0; k < 8; k += 1) {
+            acc += asub[k * 8 + ly] * bsub[k * 8 + lx];
+        }
+        barrier(1);
+    }
+    c[row * n + col] = acc;
+}
+"""
+
+
+def _generate_sgemm6():
+    """2D register blocking with explicit 4x4 accumulators (desktop-GPU
+    style; fully unrolled in the source, as a tuned kernel would be)."""
+    lines = [
+        "__kernel void sgemm6(__global float* a, __global float* b,"
+        " __global float* c, int n) {",
+        "    int cx = get_global_id(0);",
+        "    int cy = get_global_id(1);",
+        "    int col0 = cx * 4;",
+        "    int row0 = cy * 4;",
+    ]
+    for r in range(4):
+        for s in range(4):
+            lines.append(f"    float acc{r}{s} = 0.0f;")
+    lines.append("    for (int k = 0; k < n; k += 1) {")
+    for r in range(4):
+        lines.append(f"        float a{r} = a[(row0 + {r}) * n + k];")
+    for s in range(4):
+        lines.append(f"        float b{s} = b[k * n + col0 + {s}];")
+    for r in range(4):
+        for s in range(4):
+            lines.append(f"        acc{r}{s} += a{r} * b{s};")
+    lines.append("    }")
+    for r in range(4):
+        for s in range(4):
+            lines.append(f"    c[(row0 + {r}) * n + col0 + {s}] = acc{r}{s};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+_SGEMM6 = _generate_sgemm6()
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    index: int
+    label: str
+    kernel: str
+    source: str
+    transpose_a: bool
+    global_size: str  # 'full' | 'rows4' | 'block4x4'
+    local_size: tuple
+
+
+SGEMM_VARIANTS = [
+    VariantSpec(1, "Naive", "sgemm1", _SGEMM1, False, "full", (8, 8)),
+    VariantSpec(2, "LocalMemTiling", "sgemm2", _SGEMM2, False, "full", (8, 8)),
+    VariantSpec(3, "MoreWorkPerThread", "sgemm3", _SGEMM3, False, "rows4", (8, 8)),
+    VariantSpec(4, "WiderDataTypes", "sgemm4", _SGEMM4, False, "full", (8, 8)),
+    VariantSpec(5, "TransposedInput", "sgemm5", _SGEMM5, True, "full", (8, 8)),
+    VariantSpec(6, "2DRegBlocking", "sgemm6", _SGEMM6, False, "block4x4", (4, 4)),
+]
+
+
+class ClblasSgemm(Workload):
+    """The Table-II "clBLAS SGEMM" entry: a tuned library-style GEMM.
+
+    clBLAS's generated kernel is a local-memory tiled GEMM; we use the
+    tiled variant (variant 2) with library-style alpha/beta handling.
+    """
+
+    name = "clblas_sgemm"
+    suite = "clBLAS"
+    paper_input = "1024x1024 matrix"
+    source = _SGEMM2.replace("sgemm2", "clblas_sgemm")
+
+    @staticmethod
+    def default_params():
+        return {"n": 32}
+
+    def prepare(self):
+        n = self.params["n"]
+        if n % 8:
+            raise ValueError("clBLAS SGEMM size must be a multiple of 8")
+        return {
+            "a": self.rng.random((n, n), dtype=np.float32),
+            "b": self.rng.random((n, n), dtype=np.float32),
+        }
+
+    def execute(self, context, queue, inputs, version=None):
+        n = self.params["n"]
+        buf_a = context.buffer_from_array(inputs["a"])
+        buf_b = context.buffer_from_array(inputs["b"])
+        buf_c = context.alloc_buffer(4 * n * n)
+        kernel = context.build_program(self.source, version=version) \
+            .kernel("clblas_sgemm")
+        kernel.set_args(buf_a, buf_b, buf_c, n)
+        queue.enqueue_nd_range(kernel, (n, n), (8, 8))
+        out = queue.enqueue_read_buffer(buf_c, np.float32)
+        return [out.reshape(n, n)]
+
+    def reference(self, inputs):
+        return [(inputs["a"] @ inputs["b"]).astype(np.float32)]
+
+    def check(self, outputs, expected):
+        return np.allclose(outputs[0], expected[0], rtol=1e-3, atol=1e-4)
+
+
+class SgemmVariant(Workload):
+    """One of the six Fig. 15 SGEMM variants (select with ``variant=``)."""
+
+    name = "sgemm_variant"
+    suite = "myGEMM / CLBlast"
+    paper_input = "1024x1024 matrix"
+
+    def __init__(self, variant=1, **params):
+        self.spec = SGEMM_VARIANTS[variant - 1]
+        self.name = f"sgemm{variant}:{self.spec.label}"
+        self.source = self.spec.source
+        super().__init__(**params)
+
+    def seed(self):
+        return 20190324  # same inputs for every variant
+
+    @staticmethod
+    def default_params():
+        return {"n": 32}
+
+    def prepare(self):
+        n = self.params["n"]
+        if n % 32:
+            raise ValueError("SGEMM variant size must be a multiple of 32")
+        return {
+            "a": self.rng.random((n, n), dtype=np.float32),
+            "b": self.rng.random((n, n), dtype=np.float32),
+        }
+
+    def execute(self, context, queue, inputs, version=None):
+        n = self.params["n"]
+        spec = self.spec
+        a_host = inputs["a"].T.copy() if spec.transpose_a else inputs["a"]
+        buf_a = context.buffer_from_array(a_host)
+        buf_b = context.buffer_from_array(inputs["b"])
+        buf_c = context.alloc_buffer(4 * n * n)
+        kernel = context.build_program(self.source, version=version) \
+            .kernel(spec.kernel)
+        kernel.set_args(buf_a, buf_b, buf_c, n)
+        if spec.global_size == "full":
+            global_size = (n, n)
+        elif spec.global_size == "rows4":
+            global_size = (n, n // 4)
+        else:
+            global_size = (n // 4, n // 4)
+        queue.enqueue_nd_range(kernel, global_size, spec.local_size)
+        self.last_kernel = kernel
+        out = queue.enqueue_read_buffer(buf_c, np.float32)
+        return [out.reshape(n, n)]
+
+    def reference(self, inputs):
+        return [(inputs["a"] @ inputs["b"]).astype(np.float32)]
+
+    def check(self, outputs, expected):
+        return np.allclose(outputs[0], expected[0], rtol=1e-3, atol=1e-4)

@@ -1,0 +1,34 @@
+"""Memory substrate: physical memory, the system bus, and page tables.
+
+This package models the shared CPU/GPU memory system of the simulated
+platform (Section III of the paper): a single sparse physical memory that
+both the simulated CPU and the simulated GPU access, an MMIO bus that routes
+device-register accesses, and an AArch64-LPAE-like page-table format used by
+both the CPU MMU and the GPU MMU.
+"""
+
+from repro.mem.physical import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
+from repro.mem.bus import Bus, MMIODevice, MMIORegion
+from repro.mem.pagetable import (
+    PTE_VALID,
+    PTE_READ,
+    PTE_WRITE,
+    PTE_EXEC,
+    PageTableBuilder,
+    PageTableWalker,
+)
+
+__all__ = [
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PhysicalMemory",
+    "Bus",
+    "MMIODevice",
+    "MMIORegion",
+    "PTE_VALID",
+    "PTE_READ",
+    "PTE_WRITE",
+    "PTE_EXEC",
+    "PageTableBuilder",
+    "PageTableWalker",
+]

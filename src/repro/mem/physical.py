@@ -1,0 +1,139 @@
+"""Sparse physical memory.
+
+The simulated platform has a single physical address space shared by the CPU
+and the GPU (the paper's "shared main memory tightly couples the GPU and CPU
+memory systems"). Memory is allocated lazily in 4 KiB pages so multi-GiB
+guest address spaces cost only what is touched.
+
+All accessors take *physical* addresses; virtual addressing is layered on
+top by the CPU and GPU MMUs (:mod:`repro.mem.pagetable`).
+"""
+
+import struct
+
+import numpy as np
+
+from repro.errors import MemoryError_
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+_PAGE_MASK = PAGE_SIZE - 1
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+class PhysicalMemory:
+    """Lazily-allocated paged physical memory.
+
+    Pages are ``bytearray`` objects created on first touch. Bulk transfers
+    (:meth:`write_block`, :meth:`read_block`) operate page-by-page and are
+    the backing for simulated-CPU ``memcpy`` routines and GPU vector
+    accesses.
+
+    Args:
+        size: total physical memory size in bytes. Accesses beyond this
+            raise :class:`~repro.errors.MemoryError_`.
+    """
+
+    def __init__(self, size=1 << 32):
+        if size <= 0 or size & _PAGE_MASK:
+            raise ValueError(f"memory size must be a positive multiple of {PAGE_SIZE}")
+        self.size = size
+        self._pages = {}
+
+    # -- page management ----------------------------------------------------
+
+    def _page(self, addr):
+        """Return (page bytearray, offset) for *addr*, allocating the page."""
+        if not 0 <= addr < self.size:
+            raise MemoryError_(f"physical access out of range: 0x{addr:x}")
+        index = addr >> PAGE_SHIFT
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page, addr & _PAGE_MASK
+
+    @property
+    def allocated_pages(self):
+        """Number of physical pages actually backed by host memory."""
+        return len(self._pages)
+
+    # -- scalar accessors ---------------------------------------------------
+
+    def read_u8(self, addr):
+        page, off = self._page(addr)
+        return page[off]
+
+    def write_u8(self, addr, value):
+        page, off = self._page(addr)
+        page[off] = value & 0xFF
+
+    def read_u32(self, addr):
+        page, off = self._page(addr)
+        if off <= PAGE_SIZE - 4:
+            return _U32.unpack_from(page, off)[0]
+        return int.from_bytes(self.read_block(addr, 4), "little")
+
+    def write_u32(self, addr, value):
+        page, off = self._page(addr)
+        if off <= PAGE_SIZE - 4:
+            _U32.pack_into(page, off, value & 0xFFFFFFFF)
+        else:
+            self.write_block(addr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def read_u64(self, addr):
+        page, off = self._page(addr)
+        if off <= PAGE_SIZE - 8:
+            return _U64.unpack_from(page, off)[0]
+        return int.from_bytes(self.read_block(addr, 8), "little")
+
+    def write_u64(self, addr, value):
+        page, off = self._page(addr)
+        if off <= PAGE_SIZE - 8:
+            _U64.pack_into(page, off, value & 0xFFFFFFFFFFFFFFFF)
+        else:
+            self.write_block(addr, (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))
+
+    # -- bulk accessors -----------------------------------------------------
+
+    def read_block(self, addr, length):
+        """Read *length* bytes starting at *addr* as ``bytes``."""
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            page, off = self._page(addr + pos)
+            chunk = min(length - pos, PAGE_SIZE - off)
+            out[pos:pos + chunk] = page[off:off + chunk]
+            pos += chunk
+        return bytes(out)
+
+    def write_block(self, addr, data):
+        """Write the buffer *data* starting at physical address *addr*."""
+        data = memoryview(data).cast("B")
+        length = len(data)
+        pos = 0
+        while pos < length:
+            page, off = self._page(addr + pos)
+            chunk = min(length - pos, PAGE_SIZE - off)
+            page[off:off + chunk] = data[pos:pos + chunk]
+            pos += chunk
+
+    def read_array(self, addr, count, dtype=np.uint32):
+        """Read *count* elements of *dtype* starting at *addr*."""
+        raw = self.read_block(addr, count * np.dtype(dtype).itemsize)
+        return np.frombuffer(raw, dtype=dtype).copy()
+
+    def write_array(self, addr, array):
+        """Write a NumPy array's bytes starting at *addr*."""
+        self.write_block(addr, np.ascontiguousarray(array).tobytes())
+
+    def fill(self, addr, length, value=0):
+        """Set *length* bytes starting at *addr* to *value*."""
+        pos = 0
+        while pos < length:
+            page, off = self._page(addr + pos)
+            chunk = min(length - pos, PAGE_SIZE - off)
+            page[off:off + chunk] = bytes([value & 0xFF]) * chunk
+            pos += chunk

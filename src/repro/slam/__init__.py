@@ -1,0 +1,20 @@
+"""SLAMBench/KFusion-like computer-vision pipeline (Section V-E1).
+
+A dense-SLAM pipeline in the spirit of KFusion: bilateral filtering,
+pyramid construction, vertex/normal maps, point-to-plane ICP tracking with
+a reduction, TSDF volume integration and raycasting — multiple compute
+kernels whose dataflow is orchestrated by the CPU, exactly the structure
+that makes SLAMBench "impossible to simulate with existing GPU simulators
+out-of-the-box".
+
+Frames come from a synthetic scene generator (a sphere in front of a wall,
+camera dollying forward) rather than the living-room trajectory the paper
+uses; the pipeline structure and the relative-cost comparison between the
+``standard``/``fast3``/``express`` configurations (Fig. 14) are preserved.
+"""
+
+from repro.slam.configs import CONFIGS, SlamConfig
+from repro.slam.pipeline import KFusionPipeline
+from repro.slam.scene import synthetic_depth_frame
+
+__all__ = ["CONFIGS", "SlamConfig", "KFusionPipeline", "synthetic_depth_frame"]

@@ -1,0 +1,49 @@
+"""SLAM pipeline configurations (standard / fast3 / express).
+
+The paper evaluates the KFusion benchmark with the ``standard``, ``fast3``
+and ``express`` SLAMBench configurations, which trade accuracy for speed by
+shrinking the computation resolution, the TSDF volume and the ICP iteration
+counts, and (for express) integrating only every other frame.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SlamConfig:
+    """One pipeline configuration.
+
+    Attributes:
+        name: configuration label.
+        width/height: computation resolution (pixels).
+        volume: TSDF volume resolution (voxels per side).
+        icp_iterations: ICP iterations per pyramid level (fine -> coarse).
+        integrate_every: integrate each Nth frame.
+        frames: frames processed per run.
+    """
+
+    name: str
+    width: int
+    height: int
+    volume: int
+    icp_iterations: tuple
+    integrate_every: int = 1
+    frames: int = 3
+
+    @property
+    def pyramid_levels(self):
+        return len(self.icp_iterations)
+
+
+# The optimized configurations shrink the TSDF volume (cubic work) harder
+# than the image resolution, and keep ICP tracking iterations relatively
+# high — so tracking's local-memory reductions shrink more slowly than
+# total work, the Fig. 14 "increased local memory use" effect.
+CONFIGS = {
+    "standard": SlamConfig("standard", width=32, height=24, volume=24,
+                           icp_iterations=(3, 2, 1)),
+    "fast3": SlamConfig("fast3", width=16, height=12, volume=12,
+                        icp_iterations=(3, 2, 1)),
+    "express": SlamConfig("express", width=8, height=8, volume=8,
+                          icp_iterations=(3, 2), integrate_every=2),
+}

@@ -1,0 +1,224 @@
+"""Kernel sources for the KFusion-like pipeline."""
+
+MM2METERS = """
+__kernel void mm2meters(__global uint* in_mm, __global float* out_m, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        out_m[i] = (float)in_mm[i] * 0.001f;
+    }
+}
+"""
+
+BILATERAL = """
+__kernel void bilateral(__global float* in_depth, __global float* out_depth,
+                        int width, int height, float inv2_sigma_r2,
+                        float inv2_sigma_s2) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    float center = in_depth[y * width + x];
+    float sum = 0.0f;
+    float wsum = 0.0f;
+    for (int dy = -1; dy <= 1; dy += 1) {
+        for (int dx = -1; dx <= 1; dx += 1) {
+            int nx = clamp(x + dx, 0, width - 1);
+            int ny = clamp(y + dy, 0, height - 1);
+            float d = in_depth[ny * width + nx];
+            float diff = d - center;
+            float space = (float)(dx * dx + dy * dy);
+            float w = exp(0.0f - diff * diff * inv2_sigma_r2
+                          - space * inv2_sigma_s2);
+            sum += w * d;
+            wsum += w;
+        }
+    }
+    out_depth[y * width + x] = sum / wsum;
+}
+"""
+
+HALF_SAMPLE = """
+__kernel void half_sample(__global float* in_depth, __global float* out_depth,
+                          int out_width) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    int in_width = out_width * 2;
+    int bx = 2 * x;
+    int by = 2 * y;
+    float a = in_depth[by * in_width + bx];
+    float b = in_depth[by * in_width + bx + 1];
+    float c = in_depth[(by + 1) * in_width + bx];
+    float d = in_depth[(by + 1) * in_width + bx + 1];
+    out_depth[y * out_width + x] = 0.25f * (a + b + c + d);
+}
+"""
+
+DEPTH2VERTEX = """
+__kernel void depth2vertex(__global float* depth, __global float* vertex,
+                           int width, float fx, float fy, float cx, float cy) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    int idx = y * width + x;
+    float d = depth[idx];
+    int base = 3 * idx;
+    vertex[base] = d * ((float)x - cx) / fx;
+    vertex[base + 1] = d * ((float)y - cy) / fy;
+    vertex[base + 2] = d;
+}
+"""
+
+VERTEX2NORMAL = """
+__kernel void vertex2normal(__global float* vertex, __global float* normal,
+                            int width, int height) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    int xr = min(x + 1, width - 1);
+    int xl = max(x - 1, 0);
+    int yd = min(y + 1, height - 1);
+    int yu = max(y - 1, 0);
+    int br = 3 * (y * width + xr);
+    int bl = 3 * (y * width + xl);
+    int bd = 3 * (yd * width + x);
+    int bu = 3 * (yu * width + x);
+    float ax = vertex[br] - vertex[bl];
+    float ay = vertex[br + 1] - vertex[bl + 1];
+    float az = vertex[br + 2] - vertex[bl + 2];
+    float bx = vertex[bd] - vertex[bu];
+    float by = vertex[bd + 1] - vertex[bu + 1];
+    float bz = vertex[bd + 2] - vertex[bu + 2];
+    float nx = ay * bz - az * by;
+    float ny = az * bx - ax * bz;
+    float nz = ax * by - ay * bx;
+    float len2 = nx * nx + ny * ny + nz * nz;
+    int base = 3 * (y * width + x);
+    if (len2 > 0.0000000001f) {
+        float inv = rsqrt(len2);
+        normal[base] = nx * inv;
+        normal[base + 1] = ny * inv;
+        normal[base + 2] = nz * inv;
+    } else {
+        normal[base] = 0.0f;
+        normal[base + 1] = 0.0f;
+        normal[base + 2] = 0.0f;
+    }
+}
+"""
+
+TRACK = """
+__kernel void track_icp(__global float* vertex, __global float* ref_vertex,
+                        __global float* ref_normal, __global float* error_out,
+                        int width, float dist_thresh) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    int idx = y * width + x;
+    int base = 3 * idx;
+    float e = 0.0f;
+    float nx = ref_normal[base];
+    float ny = ref_normal[base + 1];
+    float nz = ref_normal[base + 2];
+    if (nx * nx + ny * ny + nz * nz > 0.5f) {
+        float dx = ref_vertex[base] - vertex[base];
+        float dy = ref_vertex[base + 1] - vertex[base + 1];
+        float dz = ref_vertex[base + 2] - vertex[base + 2];
+        float dist2 = dx * dx + dy * dy + dz * dz;
+        if (dist2 < dist_thresh * dist_thresh) {
+            e = nx * dx + ny * dy + nz * dz;
+        }
+    }
+    error_out[idx] = e * e;
+}
+"""
+
+REDUCE = """
+__kernel void reduce_sum(__global float* in_data, __global float* out_data,
+                         __local float* scratch, int n) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int lsz = get_local_size(0);
+    float v = 0.0f;
+    if (gid < n) {
+        v = in_data[gid];
+    }
+    scratch[lid] = v;
+    barrier(1);
+    for (int offset = lsz >> 1; offset > 0; offset = offset >> 1) {
+        if (lid < offset) {
+            scratch[lid] = scratch[lid] + scratch[lid + offset];
+        }
+        barrier(1);
+    }
+    if (lid == 0) {
+        out_data[get_group_id(0)] = scratch[0];
+    }
+}
+"""
+
+INTEGRATE = """
+__kernel void integrate(__global float* tsdf, __global float* weights,
+                        __global float* depth, int vol, int dw, int dh,
+                        float voxel_size, float fx, float fy,
+                        float cx, float cy, float mu,
+                        float ox, float oy, float oz, float cam_z) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    int z = get_global_id(2);
+    float px = ((float)x + 0.5f) * voxel_size + ox;
+    float py = ((float)y + 0.5f) * voxel_size + oy;
+    float pz = ((float)z + 0.5f) * voxel_size + oz - cam_z;
+    if (pz > 0.1f) {
+        int u = (int)(px / pz * fx + cx + 0.5f);
+        int v = (int)(py / pz * fy + cy + 0.5f);
+        if (u >= 0 && u < dw && v >= 0 && v < dh) {
+            float d = depth[v * dw + u];
+            if (d > 0.0f) {
+                float sdf = d - pz;
+                if (sdf > 0.0f - mu) {
+                    float t = fmin(1.0f, sdf / mu);
+                    int vidx = (z * vol + y) * vol + x;
+                    float w = weights[vidx];
+                    tsdf[vidx] = (tsdf[vidx] * w + t) / (w + 1.0f);
+                    weights[vidx] = w + 1.0f;
+                }
+            }
+        }
+    }
+}
+"""
+
+RAYCAST = """
+__kernel void raycast(__global float* tsdf, __global float* out_depth,
+                      int vol, int width, float voxel_size,
+                      float fx, float fy, float cx, float cy,
+                      float ox, float oy, float oz, float cam_z,
+                      float near, float step, int max_steps) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    float dx = ((float)x - cx) / fx;
+    float dy = ((float)y - cy) / fy;
+    float hit = 0.0f;
+    float prev = 1.0f;
+    float prev_t = near;
+    for (int s = 0; s < max_steps; s += 1) {
+        float t = near + step * (float)s;
+        float px = dx * t - ox;
+        float py = dy * t - oy;
+        float pz = t + cam_z - oz;
+        int vx = (int)(px / voxel_size);
+        int vy = (int)(py / voxel_size);
+        int vz = (int)(pz / voxel_size);
+        if (vx >= 0 && vx < vol && vy >= 0 && vy < vol
+                && vz >= 0 && vz < vol) {
+            float f = tsdf[(vz * vol + vy) * vol + vx];
+            if (prev > 0.0f && f <= 0.0f && hit == 0.0f) {
+                hit = prev_t + step * prev / (prev - f);
+            }
+            prev = f;
+            prev_t = t;
+        }
+    }
+    out_depth[y * width + x] = hit;
+}
+"""
+
+ALL_SOURCES = "\n".join(
+    [MM2METERS, BILATERAL, HALF_SAMPLE, DEPTH2VERTEX, VERTEX2NORMAL,
+     TRACK, REDUCE, INTEGRATE, RAYCAST]
+)

@@ -1,0 +1,142 @@
+"""NumPy reference implementations of the pipeline kernels.
+
+Each function mirrors its GPU kernel operation-for-operation in float32,
+serving as the correctness oracle and as the native-speed pipeline used
+for the Fig. 14 FPS comparison.
+"""
+
+import numpy as np
+
+F32 = np.float32
+
+
+def mm2meters(depth_mm):
+    return depth_mm.astype(np.float32) * F32(0.001)
+
+
+def bilateral(depth, inv2_sigma_r2, inv2_sigma_s2):
+    height, width = depth.shape
+    out = np.zeros_like(depth)
+    total = np.zeros_like(depth)
+    wsum = np.zeros_like(depth)
+    ys, xs = np.meshgrid(np.arange(height), np.arange(width), indexing="ij")
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            nx = np.clip(xs + dx, 0, width - 1)
+            ny = np.clip(ys + dy, 0, height - 1)
+            d = depth[ny, nx]
+            diff = d - depth
+            space = F32(dx * dx + dy * dy)
+            w = np.exp(-diff * diff * F32(inv2_sigma_r2)
+                       - space * F32(inv2_sigma_s2)).astype(np.float32)
+            total += w * d
+            wsum += w
+    out = total / wsum
+    return out.astype(np.float32)
+
+
+def half_sample(depth):
+    return (0.25 * (depth[0::2, 0::2] + depth[0::2, 1::2]
+                    + depth[1::2, 0::2] + depth[1::2, 1::2])).astype(np.float32)
+
+
+def depth2vertex(depth, fx, fy, cx, cy):
+    height, width = depth.shape
+    ys, xs = np.meshgrid(np.arange(height, dtype=np.float32),
+                         np.arange(width, dtype=np.float32), indexing="ij")
+    vertex = np.zeros((height, width, 3), dtype=np.float32)
+    vertex[..., 0] = depth * (xs - F32(cx)) / F32(fx)
+    vertex[..., 1] = depth * (ys - F32(cy)) / F32(fy)
+    vertex[..., 2] = depth
+    return vertex
+
+
+def vertex2normal(vertex):
+    height, width, _ = vertex.shape
+    xr = np.minimum(np.arange(width) + 1, width - 1)
+    xl = np.maximum(np.arange(width) - 1, 0)
+    yd = np.minimum(np.arange(height) + 1, height - 1)
+    yu = np.maximum(np.arange(height) - 1, 0)
+    a = vertex[:, xr, :] - vertex[:, xl, :]
+    b = vertex[yd, :, :] - vertex[yu, :, :]
+    n = np.cross(a, b).astype(np.float32)
+    len2 = (n * n).sum(axis=2)
+    out = np.zeros_like(n)
+    valid = len2 > F32(1e-10)
+    inv = np.zeros_like(len2)
+    inv[valid] = (F32(1.0) / np.sqrt(len2[valid])).astype(np.float32)
+    out = n * inv[..., None]
+    return out.astype(np.float32)
+
+
+def track(vertex, ref_vertex, ref_normal, dist_thresh):
+    delta = (ref_vertex - vertex).astype(np.float32)
+    dist2 = (delta * delta).sum(axis=2)
+    nvalid = (ref_normal * ref_normal).sum(axis=2) > F32(0.5)
+    close = dist2 < F32(dist_thresh) * F32(dist_thresh)
+    e = (ref_normal * delta).sum(axis=2).astype(np.float32)
+    e = np.where(nvalid & close, e, F32(0.0))
+    return (e * e).astype(np.float32)
+
+
+def integrate(tsdf, weights, depth, voxel_size, fx, fy, cx, cy, mu,
+              origin, cam_z):
+    vol = tsdf.shape[0]
+    dh, dw = depth.shape
+    idx = (np.arange(vol, dtype=np.float32) + F32(0.5)) * F32(voxel_size)
+    pz = idx + F32(origin[2]) - F32(cam_z)  # along z voxels
+    py = idx + F32(origin[1])
+    px = idx + F32(origin[0])
+    pxg, pyg, pzg = np.meshgrid(px, py, pz, indexing="ij")
+    # tsdf is indexed [z][y][x]; build grids accordingly
+    pzg, pyg, pxg = np.meshgrid(pz, py, px, indexing="ij")
+    front = pzg > F32(0.1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        u = np.trunc(pxg / pzg * F32(fx) + F32(cx) + F32(0.5)).astype(np.int64)
+        v = np.trunc(pyg / pzg * F32(fy) + F32(cy) + F32(0.5)).astype(np.int64)
+    in_image = front & (u >= 0) & (u < dw) & (v >= 0) & (v < dh)
+    u_safe = np.clip(u, 0, dw - 1)
+    v_safe = np.clip(v, 0, dh - 1)
+    d = depth[v_safe, u_safe]
+    sdf = (d - pzg).astype(np.float32)
+    update = in_image & (d > 0) & (sdf > -F32(mu))
+    t = np.minimum(F32(1.0), sdf / F32(mu)).astype(np.float32)
+    new_tsdf = ((tsdf * weights + t) / (weights + F32(1.0))).astype(np.float32)
+    tsdf[update] = new_tsdf[update]
+    weights[update] = weights[update] + F32(1.0)
+    return tsdf, weights
+
+
+def raycast(tsdf, width, height, voxel_size, fx, fy, cx, cy, origin, cam_z,
+            near, step, max_steps):
+    vol = tsdf.shape[0]
+    ys, xs = np.meshgrid(np.arange(height, dtype=np.float32),
+                         np.arange(width, dtype=np.float32), indexing="ij")
+    dx = (xs - F32(cx)) / F32(fx)
+    dy = (ys - F32(cy)) / F32(fy)
+    hit = np.zeros((height, width), dtype=np.float32)
+    prev = np.ones((height, width), dtype=np.float32)
+    prev_t = np.full((height, width), F32(near), dtype=np.float32)
+    for s in range(max_steps):
+        t = F32(near) + F32(step) * F32(s)
+        px = dx * t - F32(origin[0])
+        py = dy * t - F32(origin[1])
+        pz = t + F32(cam_z) - F32(origin[2])
+        vx = np.trunc(px / F32(voxel_size)).astype(np.int64)
+        vy = np.trunc(py / F32(voxel_size)).astype(np.int64)
+        vz = np.trunc(np.full_like(px, pz) / F32(voxel_size)).astype(np.int64)
+        inside = ((vx >= 0) & (vx < vol) & (vy >= 0) & (vy < vol)
+                  & (vz >= 0) & (vz < vol))
+        f = np.where(
+            inside,
+            tsdf[np.clip(vz, 0, vol - 1), np.clip(vy, 0, vol - 1),
+                 np.clip(vx, 0, vol - 1)],
+            prev,
+        ).astype(np.float32)
+        crossing = inside & (prev > 0) & (f <= 0) & (hit == 0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            interp = prev_t + F32(step) * prev / (prev - f)
+        hit = np.where(crossing, interp.astype(np.float32), hit)
+        prev = np.where(inside, f, prev)
+        prev_t = np.where(inside, np.float32(t), prev_t)
+    return hit

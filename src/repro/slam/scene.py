@@ -1,0 +1,56 @@
+"""Synthetic depth-frame generator.
+
+Stands in for the SLAMBench living-room sequence: a sphere floating in
+front of a back wall, viewed by a pinhole camera that dollies forward a
+little each frame. Produces metric depth maps with the noise profile a
+bilateral filter is designed for.
+"""
+
+import numpy as np
+
+
+def camera_intrinsics(width, height):
+    """Pinhole intrinsics scaled to the computation resolution."""
+    fx = 0.75 * width
+    fy = 0.75 * width
+    cx = width / 2.0 - 0.5
+    cy = height / 2.0 - 0.5
+    return fx, fy, cx, cy
+
+
+def synthetic_depth_frame(width, height, frame_index=0, noise=0.01, seed=1234):
+    """Render one synthetic depth frame (float32 metres).
+
+    The camera sits at the origin looking down +z; it moves forward 2 cm
+    per frame. The scene is a unit-radius sphere at (0, 0, 2.5) in front of
+    a wall at z = 4.
+    """
+    fx, fy, cx, cy = camera_intrinsics(width, height)
+    us, vs = np.meshgrid(np.arange(width), np.arange(height))
+    dx = (us - cx) / fx
+    dy = (vs - cy) / fy
+    dz = np.ones_like(dx)
+    norm = np.sqrt(dx * dx + dy * dy + 1.0)
+
+    camera_z = 0.02 * frame_index
+    sphere_center = np.array([0.0, 0.0, 2.5 - camera_z])
+    radius = 1.0
+    wall_z = 4.0 - camera_z
+
+    # ray-sphere intersection (camera at origin, direction d/|d|)
+    ox, oy, oz = 0.0, 0.0, 0.0
+    b = (dx * (ox - sphere_center[0]) + dy * (oy - sphere_center[1])
+         + dz * (oz - sphere_center[2]))
+    c = (sphere_center ** 2).sum() - radius ** 2
+    disc = b * b - (dx * dx + dy * dy + 1.0) * c
+    with np.errstate(invalid="ignore"):
+        t_sphere = (-b - np.sqrt(disc)) / (dx * dx + dy * dy + 1.0)
+    hit = (disc > 0) & (t_sphere > 0)
+
+    t_wall = wall_z / dz
+    t = np.where(hit, t_sphere, t_wall)
+    depth = (t * dz).astype(np.float32)  # z-depth
+
+    rng = np.random.default_rng(seed + frame_index)
+    depth += (noise * rng.standard_normal(depth.shape)).astype(np.float32)
+    return np.clip(depth, 0.4, 8.0).astype(np.float32)

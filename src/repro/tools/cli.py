@@ -1,0 +1,223 @@
+"""The ``repro-sim`` command-line interface.
+
+Subcommands:
+
+- ``compile FILE``  — compile a kernel file; print per-kernel code metrics
+  (optionally for every compiler version with ``--all-versions``).
+- ``disasm FILE``   — clause-level disassembly of a compiled kernel.
+- ``run FILE``      — run a kernel on the full simulated platform with
+  auto-generated buffers; print instrumentation.
+- ``workloads``     — list the built-in Table-II workloads.
+- ``bench NAME``    — run one built-in workload; print stats + cycle
+  estimate.
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_compile_args(parser):
+    parser.add_argument("file", help="kernel-language source file")
+    parser.add_argument("--version", default=None,
+                        help="compiler version preset (5.6 .. 6.2)")
+    parser.add_argument("-D", "--define", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="preprocessor define (repeatable)")
+
+
+def _defines(options):
+    defines = {}
+    for item in options.define:
+        name, _, value = item.partition("=")
+        defines[name] = value or "1"
+    return defines
+
+
+def _cmd_compile(options):
+    from repro.clc import COMPILER_VERSIONS, compile_source
+
+    with open(options.file) as handle:
+        source = handle.read()
+    versions = (sorted(COMPILER_VERSIONS) if options.all_versions
+                else [options.version])
+    print(f"{'kernel':20s} {'version':8s} {'clauses':>8s} {'slots':>6s} "
+          f"{'nops':>5s} {'regs':>5s} {'scratch':>8s} {'bytes':>6s}")
+    for version in versions:
+        program = compile_source(source, options=version,
+                                 defines=_defines(options))
+        for name in sorted(program.kernels):
+            kernel = program.kernels[name]
+            metrics = kernel.static_metrics()
+            print(f"{name:20s} {version or 'default':8s} "
+                  f"{metrics['clauses']:8d} {metrics['slots']:6d} "
+                  f"{metrics['nops']:5d} {metrics['registers']:5d} "
+                  f"{kernel.scratch_per_thread:8d} "
+                  f"{metrics['binary_bytes']:6d}")
+    return 0
+
+
+def _cmd_disasm(options):
+    from repro.clc import compile_source
+    from repro.gpu.disasm import disassemble
+
+    with open(options.file) as handle:
+        source = handle.read()
+    program = compile_source(source, options=options.version,
+                             defines=_defines(options))
+    for name in sorted(program.kernels):
+        if options.kernel and name != options.kernel:
+            continue
+        print(f"; kernel {name}")
+        print(disassemble(program.kernels[name].program))
+        print()
+    return 0
+
+
+def _cmd_run(options):
+    from repro.cl import CommandQueue, Context, LocalMemory
+
+    with open(options.file) as handle:
+        source = handle.read()
+    context = Context()
+    queue = CommandQueue(context)
+    program = context.build_program(source, version=options.version,
+                                    defines=_defines(options))
+    name = options.kernel or program.kernel_names[0]
+    kernel = program.kernel(name)
+
+    rng = np.random.default_rng(options.seed)
+    scalar_values = {}
+    for item in options.arg:
+        arg_name, _, value = item.partition("=")
+        scalar_values[arg_name] = value
+    buffers = []
+    for position, (param_name, kind, ty) in enumerate(kernel.compiled.params):
+        if kind == "buffer":
+            if ty.pointee.is_float:
+                array = rng.random(options.elements, dtype=np.float32)
+            else:
+                array = rng.integers(0, 100, options.elements) \
+                    .astype(np.int32)
+            buffer = context.buffer_from_array(array)
+            buffers.append((param_name, buffer, array.dtype))
+            kernel.set_arg(position, buffer)
+        elif kind == "local_ptr":
+            kernel.set_arg(position, LocalMemory(4 * options.local))
+        else:
+            raw = scalar_values.get(param_name, options.elements)
+            value = float(raw) if ty.is_float else int(raw)
+            kernel.set_arg(position, value)
+
+    global_size = tuple(options.global_size)
+    local_size = tuple(options.local_size) if options.local_size else None
+    stats = queue.enqueue_nd_range(kernel, global_size, local_size)
+    print(f"ran {name}: {stats.threads_launched} threads, "
+          f"{stats.workgroups} workgroups")
+    mix = stats.instruction_mix()
+    print("instruction mix: "
+          + ", ".join(f"{k}={100 * v:.1f}%" for k, v in mix.items()))
+    print(f"clauses executed: {stats.clauses_executed} "
+          f"(avg size {stats.average_clause_size():.2f})")
+    print(f"divergent branches: {stats.divergent_branches}")
+    system = context.platform.system_stats()
+    print(f"system: pages={system.pages_accessed} "
+          f"regR={system.ctrl_reg_reads} regW={system.ctrl_reg_writes} "
+          f"irqs={system.interrupts_asserted}")
+    for param_name, buffer, dtype in buffers[: options.show_buffers]:
+        data = queue.enqueue_read_buffer(buffer, dtype,
+                                         count=min(8, options.elements))
+        print(f"{param_name}[:8] = {data}")
+    return 0
+
+
+def _cmd_workloads(_options):
+    from repro.kernels import WORKLOADS
+
+    print(f"{'name':18s} {'suite':14s} {'paper input':28s} defaults")
+    for name in sorted(WORKLOADS):
+        cls = WORKLOADS[name]
+        defaults = ", ".join(f"{k}={v}" for k, v in
+                             sorted(cls.default_params().items()))
+        print(f"{name:18s} {cls.suite:14s} {cls.paper_input:28s} {defaults}")
+    return 0
+
+
+def _cmd_bench(options):
+    from repro.instrument.timing import CycleModel
+    from repro.kernels import get_workload
+
+    params = {}
+    for item in options.param:
+        name, _, value = item.partition("=")
+        params[name] = int(value)
+    workload = get_workload(options.name, **params)
+    result = workload.run()
+    stats = result.stats
+    print(f"{options.name}: verified={result.verified} jobs={result.jobs} "
+          f"wall={result.total_seconds:.3f}s "
+          f"(cpu-side {result.cpu_seconds:.3f}s)")
+    mix = stats.instruction_mix()
+    print("instruction mix: "
+          + ", ".join(f"{k}={100 * v:.1f}%" for k, v in mix.items()))
+    breakdown = stats.data_access_breakdown()
+    print("data accesses:   "
+          + ", ".join(f"{k}={100 * v:.1f}%" for k, v in breakdown.items()))
+    estimate = CycleModel().estimate(stats, jobs=result.jobs)
+    print(f"cycle estimate: {estimate['total_cycles']:.0f} cycles "
+          f"({estimate['bound_by']}-bound, "
+          f"occupancy {100 * estimate['occupancy']:.0f}%)")
+    return 0 if result.verified else 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Full-system mobile CPU/GPU simulator tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile and show metrics")
+    _add_compile_args(p_compile)
+    p_compile.add_argument("--all-versions", action="store_true",
+                           help="compile with every version preset")
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_disasm = sub.add_parser("disasm", help="clause-level disassembly")
+    _add_compile_args(p_disasm)
+    p_disasm.add_argument("--kernel", default=None)
+    p_disasm.set_defaults(func=_cmd_disasm)
+
+    p_run = sub.add_parser("run", help="run a kernel on the platform")
+    _add_compile_args(p_run)
+    p_run.add_argument("--kernel", default=None)
+    p_run.add_argument("--global-size", type=int, nargs="+", default=[64],
+                       dest="global_size")
+    p_run.add_argument("--local-size", type=int, nargs="+", default=None,
+                       dest="local_size")
+    p_run.add_argument("--elements", type=int, default=64,
+                       help="elements per auto-generated buffer")
+    p_run.add_argument("--local", type=int, default=64,
+                       help="words per LocalMemory argument")
+    p_run.add_argument("--arg", action="append", default=[],
+                       metavar="NAME=VALUE", help="scalar argument value")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--show-buffers", type=int, default=1)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_work = sub.add_parser("workloads", help="list built-in workloads")
+    p_work.set_defaults(func=_cmd_workloads)
+
+    p_bench = sub.add_parser("bench", help="run a built-in workload")
+    p_bench.add_argument("name")
+    p_bench.add_argument("--param", action="append", default=[],
+                         metavar="NAME=VALUE")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    options = parser.parse_args(argv)
+    return options.func(options)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Validation tooling (the paper's Section V-A methodology).
+
+The paper validates its GPU model two ways:
+
+1. **Instruction tracing**: "We executed selected kernels on both
+   simulators using an instruction tracing mode, where individual
+   instructions and their effects are observable." Here,
+   :class:`InstructionTracer` records every instruction's destination value
+   per thread on both the full-system quad-warp engine and the scalar
+   baseline engine, and :func:`compare_traces` diffs them — any semantic
+   divergence between the two independent implementations is pinpointed to
+   the first differing instruction of a specific thread.
+
+2. **Fuzzing**: "we employed fuzzing techniques for rigorous instruction
+   testing, covering an extensive range of inputs."
+   :func:`execute_instruction_both` runs a single arbitrary instruction
+   with arbitrary register inputs through both engines for
+   hypothesis-driven differential testing (see tests/test_validation.py).
+"""
+
+from repro.validate.trace import (
+    InstructionTracer,
+    TraceMismatch,
+    compare_traces,
+    trace_kernel_both,
+)
+from repro.validate.fuzz import execute_instruction_both
+
+__all__ = [
+    "InstructionTracer",
+    "TraceMismatch",
+    "compare_traces",
+    "trace_kernel_both",
+    "execute_instruction_both",
+]

@@ -1,0 +1,81 @@
+"""Differential single-instruction execution (fuzzing harness).
+
+Runs one arbitrary arithmetic instruction with arbitrary register inputs
+through both independent implementations — the quad-warp NumPy executor and
+the scalar Python/struct baseline ALU — and returns both results for
+comparison. Hypothesis drives this over the whole ISA in
+``tests/test_validation.py``, mirroring the paper's instruction fuzzing
+against Arm's reference simulator.
+"""
+
+import numpy as np
+
+from repro.baselines.m2s import M2SSimulator
+from repro.gpu.isa import Clause, Instruction, Op, Program, Tail
+from repro.gpu.warp import ClauseInterpreter, QuadWarp
+
+# ops excluded from single-instruction fuzzing (memory/uniform ports need
+# address setup and are validated by the kernel-level trace comparison)
+NON_FUZZABLE = {Op.NOP, Op.LD, Op.ST, Op.LDU, Op.ATOM}
+
+FUZZABLE_OPS = tuple(op for op in Op if op not in NON_FUZZABLE)
+
+# transcendental ops where the two implementations may legitimately differ
+# in the last ulp (numpy vectorized vs numpy scalar paths)
+ULP_TOLERANT = {Op.FEXP, Op.FLOG, Op.FSIN, Op.FCOS, Op.FRSQ, Op.FRCP,
+                Op.FSQRT}
+
+# ops whose result is a float32: NaN *payloads* are implementation-defined
+# (hardware and numpy both canonicalize differently), so NaN == NaN there
+FLOAT_RESULT_OPS = {
+    Op.FADD, Op.FSUB, Op.FMUL, Op.FMA, Op.FMIN, Op.FMAX, Op.FABS, Op.FNEG,
+    Op.FFLOOR, Op.FRCP, Op.FSQRT, Op.FRSQ, Op.FEXP, Op.FLOG, Op.FSIN,
+    Op.FCOS, Op.I2F, Op.U2F,
+}
+
+
+def execute_instruction_both(op, a_bits, b_bits, c_bits, flags=0):
+    """Execute ``op`` with raw 32-bit inputs on both engines.
+
+    Returns (quad_result_bits, scalar_result_bits) for lane/thread 0.
+    """
+    instr = Instruction(op, dst=0, srca=1, srcb=2, srcc=3, flags=flags)
+    clause = Clause(tuples=[(instr, Instruction(Op.NOP))], tail=Tail.END)
+    program = Program(clauses=[clause])
+
+    interp = ClauseInterpreter(program, np.zeros(1, dtype=np.uint32),
+                               mem=None)
+    warp = QuadWarp()
+    warp.regs[:, 1] = np.uint32(a_bits)
+    warp.regs[:, 2] = np.uint32(b_bits)
+    warp.regs[:, 3] = np.uint32(c_bits)
+    interp.run_warp(warp)
+    quad_bits = int(warp.regs[0, 0])
+
+    scalar_bits = int(M2SSimulator._alu(op, instr, a_bits & 0xFFFFFFFF,
+                                        b_bits & 0xFFFFFFFF,
+                                        c_bits & 0xFFFFFFFF)) & 0xFFFFFFFF
+    return quad_bits, scalar_bits
+
+
+def results_equivalent(op, quad_bits, scalar_bits, ulps=2):
+    """Bit-equal, or within *ulps* for the transcendental special-function
+    ops (and NaN == NaN)."""
+    if quad_bits == scalar_bits:
+        return True
+    a = np.uint32(quad_bits).view(np.float32)
+    b = np.uint32(scalar_bits).view(np.float32)
+    if op in FLOAT_RESULT_OPS and np.isnan(a) and np.isnan(b):
+        return True
+    if op not in ULP_TOLERANT:
+        return False
+    if np.isinf(a) or np.isinf(b):
+        return bool(a == b)
+    # ulp distance via ordered-integer representation
+    ia = np.int64(np.uint32(quad_bits).view(np.int32))
+    ib = np.int64(np.uint32(scalar_bits).view(np.int32))
+    if ia < 0:
+        ia = np.int64(-0x80000000) - ia
+    if ib < 0:
+        ib = np.int64(-0x80000000) - ib
+    return abs(int(ia) - int(ib)) <= ulps

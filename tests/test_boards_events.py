@@ -1,0 +1,111 @@
+"""Tests: board models, the network device, and queue profiling events."""
+
+import numpy as np
+import pytest
+
+from repro.cl import CommandQueue, Context
+from repro.core.boards import BOARDS, JUNO, VERSATILE_EXPRESS, make_platform
+from repro.core.platform import NET_BASE
+from repro.cpu.devices import (
+    NET_RX_DATA,
+    NET_RX_STATUS,
+    NET_TX_DATA,
+    NET_TX_SEND,
+)
+
+KERNEL = """
+__kernel void inc(__global int* data) {
+    int i = get_global_id(0);
+    data[i] = data[i] + 1;
+}
+"""
+
+
+class TestBoards:
+    def test_board_registry(self):
+        assert set(BOARDS) == {"versatile-express", "juno"}
+        assert JUNO.gpu_cores == 8
+        assert VERSATILE_EXPRESS.gpu_cores == 4
+
+    @pytest.mark.parametrize("name", sorted(BOARDS))
+    def test_same_stack_runs_on_both_boards(self, name):
+        """The full-system point: one unmodified software stack, any
+        board."""
+        platform = make_platform(name)
+        context = Context(platform)
+        queue = CommandQueue(context)
+        data = np.arange(32, dtype=np.int32)
+        buffer = context.buffer_from_array(data)
+        kernel = context.build_program(KERNEL).kernel("inc")
+        kernel.set_args(buffer)
+        queue.enqueue_nd_range(kernel, (32,), (8,))
+        out = queue.enqueue_read_buffer(buffer, np.int32)
+        np.testing.assert_array_equal(out, data + 1)
+        present = platform.bus.read_u32(0x1004_0004)  # SHADER_PRESENT
+        assert present == (1 << BOARDS[name].gpu_cores) - 1
+
+    def test_gpu_overrides(self):
+        platform = make_platform("juno", instrument=False)
+        assert platform.gpu.config.instrument is False
+        assert platform.gpu.config.num_shader_cores == 8
+
+    def test_unknown_board(self):
+        with pytest.raises(KeyError):
+            make_platform("raspberry")
+
+
+class TestNetworkDevice:
+    def test_loopback(self):
+        platform = make_platform("juno")
+        bus = platform.bus
+        for byte in b"ping":
+            bus.write_u32(NET_BASE + NET_TX_DATA, byte)
+        bus.write_u32(NET_BASE + NET_TX_SEND, 1)
+        assert bus.read_u32(NET_BASE + NET_RX_STATUS) == 4
+        received = bytes(
+            bus.read_u32(NET_BASE + NET_RX_DATA) for _ in range(4)
+        )
+        assert received == b"ping"
+        assert bus.read_u32(NET_BASE + NET_RX_STATUS) == 0
+
+    def test_host_injection(self):
+        platform = make_platform("juno")
+        platform.net.inject_frame(b"\x01\x02")
+        assert platform.bus.read_u32(NET_BASE + NET_RX_STATUS) == 2
+
+    def test_transmit_callback(self):
+        captured = []
+        platform = make_platform("juno")
+        platform.net.on_transmit = captured.append
+        platform.bus.write_u32(NET_BASE + NET_TX_DATA, 0x7F)
+        platform.bus.write_u32(NET_BASE + NET_TX_SEND, 1)
+        assert captured == [b"\x7f"]
+        assert platform.net.frames_sent == 1
+
+
+class TestProfilingEvents:
+    def test_events_recorded_in_order(self):
+        context = Context()
+        queue = CommandQueue(context, profiling=True)
+        data = np.zeros(64, dtype=np.int32)
+        buffer = context.buffer_from_array(data)  # separate queue: no event
+        kernel = context.build_program(KERNEL).kernel("inc")
+        kernel.set_args(buffer)
+        queue.enqueue_write_buffer(buffer, data)
+        queue.enqueue_nd_range(kernel, (64,), (16,))
+        queue.enqueue_read_buffer(buffer, np.int32)
+        kinds = [event.kind for event in queue.events]
+        assert kinds == ["write", "ndrange", "read"]
+        ndrange = queue.events[1]
+        assert ndrange.name == "inc"
+        assert ndrange.stats.threads_launched == 64
+        assert ndrange.duration > 0
+        # events are ordered in time
+        assert queue.events[0].end <= queue.events[1].end <= queue.events[2].end
+
+    def test_profiling_off_by_default(self):
+        context = Context()
+        queue = CommandQueue(context)
+        buffer = context.alloc_buffer(64)
+        queue.enqueue_fill_buffer(buffer)
+        assert queue.events == []

@@ -1,0 +1,188 @@
+"""Unit tests: the OpenCL-like runtime API surface."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CLError, CompileError
+from repro.cl import Buffer, CommandQueue, Context, LocalMemory
+
+KERNEL = """
+__kernel void fill(__global float* out, float value, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        out[i] = value;
+    }
+}
+
+__kernel void with_local(__global int* out, __local int* tile) {
+    int lid = get_local_id(0);
+    tile[lid] = lid;
+    barrier(1);
+    out[get_global_id(0)] = tile[get_local_size(0) - 1 - lid];
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def context():
+    return Context()
+
+
+@pytest.fixture(scope="module")
+def program(context):
+    return context.build_program(KERNEL)
+
+
+class TestBuffers:
+    def test_zero_size_rejected(self, context):
+        with pytest.raises(CLError):
+            context.alloc_buffer(0)
+
+    def test_from_array_roundtrip(self, context):
+        data = np.arange(100, dtype=np.int32)
+        buffer = context.buffer_from_array(data)
+        queue = CommandQueue(context)
+        out = queue.enqueue_read_buffer(buffer, np.int32)
+        np.testing.assert_array_equal(out, data)
+
+    def test_oversized_write_rejected(self, context):
+        buffer = context.alloc_buffer(16)
+        with pytest.raises(CLError):
+            CommandQueue(context).enqueue_write_buffer(
+                buffer, np.zeros(100, dtype=np.float32))
+
+    def test_fill_buffer(self, context):
+        buffer = context.alloc_buffer(64)
+        queue = CommandQueue(context)
+        queue.enqueue_fill_buffer(buffer, 0xAB)
+        out = queue.enqueue_read_buffer(buffer)
+        assert (out == 0xAB).all()
+
+    def test_partial_read(self, context):
+        data = np.arange(50, dtype=np.float32)
+        buffer = context.buffer_from_array(data)
+        queue = CommandQueue(context)
+        out = queue.enqueue_read_buffer(buffer, np.float32, count=10)
+        np.testing.assert_array_equal(out, data[:10])
+
+    def test_copy_buffer(self, context):
+        data = np.arange(64, dtype=np.int32)
+        src = context.buffer_from_array(data)
+        dst = context.alloc_buffer(data.nbytes)
+        queue = CommandQueue(context)
+        queue.enqueue_copy_buffer(src, dst)
+        out = queue.enqueue_read_buffer(dst, np.int32)
+        np.testing.assert_array_equal(out, data)
+
+    def test_copy_buffer_size_checked(self, context):
+        src = context.buffer_from_array(np.zeros(16, dtype=np.int32))
+        dst = context.alloc_buffer(16)
+        with pytest.raises(CLError):
+            CommandQueue(context).enqueue_copy_buffer(src, dst, nbytes=128)
+
+
+class TestKernelArgs:
+    def test_kernel_names(self, program):
+        assert program.kernel_names == ["fill", "with_local"]
+
+    def test_missing_kernel(self, program):
+        with pytest.raises(CompileError):
+            program.kernel("nope")
+
+    def test_arg_count_checked(self, context, program):
+        kernel = program.kernel("fill")
+        with pytest.raises(CLError):
+            kernel.set_args(context.alloc_buffer(4))
+
+    def test_arg_index_checked(self, program):
+        kernel = program.kernel("fill")
+        with pytest.raises(CLError):
+            kernel.set_arg(9, 1)
+
+    def test_buffer_arg_type_checked(self, program):
+        kernel = program.kernel("fill")
+        with pytest.raises(CLError):
+            kernel.set_arg(0, 42)  # scalar where buffer expected
+
+    def test_scalar_arg_type_checked(self, context, program):
+        kernel = program.kernel("fill")
+        with pytest.raises(CLError):
+            kernel.set_arg(1, context.alloc_buffer(4))
+
+    def test_local_arg_type_checked(self, context, program):
+        kernel = program.kernel("with_local")
+        with pytest.raises(CLError):
+            kernel.set_arg(1, context.alloc_buffer(4))
+
+    def test_unset_arg_detected_at_launch(self, context, program):
+        kernel = program.kernel("fill")
+        kernel.set_arg(0, context.alloc_buffer(64))
+        kernel.set_arg(2, 16)
+        with pytest.raises(CLError):
+            CommandQueue(context).enqueue_nd_range(kernel, (16,), (4,))
+
+    def test_local_memory_validation(self):
+        with pytest.raises(CLError):
+            LocalMemory(0)
+
+
+class TestLaunch:
+    def test_scalar_float_arg(self, context, program):
+        kernel = program.kernel("fill")
+        buffer = context.alloc_buffer(4 * 32)
+        kernel.set_args(buffer, np.float32(3.25), 32)
+        queue = CommandQueue(context)
+        queue.enqueue_nd_range(kernel, (32,), (8,))
+        out = queue.enqueue_read_buffer(buffer, np.float32)
+        assert (out == np.float32(3.25)).all()
+
+    def test_python_float_arg(self, context, program):
+        kernel = program.kernel("fill")
+        buffer = context.alloc_buffer(4 * 8)
+        kernel.set_args(buffer, 1.5, 8)
+        queue = CommandQueue(context)
+        queue.enqueue_nd_range(kernel, (8,), (8,))
+        out = queue.enqueue_read_buffer(buffer, np.float32)
+        assert (out == np.float32(1.5)).all()
+
+    def test_default_local_size(self, context, program):
+        kernel = program.kernel("fill")
+        buffer = context.alloc_buffer(4 * 96)
+        kernel.set_args(buffer, np.float32(1.0), 96)
+        stats = CommandQueue(context).enqueue_nd_range(kernel, (96,))
+        assert stats.threads_launched == 96
+
+    def test_indivisible_sizes_rejected(self, context, program):
+        kernel = program.kernel("fill")
+        kernel.set_args(context.alloc_buffer(400), np.float32(0.0), 100)
+        with pytest.raises(CLError):
+            CommandQueue(context).enqueue_nd_range(kernel, (100,), (32,))
+
+    def test_dynamic_local_memory(self, context, program):
+        kernel = program.kernel("with_local")
+        n, tile = 32, 8
+        buffer = context.alloc_buffer(4 * n)
+        kernel.set_args(buffer, LocalMemory(4 * tile))
+        queue = CommandQueue(context)
+        queue.enqueue_nd_range(kernel, (n,), (tile,))
+        out = queue.enqueue_read_buffer(buffer, np.int32)
+        expected = np.tile(np.arange(tile)[::-1], n // tile)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_queue_aggregates_stats(self, context, program):
+        kernel = program.kernel("fill")
+        buffer = context.alloc_buffer(4 * 16)
+        kernel.set_args(buffer, np.float32(0.0), 16)
+        queue = CommandQueue(context)
+        queue.enqueue_nd_range(kernel, (16,), (8,))
+        queue.enqueue_nd_range(kernel, (16,), (8,))
+        assert queue.kernels_launched == 2
+        assert queue.total_stats.threads_launched == 32
+        queue.finish()  # no-op, must not raise
+
+    def test_guest_cpu_cost_accumulates(self, context):
+        before = context.guest_instructions
+        data = np.zeros(4096, dtype=np.float32)
+        context.buffer_from_array(data)
+        assert context.guest_instructions > before
+        assert context.cpu_seconds > 0

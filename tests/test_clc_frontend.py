@@ -1,0 +1,160 @@
+"""Unit tests: kernel-language lexer, preprocessor and parser."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.clc import ast
+from repro.clc.lexer import preprocess, tokenize
+from repro.clc.parser import parse
+from repro.clc.types import FLOAT, FLOAT4, INT, PointerType, UINT
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("float x = 1.5f + 2 * 0x1A;")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["kw", "id", "op", "float", "op", "int", "op",
+                         "int", "op", "eof"]
+
+    def test_positions(self):
+        tokens = tokenize("int a;\n  float b;")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        float_token = next(t for t in tokens if t.text == "float")
+        assert (float_token.line, float_token.col) == (2, 3)
+
+    def test_comments_stripped(self):
+        tokens = tokenize("int a; // trailing\n/* block\ncomment */ int b;")
+        texts = [t.text for t in tokens if t.kind != "eof"]
+        assert texts == ["int", "a", ";", "int", "b", ";"]
+
+    def test_unsigned_suffix(self):
+        tokens = tokenize("123u")
+        assert tokens[0].kind == "int"
+        assert tokens[0].text == "123u"
+
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError):
+            tokenize("int a = $;")
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("a <<= b >> c <= d")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<<=", ">>", "<="]
+
+
+class TestPreprocessor:
+    def test_define_substitution(self):
+        text = preprocess("#define N 32\nint a[N];")
+        assert "int a[32];" in text
+
+    def test_define_chains(self):
+        text = preprocess("#define A B\n#define B 7\nx = A;")
+        assert "x = 7;" in text
+
+    def test_external_defines(self):
+        text = preprocess("x = SIZE;", defines={"SIZE": 128})
+        assert "x = 128;" in text
+
+    def test_function_like_macro_rejected(self):
+        with pytest.raises(CompileError):
+            preprocess("#define MAX(a,b) ((a)>(b)?(a):(b))")
+
+    def test_pragma_ignored(self):
+        assert "pragma" not in preprocess("#pragma unroll\nint x;")
+
+
+class TestParser:
+    def _kernel(self, body, params="__global float* a"):
+        unit = parse(f"__kernel void k({params}) {{ {body} }}")
+        assert len(unit.kernels) == 1
+        return unit.kernels[0]
+
+    def test_parameter_types(self):
+        kernel = self._kernel(
+            "", params="__global float* a, __local int* b, uint n, float x"
+        )
+        types = [p.ty for p in kernel.params]
+        assert types[0] == PointerType(FLOAT, "global")
+        assert types[1] == PointerType(INT, "local")
+        assert types[2] == UINT
+        assert types[3] == FLOAT
+
+    def test_expression_precedence(self):
+        kernel = self._kernel("int x = 1 + 2 * 3;")
+        decl = kernel.body.statements[0]
+        assert isinstance(decl.init, ast.Binary)
+        assert decl.init.op == "+"
+        assert decl.init.right.op == "*"
+
+    def test_ternary(self):
+        kernel = self._kernel("int x = a[0] > 0.0f ? 1 : 2;")
+        decl = kernel.body.statements[0]
+        assert isinstance(decl.init, ast.Ternary)
+
+    def test_compound_assignment(self):
+        kernel = self._kernel("int x = 0; x += 5; x <<= 1;")
+        ops = [s.op for s in kernel.body.statements[1:]]
+        assert ops == ["+=", "<<="]
+
+    def test_increment_decrement(self):
+        kernel = self._kernel("int i = 0; i++; i--;")
+        statements = kernel.body.statements
+        assert statements[1].op == "+=" and statements[2].op == "-="
+
+    def test_for_loop_structure(self):
+        kernel = self._kernel("for (int i = 0; i < 10; i += 1) { a[i] = 0.0f; }")
+        loop = kernel.body.statements[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.Declaration)
+        assert isinstance(loop.body, ast.Block)
+
+    def test_do_while(self):
+        kernel = self._kernel("int i = 0; do { i += 1; } while (i < 4);")
+        assert isinstance(kernel.body.statements[1], ast.DoWhile)
+
+    def test_vector_constructor_and_member(self):
+        kernel = self._kernel(
+            "float4 v = (float4)(1.0f, 2.0f, 3.0f, 4.0f); float x = v.x;"
+        )
+        decl = kernel.body.statements[0]
+        assert isinstance(decl.init, ast.VectorConstructor)
+        assert decl.init.target == FLOAT4
+
+    def test_cast_vs_parenthesized(self):
+        kernel = self._kernel("int x = (int)(1.5f); int y = (x);")
+        assert isinstance(kernel.body.statements[0].init, ast.Cast)
+        assert isinstance(kernel.body.statements[1].init, ast.Identifier)
+
+    def test_pointer_declaration(self):
+        kernel = self._kernel("__global float* p = a + 1;")
+        decl = kernel.body.statements[0]
+        assert decl.ty == PointerType(FLOAT, "global")
+
+    def test_deref(self):
+        kernel = self._kernel("float x = *a;")
+        assert isinstance(kernel.body.statements[0].init, ast.Deref)
+
+    def test_nonvoid_kernel_rejected(self):
+        with pytest.raises(CompileError):
+            parse("__kernel int k() { }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError):
+            parse("__kernel void k() { int x = 1 }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(CompileError):
+            parse("__kernel void k() { int x = 1;")
+
+    def test_multiple_kernels(self):
+        unit = parse("""
+            __kernel void a() { }
+            __kernel void b() { }
+        """)
+        assert [k.name for k in unit.kernels] == ["a", "b"]
+
+    def test_multi_declarator(self):
+        kernel = self._kernel("int x = 1, y = 2;")
+        block = kernel.body.statements[0]
+        assert isinstance(block, ast.Block)
+        assert len(block.statements) == 2

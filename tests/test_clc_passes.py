@@ -1,0 +1,188 @@
+"""Unit tests: AST unrolling and IR optimisation passes."""
+
+from repro.clc import ast
+from repro.clc.ir import BasicBlock, Const, IRFunction, IRInstr, VReg
+from repro.clc.parser import parse
+from repro.clc.passes import (
+    eliminate_dead_code,
+    local_copyprop,
+    prune_unreachable,
+    unroll_loops,
+)
+from repro.gpu.isa import Op
+
+
+def _first_loop(source):
+    unit = parse(source)
+    return unit.kernels[0].body.statements[-1]
+
+
+class TestUnrolling:
+    def _kernel_with_loop(self, loop_text):
+        return parse(f"__kernel void k(__global int* o) {{ {loop_text} }}") \
+            .kernels[0].body
+
+    def test_constant_trip_loop_unrolls(self):
+        body = self._kernel_with_loop(
+            "for (int i = 0; i < 4; i += 1) { o[i] = i; }"
+        )
+        unrolled = unroll_loops(body, limit=4)
+        statements = unrolled.statements[0].statements
+        assert len(statements) == 4
+        # the index became a literal in each copy
+        first_assignment = statements[0].statements[0]
+        assert isinstance(first_assignment.target.index, ast.IntLiteral)
+
+    def test_trip_count_above_limit_not_unrolled(self):
+        body = self._kernel_with_loop(
+            "for (int i = 0; i < 16; i += 1) { o[i] = i; }"
+        )
+        unrolled = unroll_loops(body, limit=4)
+        assert isinstance(unrolled.statements[0], ast.For)
+
+    def test_runtime_bound_not_unrolled(self):
+        source = """
+        __kernel void k(__global int* o, int n) {
+            for (int i = 0; i < n; i += 1) { o[i] = i; }
+        }
+        """
+        body = parse(source).kernels[0].body
+        unrolled = unroll_loops(body, limit=8)
+        assert isinstance(unrolled.statements[0], ast.For)
+
+    def test_loop_with_break_not_unrolled(self):
+        body = self._kernel_with_loop(
+            "for (int i = 0; i < 4; i += 1) { if (o[i] > 2) { break; } }"
+        )
+        unrolled = unroll_loops(body, limit=8)
+        assert isinstance(unrolled.statements[0], ast.For)
+
+    def test_loop_modifying_induction_var_not_unrolled(self):
+        body = self._kernel_with_loop(
+            "for (int i = 0; i < 4; i += 1) { i = i + 1; }"
+        )
+        unrolled = unroll_loops(body, limit=8)
+        assert isinstance(unrolled.statements[0], ast.For)
+
+    def test_zero_trip_loop_removed(self):
+        body = self._kernel_with_loop(
+            "for (int i = 5; i < 5; i += 1) { o[i] = i; }"
+        )
+        unrolled = unroll_loops(body, limit=8)
+        inner = unrolled.statements[0]
+        assert isinstance(inner, ast.Block) and not inner.statements
+
+    def test_downward_loop(self):
+        body = self._kernel_with_loop(
+            "for (int i = 3; i < 4; i += 1) { o[i] = i; }"
+        )
+        unrolled = unroll_loops(body, limit=8)
+        assert isinstance(unrolled.statements[0], ast.Block)
+
+    def test_nested_loops_unroll_inside_out(self):
+        body = self._kernel_with_loop(
+            "for (int i = 0; i < 2; i += 1) {"
+            "  for (int j = 0; j < 2; j += 1) { o[i * 2 + j] = 0; }"
+            "}"
+        )
+        unrolled = unroll_loops(body, limit=4)
+        outer = unrolled.statements[0]
+        assert isinstance(outer, ast.Block)
+
+
+def _fn_with_block():
+    fn = IRFunction("t")
+    block = fn.new_block("entry")
+    return fn, block
+
+
+class TestCopyProp:
+    def test_forwarding_through_mov(self):
+        fn, block = _fn_with_block()
+        a = fn.new_vreg("a")
+        b = fn.new_vreg("b")
+        c = fn.new_vreg("c")
+        block.emit(IRInstr(Op.MOV, dst=a, srcs=(Const.from_int(5),)))
+        block.emit(IRInstr(Op.MOV, dst=b, srcs=(a,)))
+        block.emit(IRInstr(Op.IADD, dst=c, srcs=(b, b)))
+        block.terminator = ("end",)
+        local_copyprop(fn)
+        add = block.instrs[2]
+        assert add.srcs == (Const.from_int(5), Const.from_int(5))
+
+    def test_invalidation_on_redefinition(self):
+        fn, block = _fn_with_block()
+        a = fn.new_vreg("a")
+        b = fn.new_vreg("b")
+        c = fn.new_vreg("c")
+        block.emit(IRInstr(Op.MOV, dst=b, srcs=(a,)))
+        block.emit(IRInstr(Op.IADD, dst=a, srcs=(a, Const.from_int(1))))
+        block.emit(IRInstr(Op.MOV, dst=c, srcs=(b,)))
+        block.terminator = ("end",)
+        local_copyprop(fn)
+        # b's copy of (old) a must NOT forward after a was redefined
+        assert block.instrs[2].srcs == (b,)
+
+
+class TestDCE:
+    def test_dead_arithmetic_removed(self):
+        fn, block = _fn_with_block()
+        dead = fn.new_vreg("dead")
+        live = fn.new_vreg("live")
+        block.emit(IRInstr(Op.IADD, dst=dead,
+                           srcs=(Const.from_int(1), Const.from_int(2))))
+        block.emit(IRInstr(Op.MOV, dst=live, srcs=(Const.from_int(3),)))
+        block.emit(IRInstr(Op.ST, srcs=(live,), group=[live]))
+        block.terminator = ("end",)
+        eliminate_dead_code(fn)
+        assert len(block.instrs) == 2
+
+    def test_stores_never_removed(self):
+        fn, block = _fn_with_block()
+        addr = fn.new_vreg("addr")
+        block.emit(IRInstr(Op.MOV, dst=addr, srcs=(Const.from_int(0),)))
+        block.emit(IRInstr(Op.ST, srcs=(addr,), group=[addr]))
+        block.terminator = ("end",)
+        eliminate_dead_code(fn)
+        assert any(i.op is Op.ST for i in block.instrs)
+
+    def test_transitively_dead_chains_removed(self):
+        fn, block = _fn_with_block()
+        a = fn.new_vreg("a")
+        b = fn.new_vreg("b")
+        block.emit(IRInstr(Op.MOV, dst=a, srcs=(Const.from_int(1),)))
+        block.emit(IRInstr(Op.IADD, dst=b, srcs=(a, a)))
+        block.terminator = ("end",)
+        eliminate_dead_code(fn)
+        assert not block.instrs
+
+    def test_branch_condition_kept(self):
+        fn = IRFunction("t")
+        entry = fn.new_block("entry")
+        exit_block = fn.new_block("exit")
+        cond = fn.new_vreg("cond")
+        entry.emit(IRInstr(Op.MOV, dst=cond, srcs=(Const.from_int(1),)))
+        entry.terminator = ("branch", cond, exit_block, exit_block)
+        exit_block.terminator = ("end",)
+        eliminate_dead_code(fn)
+        assert entry.instrs
+
+
+class TestUnreachable:
+    def test_orphan_blocks_pruned(self):
+        fn = IRFunction("t")
+        entry = fn.new_block("entry")
+        orphan = fn.new_block("orphan")
+        entry.terminator = ("end",)
+        orphan.terminator = ("end",)
+        prune_unreachable(fn)
+        assert fn.blocks == [entry]
+
+    def test_reachable_cycle_kept(self):
+        fn = IRFunction("t")
+        a = fn.new_block("a")
+        b = fn.new_block("b")
+        a.terminator = ("jump", b)
+        b.terminator = ("jump", a)
+        prune_unreachable(fn)
+        assert len(fn.blocks) == 2

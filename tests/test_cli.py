@@ -1,0 +1,82 @@
+"""Tests: the repro-sim command-line interface."""
+
+import pytest
+
+from repro.tools.cli import main
+
+KERNEL = """
+__kernel void doubler(__global float* data, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        data[i] = data[i] * 2.0f;
+    }
+}
+"""
+
+
+@pytest.fixture()
+def kernel_file(tmp_path):
+    path = tmp_path / "k.cl"
+    path.write_text(KERNEL)
+    return str(path)
+
+
+def test_compile_command(kernel_file, capsys):
+    assert main(["compile", kernel_file]) == 0
+    out = capsys.readouterr().out
+    assert "doubler" in out
+    assert "clauses" in out
+
+
+def test_compile_all_versions(kernel_file, capsys):
+    assert main(["compile", kernel_file, "--all-versions"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("doubler") == 5
+
+
+def test_compile_with_defines(tmp_path, capsys):
+    path = tmp_path / "d.cl"
+    path.write_text("""
+    __kernel void k(__global int* out) {
+        out[get_global_id(0)] = WIDTH;
+    }
+    """)
+    assert main(["compile", str(path), "-D", "WIDTH=77"]) == 0
+
+
+def test_disasm_command(kernel_file, capsys):
+    assert main(["disasm", kernel_file]) == 0
+    out = capsys.readouterr().out
+    assert "; kernel doubler" in out
+    assert "fmul" in out
+    assert "tail=" in out
+
+
+def test_run_command(kernel_file, capsys):
+    code = main(["run", kernel_file, "--global-size", "32",
+                 "--elements", "32", "--arg", "n=32"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "32 threads" in out
+    assert "instruction mix" in out
+    assert "system:" in out
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "SobelFilter" in out
+    assert "Parboil" in out
+
+
+def test_bench_command(capsys):
+    code = main(["bench", "nn", "--param", "records=128"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "verified=True" in out
+    assert "cycle estimate" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

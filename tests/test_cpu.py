@@ -1,0 +1,274 @@
+"""Unit tests: guest CPU ISA, assembler, interpreter, DBT engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GuestError
+from repro.cpu import CPU, DBTCore, GuestRoutines, Interpreter, assemble
+from repro.cpu.isa import CpuOp, decode, encode
+from repro.mem import Bus, PhysicalMemory
+
+CODE_BASE = 0x1000
+
+
+def _machine(source, engine="dbt"):
+    memory = PhysicalMemory(1 << 24)
+    bus = Bus(memory)
+    image = assemble(source)
+    bus.write_block(CODE_BASE, image)
+    cpu = CPU(bus)
+    cpu.reset(pc=CODE_BASE)
+    core = DBTCore(cpu) if engine == "dbt" else Interpreter(cpu)
+    return memory, cpu, core
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        word = encode(CpuOp.ADD, 3, 4, 5, 0)
+        assert decode(word) == (CpuOp.ADD, 3, 4, 5, 0)
+
+    def test_negative_immediate(self):
+        word = encode(CpuOp.ADDI, 1, 2, 0, -7)
+        assert decode(word)[4] == -7
+
+    def test_immediate_range_checked(self):
+        with pytest.raises(ValueError):
+            encode(CpuOp.ADDI, 1, 2, 0, 5000)
+
+    @given(rd=st.integers(0, 15), rs1=st.integers(0, 15),
+           rs2=st.integers(0, 15), imm=st.integers(-2048, 2047))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, rd, rs1, rs2, imm):
+        word = encode(CpuOp.LW, rd, rs1, rs2, imm)
+        assert decode(word) == (CpuOp.LW, rd, rs1, rs2, imm)
+
+
+class TestAssembler:
+    def test_labels_and_branches(self):
+        source = """
+            li   x1, 5
+            mov  x2, x0
+        loop:
+            add  x2, x2, x1
+            addi x1, x1, -1
+            bne  x1, x0, loop
+            halt
+        """
+        _mem, cpu, core = _machine(source)
+        core.run()
+        assert cpu.regs[2] == 5 + 4 + 3 + 2 + 1
+
+    def test_64bit_li(self):
+        _mem, cpu, core = _machine("li x3, 0x123456789abcdef0\nhalt")
+        core.run()
+        assert cpu.regs[3] == 0x123456789ABCDEF0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(GuestError):
+            assemble("a:\nnop\na:\nhalt")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(GuestError):
+            assemble("frobnicate x1, x2")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(GuestError):
+            assemble("beq x0, x0, nowhere\nhalt")
+
+    def test_register_aliases(self):
+        source = "li sp, 100\nli lr, 200\nhalt"
+        _mem, cpu, core = _machine(source)
+        core.run()
+        assert cpu.regs[14] == 100
+        assert cpu.regs[15] == 200
+
+    def test_x0_is_hardwired_zero(self):
+        _mem, cpu, core = _machine("li x0, 42\naddi x0, x0, 1\nhalt")
+        core.run()
+        assert cpu.regs[0] == 0
+
+
+_ALU_PROGRAM = """
+    li   x1, 100
+    li   x2, 7
+    add  x3, x1, x2
+    sub  x4, x1, x2
+    mul  x5, x1, x2
+    divu x6, x1, x2
+    and  x7, x1, x2
+    or   x8, x1, x2
+    xor  x9, x1, x2
+    slt  x10, x2, x1
+    sltu x11, x1, x2
+    halt
+"""
+
+
+@pytest.mark.parametrize("engine", ["dbt", "interpretive"])
+class TestExecutionEngines:
+    def test_alu_operations(self, engine):
+        _mem, cpu, core = _machine(_ALU_PROGRAM, engine)
+        core.run()
+        assert cpu.regs[3] == 107
+        assert cpu.regs[4] == 93
+        assert cpu.regs[5] == 700
+        assert cpu.regs[6] == 14
+        assert cpu.regs[7] == 100 & 7
+        assert cpu.regs[8] == 100 | 7
+        assert cpu.regs[9] == 100 ^ 7
+        assert cpu.regs[10] == 1
+        assert cpu.regs[11] == 0
+
+    def test_memory_operations(self, engine):
+        source = """
+            li  x1, 0x8000
+            li  x2, 0xdeadbeef
+            sw  x2, x1, 0
+            lw  x3, x1, 0
+            sb  x2, x1, 8
+            lbu x4, x1, 8
+            li  x5, 0x1122334455667788
+            sd  x5, x1, 16
+            ld  x6, x1, 16
+            halt
+        """
+        mem, cpu, core = _machine(source, engine)
+        core.run()
+        assert cpu.regs[3] == 0xDEADBEEF
+        assert cpu.regs[4] == 0xEF
+        assert cpu.regs[6] == 0x1122334455667788
+        assert mem.read_u32(0x8000) == 0xDEADBEEF
+
+    def test_signed_branches(self, engine):
+        source = """
+            li   x1, 0
+            sub  x1, x1, x2      # x1 = 0 (x2 = 0)
+            li   x2, 1
+            sub  x3, x0, x2      # x3 = -1
+            blt  x3, x0, neg
+            li   x4, 111
+            halt
+        neg:
+            li   x4, 222
+            halt
+        """
+        _mem, cpu, core = _machine(source, engine)
+        core.run()
+        assert cpu.regs[4] == 222
+
+    def test_subroutine_call(self, engine):
+        source = """
+            li   x1, 21
+            jal  lr, double
+            mov  x5, x2
+            halt
+        double:
+            add  x2, x1, x1
+            jr   lr
+        """
+        _mem, cpu, core = _machine(source, engine)
+        core.run()
+        assert cpu.regs[5] == 42
+
+    def test_instruction_budget(self, engine):
+        _mem, _cpu, core = _machine("loop: jal x0, loop\nhalt", engine)
+        with pytest.raises(GuestError):
+            core.run(max_instructions=1000)
+
+
+class TestEngineEquivalence:
+    def test_both_engines_agree_on_full_register_state(self):
+        source = """
+            li   x1, 12345
+            li   x2, 99
+        loop:
+            mul  x3, x1, x2
+            srli x3, x3, 3
+            xor  x1, x1, x3
+            addi x2, x2, -1
+            bne  x2, x0, loop
+            halt
+        """
+        states = []
+        for engine in ("dbt", "interpretive"):
+            _mem, cpu, core = _machine(source, engine)
+            core.run()
+            states.append(list(cpu.regs))
+        assert states[0] == states[1]
+
+    def test_dbt_caches_blocks(self):
+        source = """
+            li   x1, 50
+        loop:
+            addi x1, x1, -1
+            bne  x1, x0, loop
+            halt
+        """
+        _mem, cpu, core = _machine(source, "dbt")
+        core.run()
+        # the loop body block is translated once, not 50 times
+        assert core.translations <= 4
+
+    def test_dbt_instruction_count_matches_interpreter(self):
+        source = """
+            li   x1, 10
+        loop:
+            addi x1, x1, -1
+            bne  x1, x0, loop
+            halt
+        """
+        counts = []
+        for engine in ("dbt", "interpretive"):
+            _mem, cpu, core = _machine(source, engine)
+            core.run()
+            counts.append(cpu.instructions_executed)
+        assert counts[0] == counts[1]
+
+
+class TestGuestRoutines:
+    def _bus(self):
+        return Bus(PhysicalMemory(1 << 24))
+
+    def test_memcpy(self):
+        bus = self._bus()
+        routines = GuestRoutines(bus)
+        payload = bytes(range(256)) * 5
+        bus.write_block(0x40_0000, payload)
+        routines.memcpy(0x50_0000, 0x40_0000, len(payload))
+        assert bus.read_block(0x50_0000, len(payload)) == payload
+
+    def test_memcpy_unaligned_tail(self):
+        bus = self._bus()
+        routines = GuestRoutines(bus)
+        payload = b"hello, guest memcpy!"  # not a multiple of 8
+        bus.write_block(0x40_0000, payload)
+        routines.memcpy(0x50_0000, 0x40_0000, len(payload))
+        assert bus.read_block(0x50_0000, len(payload)) == payload
+
+    def test_memset(self):
+        bus = self._bus()
+        routines = GuestRoutines(bus)
+        routines.memset(0x40_0000, 0xA5, 100)
+        assert bus.read_block(0x40_0000, 100) == b"\xa5" * 100
+
+    def test_checksum(self):
+        bus = self._bus()
+        routines = GuestRoutines(bus)
+        words = [1, 2, 3, 0xFFFFFFFF]
+        for index, word in enumerate(words):
+            bus.write_u32(0x40_0000 + 4 * index, word)
+        expected = sum(words) & 0xFFFFFFFF
+        assert routines.checksum(0x40_0000, len(words)) == expected
+
+    def test_interpretive_engine_selectable(self):
+        bus = self._bus()
+        routines = GuestRoutines(bus, engine="interpretive")
+        bus.write_block(0x40_0000, b"xy")
+        routines.memcpy(0x50_0000, 0x40_0000, 2)
+        assert bus.read_block(0x50_0000, 2) == b"xy"
+        assert routines.instructions_executed > 0
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ValueError):
+            GuestRoutines(self._bus(), engine="quantum")

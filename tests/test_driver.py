@@ -1,0 +1,198 @@
+"""Unit tests: kernel driver and platform devices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DriverError, JobFault
+from repro.core.platform import GPU_BASE, MobilePlatform
+from repro.cpu.devices import (
+    BLK_ADDR_LO,
+    BLK_CMD,
+    BLK_SECTOR,
+    BLK_STATUS,
+    IRQC_ACK,
+    IRQC_PENDING,
+    SECTOR_SIZE,
+    UART_DATA,
+    InterruptController,
+)
+from repro.gpu import regs
+from repro.gpu.encoding import encode_program
+from repro.gpu.isa import Clause, Instruction, Op, Program, Tail
+from repro.mem.physical import PAGE_SIZE
+
+
+def _trivial_binary():
+    clause = Clause(tuples=[(Instruction(Op.NOP), Instruction(Op.NOP))],
+                    tail=Tail.END)
+    return encode_program(Program(clauses=[clause]))
+
+
+@pytest.fixture()
+def platform():
+    return MobilePlatform().initialize()
+
+
+class TestDriverBringUp:
+    def test_initialize_powers_cores_and_sets_masks(self, platform):
+        driver = platform.driver
+        assert driver.initialized
+        ready = platform.bus.read_u32(GPU_BASE + regs.SHADER_READY)
+        present = platform.bus.read_u32(GPU_BASE + regs.SHADER_PRESENT)
+        assert ready == present == (1 << 8) - 1
+        assert platform.bus.read_u32(GPU_BASE + regs.MMU_ENABLE) == 1
+
+    def test_initialize_is_idempotent(self, platform):
+        jobs_before = platform.driver.jobs_submitted
+        platform.initialize()
+        assert platform.driver.jobs_submitted == jobs_before
+
+    def test_submit_without_power_fails(self):
+        fresh = MobilePlatform()
+        fresh.bus.write_u32(GPU_BASE + regs.JOB_SUBMIT_LO, 0x1000)
+        fresh.bus.write_u32(GPU_BASE + regs.JOB_SUBMIT_HI, 0)
+        status = fresh.bus.read_u32(GPU_BASE + regs.JOB_STATUS)
+        assert status == regs.JOB_STATUS_FAULT
+
+
+class TestRegions:
+    def test_alloc_region_is_page_aligned_and_mapped(self, platform):
+        region = platform.driver.alloc_region(100)
+        assert region.size == PAGE_SIZE
+        assert region.gpu_va % PAGE_SIZE == 0
+        # the GPU can translate it
+        paddr = platform.gpu.mmu.translate(region.gpu_va + 50, "w")
+        assert paddr == region.phys + 50
+
+    def test_guard_pages_between_regions(self, platform):
+        from repro.errors import MMUFault
+        first = platform.driver.alloc_region(PAGE_SIZE)
+        second = platform.driver.alloc_region(PAGE_SIZE)
+        assert second.gpu_va >= first.gpu_va + first.size + PAGE_SIZE
+        with pytest.raises(MMUFault):
+            platform.gpu.mmu.translate(first.gpu_va + first.size, "r")
+
+    def test_free_region_unmaps(self, platform):
+        from repro.errors import MMUFault
+        region = platform.driver.alloc_region(PAGE_SIZE)
+        platform.gpu.mmu.translate(region.gpu_va, "r")
+        platform.driver.free_region(region)
+        with pytest.raises(MMUFault):
+            platform.gpu.mmu.translate(region.gpu_va, "r")
+
+    def test_heap_exhaustion(self, platform):
+        with pytest.raises(DriverError):
+            platform.driver.alloc_region(1 << 62)
+
+
+class TestJobSubmission:
+    def _submit(self, platform, **overrides):
+        driver = platform.driver
+        binary = _trivial_binary()
+        binary_region = driver.alloc_region(len(binary), executable=True)
+        platform.memory.write_block(binary_region.phys, binary)
+        uniform_region = driver.alloc_region(64)
+        params = dict(global_size=(4, 1, 1), local_size=(4, 1, 1),
+                      binary_region=binary_region, binary_size=len(binary),
+                      uniform_region=uniform_region, uniform_count=10)
+        params.update(overrides)
+        return driver.run_job(**params)
+
+    def test_job_completes_and_counts(self, platform):
+        status = self._submit(platform)
+        assert status == regs.JOB_STATUS_DONE
+        system = platform.system_stats()
+        assert system.compute_jobs == 1
+        count = platform.bus.read_u32(GPU_BASE + regs.JOB_COUNT)
+        assert count == 1
+
+    def test_job_chain(self, platform):
+        driver = platform.driver
+        binary = _trivial_binary()
+        binary_region = driver.alloc_region(len(binary), executable=True)
+        platform.memory.write_block(binary_region.phys, binary)
+        uniform_region = driver.alloc_region(64)
+        second = driver.build_descriptor(
+            (4, 1, 1), (4, 1, 1), binary_region, len(binary),
+            uniform_region, 10, slot=1,
+        )
+        first = driver.build_descriptor(
+            (8, 1, 1), (4, 1, 1), binary_region, len(binary),
+            uniform_region, 10, slot=0, next_va=second,
+        )
+        driver.submit_and_wait(first)
+        assert platform.system_stats().compute_jobs == 2
+        results = platform.last_job_results()
+        assert len(results) == 2
+        assert results[0].stats.threads_launched == 8
+        assert results[1].stats.threads_launched == 4
+
+    def test_bad_descriptor_faults(self, platform):
+        with pytest.raises(JobFault):
+            platform.driver.submit_and_wait(0xDEAD0000)  # unmapped VA
+        assert platform.system_stats().mmu_faults == 1
+
+    def test_irq_traffic_counted(self, platform):
+        before = platform.system_stats().interrupts_asserted
+        self._submit(platform)
+        assert platform.system_stats().interrupts_asserted > before
+        # IRQ was acknowledged by the driver
+        assert platform.irqc.pending == 0
+
+    def test_decode_cache_reused_across_jobs(self, platform):
+        """The same mapped binary is decoded exactly once (Section III-B3),
+        no matter how many jobs execute it."""
+        driver = platform.driver
+        binary = _trivial_binary()
+        binary_region = driver.alloc_region(len(binary), executable=True)
+        platform.memory.write_block(binary_region.phys, binary)
+        uniform_region = driver.alloc_region(64)
+        decode_before = platform.gpu.job_manager.decode_count
+        for _ in range(5):
+            driver.run_job((4, 1, 1), (4, 1, 1), binary_region, len(binary),
+                           uniform_region, 10)
+        assert platform.gpu.job_manager.decode_count == decode_before + 1
+
+
+class TestDevices:
+    def test_uart_capture(self, platform):
+        for byte in b"hello":
+            platform.bus.write_u32(0x1000_0000 + UART_DATA, byte)
+        assert platform.uart.text == "hello"
+
+    def test_irq_controller_ack(self):
+        irqc = InterruptController()
+        irqc.raise_irq(InterruptController.SRC_GPU_JOB)
+        irqc.raise_irq(InterruptController.SRC_TIMER)
+        assert irqc.read_reg(IRQC_PENDING) == (
+            InterruptController.SRC_GPU_JOB | InterruptController.SRC_TIMER
+        )
+        irqc.write_reg(IRQC_ACK, InterruptController.SRC_GPU_JOB)
+        assert irqc.read_reg(IRQC_PENDING) == InterruptController.SRC_TIMER
+
+    def test_block_device_sector_io(self, platform):
+        base = 0x1003_0000
+        payload = bytes(range(256)) * 2
+        platform.block.load_image(payload, sector=3)
+        platform.bus.write_u32(base + BLK_SECTOR, 3)
+        platform.bus.write_u32(base + BLK_ADDR_LO, 0x9000)
+        platform.bus.write_u32(base + BLK_CMD, 1)  # read
+        assert platform.bus.read_u32(base + BLK_STATUS) == 1
+        assert platform.memory.read_block(0x9000, SECTOR_SIZE) == payload
+
+        platform.memory.write_block(0xA000, b"\x55" * SECTOR_SIZE)
+        platform.bus.write_u32(base + BLK_SECTOR, 7)
+        platform.bus.write_u32(base + BLK_ADDR_LO, 0xA000)
+        platform.bus.write_u32(base + BLK_CMD, 2)  # write
+        assert platform.block.read_image(7) == b"\x55" * SECTOR_SIZE
+
+    def test_block_device_bad_sector(self, platform):
+        base = 0x1003_0000
+        platform.bus.write_u32(base + BLK_SECTOR, 10_000_000)
+        platform.bus.write_u32(base + BLK_CMD, 1)
+        assert platform.bus.read_u32(base + BLK_STATUS) == 0
+
+    def test_timer_monotonic(self, platform):
+        before = platform.timer.count
+        platform.timer.tick(5)
+        assert platform.timer.count == before + 5

@@ -1,0 +1,58 @@
+"""Smoke tests: the example scripts must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(_EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def test_quickstart():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "saxpy OK" in result.stdout
+    assert "system-level statistics" in result.stdout
+
+
+def test_compiler_explorer():
+    result = _run("compiler_explorer.py")
+    assert result.returncode == 0, result.stderr
+    assert "5.6" in result.stdout
+    assert "disassembly" in result.stdout
+
+
+def test_divergence_profiler():
+    result = _run("divergence_profiler.py")
+    assert result.returncode == 0, result.stderr
+    assert "digraph" in result.stdout
+    assert "divergence points" in result.stdout
+
+
+def test_guest_boot():
+    result = _run("guest_boot.py")
+    assert result.returncode == 0, result.stderr
+    assert "BOOT OK" in result.stdout
+    assert "checksum verified" in result.stdout
+
+
+def test_mobile_vs_desktop():
+    result = _run("mobile_vs_desktop.py", timeout=400)
+    assert result.returncode == 0, result.stderr
+    assert "best on mobile" in result.stdout
+    assert "best on desktop" in result.stdout
+
+
+@pytest.mark.slow
+def test_slam_configs():
+    result = _run("slam_configs.py", timeout=900)
+    assert result.returncode == 0, result.stderr
+    assert "fps" in result.stdout

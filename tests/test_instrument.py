@@ -1,0 +1,149 @@
+"""Unit tests: statistics containers, merging, CFG, report formatting."""
+
+import pytest
+
+from repro.instrument import (
+    DivergenceCFG,
+    JobStats,
+    SystemStats,
+    format_clause_histogram,
+    format_data_access_breakdown,
+    format_instruction_mix,
+    format_table,
+    merge_stats,
+)
+
+
+class TestJobStats:
+    def _sample(self):
+        stats = JobStats()
+        stats.arith_instrs = 50
+        stats.ls_global_instrs = 20
+        stats.ls_local_instrs = 5
+        stats.const_load_instrs = 5
+        stats.nop_instrs = 10
+        stats.cf_instrs = 10
+        stats.clause_size_histogram = {1: 2, 4: 3, 8: 1}
+        return stats
+
+    def test_total_and_mix(self):
+        stats = self._sample()
+        assert stats.total_instrs == 100
+        mix = stats.instruction_mix()
+        assert mix["arithmetic"] == 0.5
+        assert mix["load_store"] == 0.3
+        assert mix["nop"] == 0.1
+        assert mix["control_flow"] == 0.1
+        assert abs(sum(mix.values()) - 1.0) < 1e-12
+
+    def test_empty_mix_is_zero(self):
+        mix = JobStats().instruction_mix()
+        assert all(value == 0.0 for value in mix.values())
+
+    def test_average_clause_size(self):
+        stats = self._sample()
+        expected = (1 * 2 + 4 * 3 + 8 * 1) / 6
+        assert stats.average_clause_size() == pytest.approx(expected)
+        assert JobStats().average_clause_size() == 0.0
+
+    def test_merge_accumulates(self):
+        a, b = self._sample(), self._sample()
+        merged = merge_stats([a, b])
+        assert merged.arith_instrs == 100
+        assert merged.clause_size_histogram == {1: 4, 4: 6, 8: 2}
+        # inputs untouched
+        assert a.arith_instrs == 50
+
+    def test_data_access_breakdown_normalizes(self):
+        stats = JobStats()
+        stats.temp_reads = 10
+        stats.grf_reads = 30
+        stats.grf_writes = 20
+        stats.const_reads = 10
+        stats.rom_reads = 20
+        stats.main_mem_accesses = 10
+        breakdown = stats.data_access_breakdown()
+        assert breakdown["grf_read"] == 0.3
+        assert abs(sum(breakdown.values()) - 1.0) < 1e-12
+
+
+class TestSystemStats:
+    def test_row(self):
+        stats = SystemStats(pages_accessed=5, ctrl_reg_reads=10,
+                            ctrl_reg_writes=7, interrupts_asserted=2,
+                            compute_jobs=3)
+        assert stats.as_row() == (5, 10, 7, 2, 3)
+
+
+class TestDivergenceCFG:
+    def test_edges_and_fractions(self):
+        cfg = DivergenceCFG()
+        cfg.record_execution(0, 100)
+        cfg.record_edge(0, 1, 75)
+        cfg.record_edge(0, 2, 25)
+        graph = cfg.to_networkx()
+        assert graph[0][1]["fraction"] == 0.75
+        assert graph[0][2]["fraction"] == 0.25
+
+    def test_divergence_fraction(self):
+        cfg = DivergenceCFG()
+        cfg.record_execution(3, 200)
+        cfg.record_edge(3, 4, 200)
+        cfg.record_divergence(3)
+        cfg.record_divergence(3)
+        assert cfg.divergence_fraction(3) == pytest.approx(2 / 200)
+        assert cfg.divergence_fraction(99) == 0.0
+
+    def test_merge(self):
+        a, b = DivergenceCFG(), DivergenceCFG()
+        a.record_edge(0, 1, 10)
+        b.record_edge(0, 1, 5)
+        b.record_edge(1, "END", 5)
+        b.record_divergence(0)
+        a.merge(b)
+        assert a.edges[(0, 1)] == 15
+        assert a.edges[(1, "END")] == 5
+        assert a.divergences == {0: 1}
+
+    def test_dot_output(self):
+        cfg = DivergenceCFG(base_address=0xAA000000)
+        cfg.record_execution(0, 10)
+        cfg.record_edge(0, 1, 10)
+        cfg.record_divergence(0)
+        dot = cfg.to_dot()
+        assert "digraph" in dot
+        assert "aa000000" in dot
+        assert "dvg." in dot
+
+    def test_node_labels(self):
+        cfg = DivergenceCFG(base_address=0xAA000000)
+        assert cfg.node_label(3) == "aa000030"
+        assert cfg.node_label("END") == "END"
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table(("name", "value"), [("a", 1), ("long", 22)],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert lines[2].startswith("---")
+
+    def test_mix_report(self):
+        stats = JobStats()
+        stats.arith_instrs = 10
+        text = format_instruction_mix([("bench", stats)])
+        assert "bench" in text and "100.0" in text
+
+    def test_breakdown_report(self):
+        stats = JobStats()
+        stats.grf_reads = 4
+        text = format_data_access_breakdown([("b", stats)])
+        assert "100.0" in text
+
+    def test_histogram_report(self):
+        stats = JobStats()
+        stats.clause_size_histogram = {2: 1, 8: 3}
+        text = format_clause_histogram([("b", stats)])
+        assert "25.0" in text and "75.0" in text

@@ -1,0 +1,112 @@
+"""Unit tests: page-table construction and walking (CPU/GPU shared)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MMUFault
+from repro.mem import (
+    PAGE_SIZE,
+    PTE_EXEC,
+    PTE_READ,
+    PTE_WRITE,
+    PageTableBuilder,
+    PageTableWalker,
+    PhysicalMemory,
+)
+
+
+def _make_tables():
+    mem = PhysicalMemory(1 << 26)
+    next_frame = [0x100000]
+
+    def alloc():
+        frame = next_frame[0]
+        next_frame[0] += PAGE_SIZE
+        return frame
+
+    builder = PageTableBuilder(mem, alloc)
+    walker = PageTableWalker(mem, builder.root)
+    return mem, builder, walker
+
+
+class TestPageTables:
+    def test_map_translate(self):
+        _mem, builder, walker = _make_tables()
+        builder.map_page(0x4000_1000, 0x0020_0000)
+        assert walker.translate(0x4000_1234, "r") == 0x0020_0234
+        assert walker.translate(0x4000_1000, "w") == 0x0020_0000
+
+    def test_unmapped_faults(self):
+        _mem, _builder, walker = _make_tables()
+        with pytest.raises(MMUFault) as info:
+            walker.translate(0x1234_5678, "r")
+        assert info.value.vaddr == 0x1234_5678
+        assert info.value.access == "r"
+
+    def test_permissions(self):
+        _mem, builder, walker = _make_tables()
+        builder.map_page(0x1000, 0x20_0000, flags=PTE_READ)
+        assert walker.translate(0x1000, "r")
+        with pytest.raises(MMUFault):
+            walker.translate(0x1000, "w")
+        with pytest.raises(MMUFault):
+            walker.translate(0x1000, "x")
+        builder.map_page(0x2000, 0x20_1000, flags=PTE_READ | PTE_EXEC)
+        assert walker.translate(0x2000, "x")
+
+    def test_unmap_requires_tlb_flush(self):
+        _mem, builder, walker = _make_tables()
+        builder.map_page(0x5000, 0x20_0000)
+        assert walker.translate(0x5000, "r") == 0x20_0000
+        builder.unmap_page(0x5000)
+        # stale TLB still answers (as on real hardware)...
+        assert walker.translate(0x5000, "r") == 0x20_0000
+        walker.flush_tlb()
+        # ...until the driver invalidates
+        with pytest.raises(MMUFault):
+            walker.translate(0x5000, "r")
+
+    def test_tlb_hits_counted(self):
+        _mem, builder, walker = _make_tables()
+        builder.map_page(0x7000, 0x20_0000)
+        walker.translate(0x7000, "r")
+        walks = walker.walks
+        for _ in range(10):
+            walker.translate(0x7abc, "r")
+        assert walker.walks == walks
+        assert walker.tlb_hits == 10
+
+    def test_map_range(self):
+        _mem, builder, walker = _make_tables()
+        builder.map_range(0x10_0000, 0x80_0000, 8 * PAGE_SIZE)
+        for page in range(8):
+            vaddr = 0x10_0000 + page * PAGE_SIZE + 42
+            assert walker.translate(vaddr, "w") == 0x80_0000 + page * PAGE_SIZE + 42
+
+    def test_unaligned_physical_rejected(self):
+        _mem, builder, _walker = _make_tables()
+        with pytest.raises(ValueError):
+            builder.map_page(0x1000, 0x20_0100)
+
+    def test_va_out_of_range(self):
+        _mem, builder, walker = _make_tables()
+        with pytest.raises(MMUFault):
+            builder.map_page(1 << 40, 0x20_0000)
+        with pytest.raises(MMUFault):
+            walker.translate(1 << 40, "r")
+
+    @given(pages=st.lists(st.integers(0, (1 << 27) - 1), min_size=1,
+                          max_size=20, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_many_mappings_property(self, pages):
+        """Any set of distinct virtual pages maps and translates back."""
+        _mem, builder, walker = _make_tables()
+        mapping = {}
+        for index, vpage in enumerate(pages):
+            vaddr = vpage * PAGE_SIZE
+            paddr = 0x0100_0000 + index * PAGE_SIZE
+            builder.map_page(vaddr, paddr)
+            mapping[vaddr] = paddr
+        for vaddr, paddr in mapping.items():
+            assert walker.translate(vaddr + 7, "r") == paddr + 7

@@ -1,0 +1,84 @@
+"""Virtual-core / multi-host-thread dispatch tests (Section III-B3).
+
+The simulator may map thread-groups onto more host threads than modelled
+shader cores; results and totalled statistics must be identical to serial
+execution, and the extra local-memory slabs must be allocated host-side.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cl import CommandQueue, Context, LocalMemory
+from repro.core.platform import MobilePlatform, PlatformConfig
+from repro.gpu.device import GPUConfig
+
+KERNEL = """
+__kernel void tile_scale(__global float* data, __local float* tile, int n) {
+    int lid = get_local_id(0);
+    int gid = get_global_id(0);
+    tile[lid] = data[gid];
+    barrier(1);
+    float acc = 0.0f;
+    for (int k = 0; k < 8; k += 1) {
+        acc += tile[k];
+    }
+    if (gid < n) {
+        data[gid] = acc + (float)gid;
+    }
+}
+"""
+
+
+def _run(num_host_threads, num_cores=8):
+    config = PlatformConfig(
+        gpu=GPUConfig(num_host_threads=num_host_threads,
+                      num_shader_cores=num_cores)
+    )
+    context = Context(MobilePlatform(config))
+    queue = CommandQueue(context)
+    n = 128
+    rng = np.random.default_rng(33)
+    data = rng.random(n, dtype=np.float32)
+    buffer = context.buffer_from_array(data)
+    kernel = context.build_program(KERNEL).kernel("tile_scale")
+    kernel.set_args(buffer, LocalMemory(4 * 8), n)
+    stats = queue.enqueue_nd_range(kernel, (n,), (8,))
+    out = queue.enqueue_read_buffer(buffer, np.float32)
+    results = context.platform.last_job_results()
+    return out, stats, results[0]
+
+
+class TestParallelDispatch:
+    def test_outputs_identical_to_serial(self):
+        serial, _, _ = _run(1)
+        parallel, _, _ = _run(4)
+        np.testing.assert_array_equal(serial.view(np.uint32),
+                                      parallel.view(np.uint32))
+
+    def test_stats_totals_identical(self):
+        _, serial_stats, _ = _run(1)
+        _, parallel_stats, _ = _run(4)
+        for field in ("arith_instrs", "ls_global_instrs", "ls_local_instrs",
+                      "nop_instrs", "cf_instrs", "threads_launched",
+                      "workgroups", "clauses_executed", "main_mem_accesses",
+                      "local_mem_accesses"):
+            assert getattr(serial_stats, field) == \
+                getattr(parallel_stats, field), field
+        assert (serial_stats.clause_size_histogram
+                == parallel_stats.clause_size_histogram)
+
+    def test_virtual_cores_get_host_local_slabs(self):
+        """Host threads beyond the modelled shader cores are *virtual*
+        cores whose local storage the simulator allocates outside the
+        guest (the paper's III-B3 mechanism)."""
+        _, _, result = _run(num_host_threads=12, num_cores=8)
+        assert result.host_local_slabs == 4
+
+    def test_physical_cores_need_no_host_slabs(self):
+        _, _, result = _run(num_host_threads=4, num_cores=8)
+        assert result.host_local_slabs == 0
+
+    def test_many_threads_with_barriers_still_correct(self):
+        serial, _, _ = _run(1)
+        wide, _, _ = _run(16)
+        np.testing.assert_array_equal(serial, wide)

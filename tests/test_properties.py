@@ -1,0 +1,177 @@
+"""Property-based tests over the full stack (hypothesis).
+
+These drive the complete pipeline — compile, upload, launch, read back —
+with randomized inputs, checking algebraic invariants rather than fixed
+expectations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cl import CommandQueue, Context
+from repro.clc import compile_source
+from repro.clc.compiler import CompilerOptions
+
+# one shared platform: hypothesis runs many examples
+_CONTEXT = Context()
+_QUEUE = CommandQueue(_CONTEXT)
+
+_SORT_KERNEL = """
+__kernel void bitonic_step(__global uint* data, uint j, uint k) {
+    uint i = get_global_id(0);
+    uint partner = i ^ j;
+    if (partner > i) {
+        uint a = data[i];
+        uint b = data[partner];
+        uint ascending = ((i & k) == 0u) ? 1u : 0u;
+        if ((ascending == 1u && a > b) || (ascending == 0u && a < b)) {
+            data[i] = b;
+            data[partner] = a;
+        }
+    }
+}
+"""
+
+_SCAN_KERNEL = """
+__kernel void scan32(__global float* data, __local float* temp) {
+    int lid = get_local_id(0);
+    temp[lid] = data[lid];
+    barrier(1);
+    for (int off = 1; off < 32; off = off << 1) {
+        float t = 0.0f;
+        if (lid >= off) {
+            t = temp[lid - off];
+        }
+        barrier(1);
+        temp[lid] = temp[lid] + t;
+        barrier(1);
+    }
+    data[lid] = temp[lid];
+}
+"""
+
+_sort_kernel = _CONTEXT.build_program(_SORT_KERNEL).kernel("bitonic_step")
+_scan_kernel = None
+
+
+@given(st.lists(st.integers(0, 2**32 - 1), min_size=64, max_size=64))
+@settings(max_examples=20, deadline=None)
+def test_bitonic_network_sorts_any_input(values):
+    """The bitonic network on the simulated GPU sorts every input."""
+    from repro.cl import LocalMemory
+
+    data = np.array(values, dtype=np.uint32)
+    buffer = _CONTEXT.buffer_from_array(data)
+    n = len(data)
+    k = 2
+    while k <= n:
+        j = k >> 1
+        while j > 0:
+            _sort_kernel.set_args(buffer, np.uint32(j), np.uint32(k))
+            _QUEUE.enqueue_nd_range(_sort_kernel, (n,), (16,))
+            j >>= 1
+        k <<= 1
+    out = _QUEUE.enqueue_read_buffer(buffer, np.uint32)
+    np.testing.assert_array_equal(out, np.sort(data))
+
+
+@given(st.lists(st.floats(-100, 100, width=32), min_size=32, max_size=32))
+@settings(max_examples=15, deadline=None)
+def test_inclusive_scan_prefix_property(values):
+    """scan[i] == scan[i-1] + x[i] in float32, for any input."""
+    global _scan_kernel
+    from repro.cl import LocalMemory
+
+    if _scan_kernel is None:
+        _scan_kernel = _CONTEXT.build_program(_SCAN_KERNEL).kernel("scan32")
+    data = np.array(values, dtype=np.float32)
+    buffer = _CONTEXT.buffer_from_array(data)
+    _scan_kernel.set_args(buffer, LocalMemory(4 * 32))
+    _QUEUE.enqueue_nd_range(_scan_kernel, (32,), (32,))
+    out = _QUEUE.enqueue_read_buffer(buffer, np.float32)
+    reference = np.cumsum(data.astype(np.float64))
+    np.testing.assert_allclose(out, reference, rtol=1e-4, atol=1e-3)
+
+
+_EXPR_KERNEL_TEMPLATE = """
+__kernel void expr(__global int* a, __global int* b, __global int* out) {{
+    int i = get_global_id(0);
+    int x = a[i];
+    int y = b[i];
+    out[i] = {expression};
+}}
+"""
+
+_EXPRESSIONS = [
+    ("(x + y) - (y + x)", lambda x, y: np.zeros_like(x)),
+    ("(x & y) | (x ^ y)", lambda x, y: x | y),
+    ("min(x, y) + max(x, y)",
+     lambda x, y: (np.minimum(x, y).astype(np.int64)
+                   + np.maximum(x, y)).astype(np.int32)),
+    ("(x << 3) >> 3",
+     lambda x, y: ((x.astype(np.int64) << 3) & 0xFFFFFFFF)
+     .astype(np.uint32).view(np.int32) >> 3),
+]
+
+
+@pytest.mark.parametrize("expression,oracle", _EXPRESSIONS)
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=5, deadline=None)
+def test_integer_identities(expression, oracle, seed):
+    rng = np.random.default_rng(seed)
+    n = 32
+    a = rng.integers(-2**31, 2**31, n).astype(np.int32)
+    b = rng.integers(-2**31, 2**31, n).astype(np.int32)
+    source = _EXPR_KERNEL_TEMPLATE.format(expression=expression)
+    kernel = _CONTEXT.build_program(source).kernel("expr")
+    buf_a = _CONTEXT.buffer_from_array(a)
+    buf_b = _CONTEXT.buffer_from_array(b)
+    buf_out = _CONTEXT.alloc_buffer(4 * n)
+    kernel.set_args(buf_a, buf_b, buf_out)
+    _QUEUE.enqueue_nd_range(kernel, (n,), (8,))
+    out = _QUEUE.enqueue_read_buffer(buf_out, np.int32)
+    np.testing.assert_array_equal(out, oracle(a, b))
+
+
+@given(
+    unroll=st.sampled_from([1, 2, 4, 8]),
+    dual=st.booleans(),
+    vec=st.booleans(),
+    temp=st.booleans(),
+    hoist=st.booleans(),
+)
+@settings(max_examples=20, deadline=None)
+def test_any_pass_combination_is_functionally_identical(unroll, dual, vec,
+                                                        temp, hoist):
+    """Optimisation passes must never change results, in any combination."""
+    source = """
+    __kernel void poly(__global float* a, __global float* out, int n) {
+        int i = get_global_id(0);
+        float x = a[i];
+        float acc = 0.0f;
+        for (int k = 0; k < 4; k += 1) {
+            acc = acc * x + 1.0f;
+        }
+        if (i < n) {
+            out[i] = acc;
+        }
+    }
+    """
+    options = CompilerOptions(unroll_limit=unroll, dual_issue=dual,
+                              vector_ls=vec, temp_forward=temp,
+                              copyprop=True, hoist_uniforms=hoist)
+    kernel = _CONTEXT.build_program(source, version=options).kernel("poly")
+    rng = np.random.default_rng(99)
+    n = 32
+    a = rng.random(n, dtype=np.float32)
+    buf_a = _CONTEXT.buffer_from_array(a)
+    buf_out = _CONTEXT.alloc_buffer(4 * n)
+    kernel.set_args(buf_a, buf_out, n)
+    _QUEUE.enqueue_nd_range(kernel, (n,), (8,))
+    out = _QUEUE.enqueue_read_buffer(buf_out, np.float32)
+    expected = np.zeros_like(a)
+    for _ in range(4):
+        expected = expected * a + np.float32(1.0)
+    np.testing.assert_array_equal(out, expected)

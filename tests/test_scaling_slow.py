@@ -1,0 +1,48 @@
+"""Slow tier: workloads at larger (closer-to-paper) sizes.
+
+Run with ``pytest -m slow``; excluded by default from quick iterations via
+``-m "not slow"`` (they do run in the default full suite).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import get_workload
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("name,params", [
+    ("SobelFilter", {"width": 128, "height": 96}),
+    ("Reduction", {"n": 16384}),
+    ("BitonicSort", {"n": 2048}),  # the paper's actual input size
+    ("DwtHaar1D", {"n": 4096}),
+    ("BinarySearch", {"n": 65536, "keys": 512}),
+    ("backprop", {"n_in": 2048, "n_hidden": 64}),
+])
+def test_larger_inputs_verify(name, params):
+    result = get_workload(name, **params).run()
+    assert result.verified, name
+    assert result.stats.threads_launched > 0
+
+
+def test_stats_scale_linearly_with_threads():
+    """Per-thread work is size-invariant: instruction counts scale with
+    the thread count for a data-parallel kernel."""
+    small = get_workload("URNG", n=1024).run()
+    large = get_workload("URNG", n=4096).run()
+    ratio = large.stats.arith_instrs / small.stats.arith_instrs
+    assert ratio == pytest.approx(4.0, rel=0.01)
+
+
+def test_page_count_scales_with_footprint():
+    from repro.cl import Context
+
+    counts = {}
+    for width in (32, 128):
+        context = Context()
+        result = get_workload("SobelFilter", width=width,
+                              height=width * 3 // 4).run(context=context)
+        assert result.verified
+        counts[width] = context.platform.system_stats().pages_accessed
+    assert counts[128] > 4 * counts[32]

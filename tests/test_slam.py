@@ -1,0 +1,126 @@
+"""KFusion-like pipeline tests: per-kernel oracles + whole-pipeline run."""
+
+import numpy as np
+import pytest
+
+from repro.cl import CommandQueue, Context
+from repro.slam import CONFIGS, KFusionPipeline, synthetic_depth_frame
+from repro.slam import reference as ref
+from repro.slam.kernels import ALL_SOURCES
+from repro.slam.scene import camera_intrinsics
+
+
+@pytest.fixture(scope="module")
+def context():
+    return Context()
+
+
+@pytest.fixture(scope="module")
+def program(context):
+    return context.build_program(ALL_SOURCES)
+
+
+@pytest.fixture(scope="module")
+def queue(context):
+    return CommandQueue(context)
+
+
+def test_scene_generator_shape_and_range():
+    depth = synthetic_depth_frame(32, 24, frame_index=0)
+    assert depth.shape == (24, 32)
+    assert depth.dtype == np.float32
+    assert (depth >= 0.4).all() and (depth <= 8.0).all()
+    # the sphere must be in front of the wall
+    center = depth[10:14, 14:18].mean()
+    corner = depth[0:2, 0:2].mean()
+    assert center < corner
+
+
+def test_bilateral_kernel_matches_reference(context, program, queue):
+    depth = synthetic_depth_frame(16, 12)
+    buf_in = context.buffer_from_array(depth)
+    buf_out = context.alloc_buffer(depth.nbytes)
+    kernel = program.kernel("bilateral")
+    kernel.set_args(buf_in, buf_out, 16, 12,
+                    np.float32(1 / 0.02), np.float32(0.5))
+    queue.enqueue_nd_range(kernel, (16, 12), (4, 4))
+    out = queue.enqueue_read_buffer(buf_out, np.float32).reshape(12, 16)
+    expected = ref.bilateral(depth, 1 / 0.02, 0.5)
+    np.testing.assert_allclose(out, expected, rtol=2e-4, atol=1e-5)
+
+
+def test_depth2vertex_and_normals_match_reference(context, program, queue):
+    width, height = 16, 12
+    depth = synthetic_depth_frame(width, height)
+    fx, fy, cx, cy = camera_intrinsics(width, height)
+    buf_depth = context.buffer_from_array(depth)
+    buf_vertex = context.alloc_buffer(12 * width * height)
+    buf_normal = context.alloc_buffer(12 * width * height)
+    d2v = program.kernel("depth2vertex")
+    d2v.set_args(buf_depth, buf_vertex, width, np.float32(fx), np.float32(fy),
+                 np.float32(cx), np.float32(cy))
+    queue.enqueue_nd_range(d2v, (width, height), (4, 4))
+    v2n = program.kernel("vertex2normal")
+    v2n.set_args(buf_vertex, buf_normal, width, height)
+    queue.enqueue_nd_range(v2n, (width, height), (4, 4))
+    vertex = queue.enqueue_read_buffer(buf_vertex, np.float32) \
+        .reshape(height, width, 3)
+    normal = queue.enqueue_read_buffer(buf_normal, np.float32) \
+        .reshape(height, width, 3)
+    expected_vertex = ref.depth2vertex(depth, fx, fy, cx, cy)
+    expected_normal = ref.vertex2normal(expected_vertex)
+    np.testing.assert_allclose(vertex, expected_vertex, rtol=1e-5, atol=1e-6)
+    np.testing.assert_allclose(normal, expected_normal, rtol=5e-3, atol=5e-3)
+
+
+def test_integrate_kernel_matches_reference(context, program, queue):
+    width, height, vol = 16, 12, 8
+    depth = synthetic_depth_frame(width, height)
+    fx, fy, cx, cy = camera_intrinsics(width, height)
+    voxel_size = 4.0 / vol
+    origin = (-2.0, -2.0, 1.0)
+    tsdf = np.ones(vol ** 3, dtype=np.float32)
+    weights = np.zeros(vol ** 3, dtype=np.float32)
+    buf_tsdf = context.buffer_from_array(tsdf)
+    buf_w = context.buffer_from_array(weights)
+    buf_depth = context.buffer_from_array(depth)
+    kernel = program.kernel("integrate")
+    kernel.set_args(buf_tsdf, buf_w, buf_depth, vol, width, height,
+                    np.float32(voxel_size), np.float32(fx), np.float32(fy),
+                    np.float32(cx), np.float32(cy), np.float32(0.3),
+                    np.float32(origin[0]), np.float32(origin[1]),
+                    np.float32(origin[2]), np.float32(0.0))
+    queue.enqueue_nd_range(kernel, (vol, vol, vol), (4, 4, 1))
+    got_tsdf = queue.enqueue_read_buffer(buf_tsdf, np.float32) \
+        .reshape(vol, vol, vol)
+    got_w = queue.enqueue_read_buffer(buf_w, np.float32).reshape(vol, vol, vol)
+
+    exp_tsdf = np.ones((vol, vol, vol), dtype=np.float32)
+    exp_w = np.zeros_like(exp_tsdf)
+    ref.integrate(exp_tsdf, exp_w, depth, voxel_size, fx, fy, cx, cy, 0.3,
+                  origin, 0.0)
+    np.testing.assert_allclose(got_tsdf, exp_tsdf, rtol=1e-4, atol=1e-5)
+    np.testing.assert_array_equal(got_w, exp_w)
+    assert (got_w > 0).any(), "integration touched no voxels"
+
+
+@pytest.mark.parametrize("config", ["express", "fast3"])
+def test_pipeline_gpu_matches_native(config):
+    pipeline = KFusionPipeline(config)
+    metrics, gpu_raycast = pipeline.run_gpu()
+    _seconds, native_raycast = pipeline.run_native()
+    assert metrics["kernels"] > 10
+    assert metrics["arithmetic_instrs"] > 0
+    assert metrics["local_ls_instrs"] > 0
+    # surfaces extracted by both paths must agree
+    np.testing.assert_allclose(gpu_raycast, native_raycast,
+                               rtol=5e-3, atol=5e-3)
+    assert (gpu_raycast > 0).any(), "raycast found no surface"
+
+
+def test_configs_ordering():
+    std = CONFIGS["standard"]
+    fast3 = CONFIGS["fast3"]
+    express = CONFIGS["express"]
+    assert std.width > fast3.width >= express.width
+    assert std.volume > fast3.volume > express.volume

@@ -1,0 +1,140 @@
+"""Register-spilling tests: high-pressure kernels must compile AND compute
+correctly with values living in per-thread scratch memory."""
+
+import numpy as np
+import pytest
+
+from repro.cl import CommandQueue, Context
+from repro.clc.compiler import CompilerOptions, compile_source
+
+
+def _high_pressure_source(count=60):
+    """A kernel with *count* values live across a barrier-free region."""
+    declarations = "\n".join(
+        f"float v{i} = x * {i + 1}.0f + 1.0f;" for i in range(count)
+    )
+    uses = " + ".join(f"v{i}" for i in range(count))
+    return f"""
+    __kernel void pressure(__global float* a, __global float* out) {{
+        int i = get_global_id(0);
+        float x = a[i];
+        {declarations}
+        out[i] = {uses};
+    }}
+    """
+
+
+@pytest.fixture(scope="module")
+def context():
+    return Context()
+
+
+def test_spilled_kernel_computes_correctly(context):
+    n = 32
+    count = 60
+    rng = np.random.default_rng(21)
+    a = rng.random(n, dtype=np.float32)
+    source = _high_pressure_source(count)
+    compiled = compile_source(source).kernel("pressure")
+    assert compiled.scratch_per_thread > 0, "expected spilling"
+
+    queue = CommandQueue(context)
+    buf_a = context.buffer_from_array(a)
+    buf_out = context.alloc_buffer(4 * n)
+    kernel = context.build_program(source).kernel("pressure")
+    kernel.set_args(buf_a, buf_out)
+    queue.enqueue_nd_range(kernel, (n,), (8,))
+    out = queue.enqueue_read_buffer(buf_out, np.float32)
+
+    expected = np.zeros_like(a)
+    for i in range(count):
+        expected += a * np.float32(i + 1) + np.float32(1.0)
+    np.testing.assert_allclose(out, expected, rtol=1e-4)
+
+
+def test_spilling_is_per_thread(context):
+    """Two threads in the same workgroup must not clobber each other's
+    spill slots (scratch is indexed by flat local id)."""
+    source = _high_pressure_source(56)
+    queue = CommandQueue(context)
+    n = 16
+    a = np.arange(1, n + 1, dtype=np.float32)
+    buf_a = context.buffer_from_array(a)
+    buf_out = context.alloc_buffer(4 * n)
+    kernel = context.build_program(source).kernel("pressure")
+    kernel.set_args(buf_a, buf_out)
+    queue.enqueue_nd_range(kernel, (n,), (16,))  # one big workgroup
+    out = queue.enqueue_read_buffer(buf_out, np.float32)
+    expected = np.zeros_like(a)
+    for i in range(56):
+        expected += a * np.float32(i + 1) + np.float32(1.0)
+    np.testing.assert_allclose(out, expected, rtol=1e-4)
+    # per-thread results differ, so cross-thread clobbering would show
+    assert len(np.unique(out)) == n
+
+
+def test_spilling_coexists_with_local_arrays(context):
+    """Spill slots must not collide with __local arrays or dynamic local
+    arguments in the local-memory layout."""
+    source = """
+    __kernel void mixed(__global float* a, __global float* out) {
+        __local float shared[16];
+        int i = get_global_id(0);
+        int lid = get_local_id(0);
+        float x = a[i];
+    """ + "\n".join(
+        f"float v{k} = x + {k}.0f;" for k in range(56)
+    ) + """
+        shared[lid] = x;
+        barrier(1);
+        out[i] = shared[15 - lid] + """ + " + ".join(
+        f"v{k}" for k in range(56)
+    ) + """;
+    }
+    """
+    compiled = compile_source(source).kernel("mixed")
+    assert compiled.scratch_per_thread > 0
+    assert compiled.local_static_size == 64
+
+    queue = CommandQueue(context)
+    n = 16
+    rng = np.random.default_rng(3)
+    a = rng.random(n, dtype=np.float32)
+    buf_a = context.buffer_from_array(a)
+    buf_out = context.alloc_buffer(4 * n)
+    kernel = context.build_program(source).kernel("mixed")
+    kernel.set_args(buf_a, buf_out)
+    queue.enqueue_nd_range(kernel, (n,), (16,))
+    out = queue.enqueue_read_buffer(buf_out, np.float32)
+    expected = a[::-1].copy()
+    for k in range(56):
+        expected += a + np.float32(k)
+    np.testing.assert_allclose(out, expected, rtol=1e-4)
+
+
+def test_unspillable_pressure_still_reported(context):
+    """Vector groups are not spillable; absurd group pressure must raise a
+    clear error rather than loop forever."""
+    from repro.errors import CompileError
+
+    loads = "\n".join(
+        f"float4 g{i} = vload4({i}, a);" for i in range(16)
+    )
+    uses = " + ".join(f"g{i}.x + g{i}.y + g{i}.z + g{i}.w"
+                      for i in range(16))
+    source = f"""
+    __kernel void groups(__global float* a, __global float* out) {{
+        {loads}
+        out[0] = {uses};
+    }}
+    """
+    # 16 groups x 4 consecutive registers = 64 > 53 allocatable; groups
+    # cannot spill, but the scalar sums can — either the compiler finds a
+    # schedule via scalar spills or reports the pressure clearly
+    try:
+        compiled = compile_source(
+            source, options=CompilerOptions(vector_ls=True)
+        ).kernel("groups")
+    except CompileError:
+        return  # acceptable: clear diagnostic
+    assert compiled.binary  # or it managed to allocate via spilling

@@ -1,0 +1,137 @@
+"""Vector type (float2/float4) feature tests, both compiler paths."""
+
+import numpy as np
+import pytest
+
+from repro.cl import CommandQueue, Context
+from repro.clc.compiler import CompilerOptions
+from repro.validate import trace_kernel_both
+
+VLOAD2 = """
+__kernel void pair_sum(__global float* a, __global float* out) {
+    int i = get_global_id(0);
+    float2 v = vload2(i, a);
+    out[i] = v.x + v.y;
+}
+"""
+
+VSTORE4 = """
+__kernel void splat4(__global float* out, float base) {
+    int i = get_global_id(0);
+    float4 v = (float4)(base, base + 1.0f, base + 2.0f, base + 3.0f);
+    vstore4(v * 2.0f, i, out);
+}
+"""
+
+VECTOR_ARITH = """
+__kernel void vec_math(__global float* a, __global float* b,
+                       __global float* out) {
+    int i = get_global_id(0);
+    float4 va = vload4(i, a);
+    float4 vb = vload4(i, b);
+    float4 sum = va * vb + (float4)(1.0f, 1.0f, 1.0f, 1.0f);
+    float4 scaled = sum / 2.0f;
+    out[i] = scaled.x + scaled.y + scaled.z + scaled.w;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def context():
+    return Context()
+
+
+@pytest.mark.parametrize("vector_ls", [True, False])
+class TestVectorPaths:
+    def _options(self, vector_ls):
+        return CompilerOptions(vector_ls=vector_ls)
+
+    def test_vload2(self, context, vector_ls):
+        n = 32
+        rng = np.random.default_rng(2)
+        a = rng.random(2 * n, dtype=np.float32)
+        queue = CommandQueue(context)
+        buf_a = context.buffer_from_array(a)
+        buf_out = context.alloc_buffer(4 * n)
+        kernel = context.build_program(
+            VLOAD2, version=self._options(vector_ls)
+        ).kernel("pair_sum")
+        kernel.set_args(buf_a, buf_out)
+        queue.enqueue_nd_range(kernel, (n,), (8,))
+        out = queue.enqueue_read_buffer(buf_out, np.float32)
+        expected = a[0::2] + a[1::2]
+        np.testing.assert_array_equal(out, expected)
+
+    def test_vstore4_with_constructor_and_arith(self, context, vector_ls):
+        n = 16
+        queue = CommandQueue(context)
+        buf_out = context.alloc_buffer(16 * n)
+        kernel = context.build_program(
+            VSTORE4, version=self._options(vector_ls)
+        ).kernel("splat4")
+        kernel.set_args(buf_out, np.float32(5.0))
+        queue.enqueue_nd_range(kernel, (n,), (4,))
+        out = queue.enqueue_read_buffer(buf_out, np.float32).reshape(n, 4)
+        np.testing.assert_array_equal(out, np.tile([10.0, 12.0, 14.0, 16.0],
+                                                   (n, 1)))
+
+    def test_vector_arithmetic(self, context, vector_ls):
+        n = 16
+        rng = np.random.default_rng(4)
+        a = rng.random(4 * n, dtype=np.float32)
+        b = rng.random(4 * n, dtype=np.float32)
+        queue = CommandQueue(context)
+        buf_a = context.buffer_from_array(a)
+        buf_b = context.buffer_from_array(b)
+        buf_out = context.alloc_buffer(4 * n)
+        kernel = context.build_program(
+            VECTOR_ARITH, version=self._options(vector_ls)
+        ).kernel("vec_math")
+        kernel.set_args(buf_a, buf_b, buf_out)
+        queue.enqueue_nd_range(kernel, (n,), (4,))
+        out = queue.enqueue_read_buffer(buf_out, np.float32)
+        av = a.reshape(n, 4)
+        bv = b.reshape(n, 4)
+        expected = ((av * bv + np.float32(1.0))
+                    * np.float32(0.5)).sum(axis=1, dtype=np.float32)
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+
+def test_wide_ops_trace_identical_across_engines():
+    """vload4/vstore4 on both engines, instruction-for-instruction."""
+    rng = np.random.default_rng(6)
+    n = 8
+    a = rng.random(4 * n, dtype=np.float32)
+    b = rng.random(4 * n, dtype=np.float32)
+    out = np.zeros(n, dtype=np.float32)
+    mismatches, quad, _scalar, _ = trace_kernel_both(
+        VECTOR_ARITH, "vec_math", (n,), (4,), [a, b, out]
+    )
+    assert mismatches == [], "\n".join(map(str, mismatches))
+    assert quad.total_events > 0
+
+
+def test_vector_width_mismatch_rejected():
+    from repro.errors import CompileError
+    from repro.clc import compile_source
+
+    with pytest.raises(CompileError):
+        compile_source("""
+        __kernel void k(__global float* a, __global float* out) {
+            float2 v = vload2(0, a);
+            vstore4(v, 0, out);
+        }
+        """)
+
+
+def test_bad_component_rejected():
+    from repro.errors import CompileError
+    from repro.clc import compile_source
+
+    with pytest.raises(CompileError):
+        compile_source("""
+        __kernel void k(__global float* a, __global float* out) {
+            float2 v = vload2(0, a);
+            out[0] = v.z;
+        }
+        """)

@@ -1,0 +1,123 @@
+"""Per-workload characteristic tests.
+
+Beyond output correctness (tests/test_workloads.py), each workload must
+exhibit the architectural behaviour the paper attributes to it — these are
+the properties the evaluation figures are built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import get_workload
+
+_CACHE = {}
+
+
+def _result(name, **params):
+    key = (name, tuple(sorted(params.items())))
+    if key not in _CACHE:
+        _CACHE[key] = get_workload(name, **params).run()
+    return _CACHE[key]
+
+
+class TestControlBehaviour:
+    def test_bfs_is_iterative_and_divergent(self):
+        result = _result("bfs", n=128)
+        assert result.jobs > 10  # host loop, one job per level
+        assert result.stats.divergent_branches > 0
+
+    def test_bitonic_sort_launch_count(self):
+        # log2(n) * (log2(n)+1) / 2 stages for n = 128
+        result = _result("BitonicSort", n=128)
+        assert result.jobs == 7 * 8 // 2
+
+    def test_floyd_warshall_one_job_per_pivot(self):
+        result = _result("FloydWarshall", n=16)
+        assert result.jobs == 16
+
+    def test_stencil_one_job_per_iteration(self):
+        result = _result("stencil", nx=8, ny=8, nz=8, iterations=4)
+        assert result.jobs == 4
+
+    def test_single_job_workloads(self):
+        for name, params in (("SobelFilter", {"width": 32, "height": 24}),
+                             ("BinomialOption", {}),
+                             ("nn", {"records": 256})):
+            assert _result(name, **params).jobs == 1, name
+
+
+class TestMemoryBehaviour:
+    def test_local_memory_users(self):
+        for name, params in (("Reduction", {"n": 1024}),
+                             ("MatrixTranspose", {"width": 32, "height": 16}),
+                             ("ScanLargeArrays", {"n": 512}),
+                             ("BinomialOption", {})):
+            stats = _result(name, **params).stats
+            assert stats.ls_local_instrs > 0, name
+
+    def test_global_only_workloads(self):
+        for name, params in (("SobelFilter", {"width": 32, "height": 24}),
+                             ("backprop", {"n_in": 128, "n_hidden": 32}),
+                             ("nn", {"records": 256})):
+            stats = _result(name, **params).stats
+            assert stats.ls_local_instrs == 0, name
+            assert stats.ls_global_instrs > 0, name
+
+    def test_backprop_memory_heavier_than_sobel(self):
+        backprop = _result("backprop", n_in=128, n_hidden=32).stats
+        sobel = _result("SobelFilter", width=32, height=24).stats
+        assert (backprop.data_access_breakdown()["main_memory"]
+                > sobel.data_access_breakdown()["main_memory"])
+
+
+class TestDivergenceBehaviour:
+    def test_sobel_nearly_uniform(self):
+        stats = _result("SobelFilter", width=32, height=24).stats
+        # border threads diverge; the interior is uniform, so divergence is
+        # a small fraction of branch events
+        assert stats.divergent_branches < 0.35 * stats.branch_events
+
+    def test_spmv_diverges_on_row_lengths(self):
+        stats = _result("spmv", n=64).stats
+        assert stats.divergent_branches > 0
+
+
+class TestBarrierBehaviour:
+    def test_reduction_tree_depth_barriers(self):
+        result = _result("Reduction", n=1024, group=64)
+        stats = result.stats
+        # a 64-wide tree has 6 halving rounds + the initial fill barrier
+        assert stats.warps_launched >= stats.workgroups * 16
+
+    def test_binomial_iterates_with_barriers(self):
+        stats = _result("BinomialOption").stats
+        # every thread revisits the barrier clause each step: the clause
+        # count per thread must exceed the static program size many times
+        assert stats.clauses_executed > 100
+
+
+class TestSgemmFamily:
+    def test_clblas_sgemm_verifies(self):
+        result = _result("clblas_sgemm", n=32)
+        assert result.verified
+        assert result.stats.ls_local_instrs > 0  # tiled implementation
+
+    def test_variant4_uses_wide_loads(self):
+        from repro.kernels.sgemm_variants import SgemmVariant
+
+        workload = SgemmVariant(variant=4, n=32)
+        result = workload.run()
+        assert result.verified
+        # wide loads move 4 elements per issue: elements > issues
+        stats = result.stats
+        assert stats.main_mem_accesses > stats.ls_global_instrs
+
+    def test_variant6_register_pressure_highest(self):
+        from repro.kernels.sgemm_variants import SgemmVariant
+
+        registers = {}
+        for variant in (1, 6):
+            workload = SgemmVariant(variant=variant, n=32)
+            workload.run()
+            registers[variant] = workload.last_kernel.compiled.work_registers
+        assert registers[6] > registers[1]

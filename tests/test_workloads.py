@@ -1,0 +1,59 @@
+"""Every Table-II workload must verify against its NumPy oracle on the
+full simulated stack (driver + JM + MMU + compiled kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.cl import Context
+from repro.kernels import WORKLOADS, get_workload
+from repro.kernels.sgemm_variants import SGEMM_VARIANTS, SgemmVariant
+
+_SMALL = {
+    # keep CI latency low: shrink the heaviest defaults further
+    "BinarySearch": {"n": 1024, "keys": 64},
+    "BitonicSort": {"n": 128},
+    "DCT": {"width": 16, "height": 16},
+    "DwtHaar1D": {"n": 256},
+    "FloydWarshall": {"n": 16},
+    "MatrixTranspose": {"width": 32, "height": 16},
+    "RecursiveGaussian": {"width": 16, "height": 16},
+    "Reduction": {"n": 1024},
+    "ScanLargeArrays": {"n": 512},
+    "SobelFilter": {"width": 32, "height": 24},
+    "URNG": {"n": 1024},
+    "bfs": {"n": 128, "chord_every": 16},
+    "cutcp": {"natoms": 16, "nx": 8, "ny": 8, "nz": 4},
+    "sgemm": {"m": 16, "k": 16, "n": 24},
+    "spmv": {"n": 64},
+    "stencil": {"nx": 8, "ny": 8, "nz": 8, "iterations": 4},
+    "backprop": {"n_in": 128, "n_hidden": 32},
+    "nn": {"records": 256},
+    "MatrixMul": {"n": 16},
+}
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_verifies(name):
+    workload = get_workload(name, **_SMALL.get(name, {}))
+    result = workload.run()
+    assert result.verified, f"{name} output mismatch vs NumPy reference"
+    assert result.jobs >= 1
+    assert result.stats.threads_launched > 0
+    assert result.stats.total_instrs > 0
+
+
+@pytest.mark.parametrize("variant", [1, 2, 3, 4, 5, 6])
+def test_sgemm_variants_verify(variant):
+    workload = SgemmVariant(variant=variant, n=32)
+    result = workload.run()
+    assert result.verified, f"sgemm{variant} mismatch"
+
+
+def test_all_variants_share_inputs():
+    a1 = SgemmVariant(variant=1).prepare()["a"]
+    a6 = SgemmVariant(variant=6).prepare()["a"]
+    np.testing.assert_array_equal(a1, a6)
+
+
+def test_variant_specs_cover_six():
+    assert [v.index for v in SGEMM_VARIANTS] == [1, 2, 3, 4, 5, 6]
