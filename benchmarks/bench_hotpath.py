@@ -1,0 +1,167 @@
+"""Hot-path micro-benchmark: quad memory pipeline vs scalar reference.
+
+Times the two layers the vectorized memory pipeline optimizes and writes
+``BENCH_hotpath.json`` (repo root) so future changes have a perf
+trajectory to regress against:
+
+- **micro**: loads/sec through the GPU MMU, replaying the lane-address
+  shapes of the sgemm and SobelFilter inner loops (broadcast of a shared
+  matrix element + contiguous row words) — one ``load_quad_u32`` against
+  the seed's four ``load_u32`` calls, same machine, same run;
+- **kernels**: end-to-end sgemm / SobelFilter wall-clock with the fast
+  path disabled (``GPUMMU.fast_path_enabled = False``, the scalar seed
+  path) and enabled, plus interpreter clauses/sec and loads/sec.
+
+Run directly: ``python benchmarks/bench_hotpath.py [--quick]``.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.cl import Context  # noqa: E402
+from repro.core.platform import MobilePlatform, PlatformConfig  # noqa: E402
+from repro.gpu.device import GPUConfig  # noqa: E402
+from repro.kernels import get_workload  # noqa: E402
+
+_OUTPUT = _REPO_ROOT / "BENCH_hotpath.json"
+
+
+def _best(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def micro_mmu_loads(quads=2000, repeats=5):
+    """The memory-bound inner-loop micro: MMU loads, quad vs 4x scalar.
+
+    The address streams mirror the two access shapes of the sgemm inner
+    loop (``a[row*k + i]`` broadcast to all lanes; ``b[i*n + col]``
+    contiguous across lanes) and the SobelFilter row reads (contiguous).
+    """
+    context = Context(MobilePlatform(PlatformConfig()))
+    mmu = context.platform.gpu.mmu
+    buffer = context.alloc_buffer(256 * 1024)
+    base = buffer.gpu_va
+    streams = []
+    for i in range(quads):
+        if i % 3 == 0:
+            streams.append([base + 16 * (i % 4096)] * 4)  # broadcast
+        else:
+            word = base + 16 * (i % 4096)
+            streams.append([word, word + 4, word + 8, word + 12])
+
+    def scalar():
+        load = mmu.load_u32
+        for quad in streams:
+            for addr in quad:
+                load(addr)
+
+    def fast():
+        load = mmu.load_quad_u32
+        for quad in streams:
+            load(quad)
+
+    scalar()  # warm the TLBs and page views
+    fast()
+    scalar_seconds = _best(scalar, repeats)
+    fast_seconds = _best(fast, repeats)
+    return {
+        "quads": quads,
+        "scalar_seconds": scalar_seconds,
+        "fast_seconds": fast_seconds,
+        "scalar_us_per_quad": scalar_seconds / quads * 1e6,
+        "fast_us_per_quad": fast_seconds / quads * 1e6,
+        "speedup": scalar_seconds / fast_seconds,
+    }
+
+
+def kernel_end_to_end(workload, sizes, repeats=3):
+    """End-to-end wall-clock, fast path off vs on, plus throughput rates."""
+
+    def timed(fast_path):
+        best = float("inf")
+        stats = None
+        for _ in range(repeats):
+            config = PlatformConfig(
+                gpu=GPUConfig(engine="interpreter", instrument=True)
+            )
+            context = Context(MobilePlatform(config))
+            context.platform.gpu.mmu.fast_path_enabled = fast_path
+            start = time.perf_counter()
+            result = get_workload(workload, **sizes).run(context=context,
+                                                         verify=True)
+            elapsed = time.perf_counter() - start
+            assert result.verified
+            best = min(best, elapsed)
+            stats = result.stats
+        return best, stats
+
+    scalar_seconds, scalar_stats = timed(False)
+    fast_seconds, fast_stats = timed(True)
+    assert vars(scalar_stats) == vars(fast_stats), \
+        "fast path diverged from scalar statistics"
+    return {
+        "sizes": sizes,
+        "scalar_seconds": scalar_seconds,
+        "fast_seconds": fast_seconds,
+        "speedup": scalar_seconds / fast_seconds,
+        "clauses_per_sec": fast_stats.clauses_executed / fast_seconds,
+        "loads_per_sec": fast_stats.main_mem_accesses / fast_seconds,
+    }
+
+
+def run(quick=False):
+    micro_repeats = 3 if quick else 7
+    kernel_repeats = 1 if quick else 3
+    sgemm_sizes = {"m": 16, "k": 8, "n": 24} if quick else {}
+    sobel_sizes = {"width": 32, "height": 24} if quick else \
+        {"width": 48, "height": 32}
+    report = {
+        "quick": quick,
+        "micro": micro_mmu_loads(repeats=micro_repeats),
+        "kernels": {
+            "sgemm": kernel_end_to_end("sgemm", sgemm_sizes,
+                                       repeats=kernel_repeats),
+            "SobelFilter": kernel_end_to_end("SobelFilter", sobel_sizes,
+                                             repeats=kernel_repeats),
+        },
+    }
+    _OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes / fewer repeats (CI smoke run)")
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick)
+    micro = report["micro"]
+    print(f"micro (MMU loads): scalar {micro['scalar_us_per_quad']:.2f} "
+          f"us/quad, fast {micro['fast_us_per_quad']:.2f} us/quad, "
+          f"speedup {micro['speedup']:.2f}x")
+    for name, row in report["kernels"].items():
+        print(f"{name}: scalar {row['scalar_seconds'] * 1000:.1f} ms, "
+              f"fast {row['fast_seconds'] * 1000:.1f} ms, "
+              f"speedup {row['speedup']:.2f}x, "
+              f"{row['clauses_per_sec']:,.0f} clauses/s, "
+              f"{row['loads_per_sec']:,.0f} loads/s")
+    print(f"wrote {_OUTPUT}")
+    if micro["speedup"] < 3.0:
+        print("WARNING: micro speedup below the 3x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

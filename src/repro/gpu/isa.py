@@ -22,6 +22,13 @@ representation; :mod:`repro.gpu.encoding` provides the binary format.
 import enum
 from dataclasses import dataclass, field
 
+import numpy as np
+
+# Threads per quad (the 128-bit datapath width / 4-byte lanes). The warp
+# executor re-exports this as WARP_WIDTH; it lives here so decode-time
+# clause specialization can pre-broadcast constant vectors.
+QUAD_WIDTH = 4
+
 
 class Op(enum.IntEnum):
     """GPU opcodes. The numeric values are the binary encoding."""
@@ -368,6 +375,39 @@ class Clause:
         if cached is None:
             cached = _compute_clause_metrics(self)
             object.__setattr__(self, "_metrics", cached)
+        return cached
+
+    def active_slots(self):
+        """The non-NOP instructions in execution order (cached).
+
+        Decode-time specialization: the executor issues straight down this
+        list instead of branching on NOP slots for every tuple on every
+        clause execution.
+        """
+        cached = getattr(self, "_active_slots", None)
+        if cached is None:
+            cached = tuple(slot for slot in self.slots()
+                           if slot.op is not Op.NOP)
+            object.__setattr__(self, "_active_slots", cached)
+        return cached
+
+    def constant_vectors(self):
+        """Quad-broadcast constant-pool vectors (cached, read-only).
+
+        Pre-materializing the ``np.full`` broadcast at decode time removes
+        a per-issue allocation from every constant-operand read. The
+        arrays are marked non-writable because they are shared across all
+        warps executing the clause.
+        """
+        cached = getattr(self, "_const_vectors", None)
+        if cached is None:
+            cached = []
+            for value in self.constants:
+                vector = np.full(QUAD_WIDTH, value, dtype=np.uint32)
+                vector.flags.writeable = False
+                cached.append(vector)
+            cached = tuple(cached)
+            object.__setattr__(self, "_const_vectors", cached)
         return cached
 
     def slots(self):

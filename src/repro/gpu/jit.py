@@ -260,34 +260,60 @@ class ClauseJIT:
         read_addr = self._reader(clause, instr.srca)
         mem = self.mem
         local_mem = self.local
+        quad_load = getattr(mem, "load_quad_u32", None)
+        quad_store = getattr(mem, "store_quad_u32", None)
         if instr.op is Op.LD:
             base = instr.dst
+            if local:
+                def run_ld_local(warp, mask, lanes):
+                    active = np.flatnonzero(mask)
+                    indices = read_addr(warp)[active].astype(np.int64) >> 2
+                    for element in range(width):
+                        warp.regs[active, base + element] = \
+                            local_mem[indices + element]
+                return run_ld_local
 
             def run_ld(warp, mask, lanes):
                 addrs = read_addr(warp)
+                active = np.flatnonzero(mask)
+                addr_list = addrs[active].tolist()
                 regs = warp.regs
                 for element in range(width):
                     column = base + element
-                    for lane in np.flatnonzero(mask):
-                        addr = int(addrs[lane]) + 4 * element
-                        if local:
-                            regs[lane, column] = local_mem[addr >> 2]
-                        else:
-                            regs[lane, column] = mem.load_u32(addr)
+                    elem_addrs = addr_list if element == 0 else \
+                        [a + 4 * element for a in addr_list]
+                    values = quad_load(elem_addrs) \
+                        if quad_load is not None else None
+                    if values is not None:
+                        regs[active, column] = values
+                        continue
+                    for lane, addr in zip(active, elem_addrs):
+                        regs[lane, column] = mem.load_u32(addr)
             return run_ld
         data_base = instr.srcb
         read_data = [self._reader(clause, data_base + e) for e in range(width)]
+        if local:
+            def run_st_local(warp, mask, lanes):
+                active = np.flatnonzero(mask)
+                indices = read_addr(warp)[active].astype(np.int64) >> 2
+                for element in range(width):
+                    values = read_data[element](warp)
+                    local_mem[indices + element] = _u32(values)[active]
+            return run_st_local
 
         def run_st(warp, mask, lanes):
             addrs = read_addr(warp)
+            active = np.flatnonzero(mask)
+            addr_list = addrs[active].tolist()
             for element in range(width):
                 values = read_data[element](warp)
-                for lane in np.flatnonzero(mask):
-                    addr = int(addrs[lane]) + 4 * element
-                    if local:
-                        local_mem[addr >> 2] = values[lane]
-                    else:
-                        mem.store_u32(addr, int(values[lane]))
+                elem_addrs = addr_list if element == 0 else \
+                    [a + 4 * element for a in addr_list]
+                if quad_store is not None and quad_store(
+                        elem_addrs, _u32(values)[active]) is not None:
+                    continue
+                for lane, addr in zip(active, elem_addrs):
+                    mem.store_u32(addr, int(values[lane]))
         return run_st
 
     # -- warp scheduling (same contract as ClauseInterpreter) ----------------------

@@ -8,11 +8,30 @@ mapped registers and interrupts." (Section III-B5)
 The MMU walks the *same* page tables the driver built in simulated physical
 memory (:mod:`repro.mem.pagetable`) and records every distinct GPU-VA page
 touched — the paper's "pages accessed by the GPU" system statistic.
+
+Two translation paths exist:
+
+- the scalar path (:meth:`GPUMMU.translate` / :meth:`GPUMMU.load_u32`),
+  one walk-or-TLB-probe per 32-bit word — the reference semantics;
+- the quad fast path (:meth:`GPUMMU.translate_quad` and the
+  ``load_quad_u32`` / ``store_quad_u32`` wrappers), which translates a
+  whole vector of lane addresses with one TLB probe per *distinct* page
+  and serves the data through :meth:`~repro.mem.physical.PhysicalMemory.
+  gather_u32` / ``scatter_u32``. The fast path is bit-exact with the
+  scalar path (same ``pages_accessed`` set, same ``translations`` count)
+  and *side-effect-free on failure*: any lane that would fault makes the
+  whole quad return ``None`` so the caller can replay it scalar-wise and
+  reproduce the exact per-lane fault behaviour.
 """
 
+import numpy as np
+
 from repro.errors import MMUFault
-from repro.mem.pagetable import PageTableWalker
+from repro.mem.pagetable import PTE_EXEC, PTE_READ, PTE_WRITE, PageTableWalker
 from repro.mem.physical import PAGE_SHIFT
+
+_PAGE_MASK = (1 << PAGE_SHIFT) - 1
+_REQUIRED = {"r": PTE_READ, "w": PTE_WRITE, "x": PTE_EXEC}
 
 
 class GPUMMU:
@@ -21,17 +40,66 @@ class GPUMMU:
     def __init__(self, memory):
         self._memory = memory
         self._walker = None
-        self.enabled = False
+        self._enabled = False
         self.pages_accessed = set()
         self.fault_addr = 0
         self.fault_status = 0
         self.translations = 0
+        # Software TLB in front of the walker: VA page -> (PA page, PTE
+        # flags). The walker keeps its own TLB for the table-walk cache;
+        # this one makes a whole quad cost a single dict probe per
+        # distinct page. `fast_path_enabled` is the ablation knob used by
+        # benchmarks/bench_ablation_design.py and bench_hotpath.py.
+        self._tlb = {}
+        # permission-checked page views for the quad fast path:
+        # VA page -> u32 view of its physical page. Subsets of the TLB,
+        # flushed with it.
+        self._rview = {}
+        self._wview = {}
+        self._fast_path_enabled = True
+        self.quad_accesses = 0
+        self.quad_fallbacks = 0
+        self._gather = getattr(memory, "gather_u32", None)
+        self._scatter = getattr(memory, "scatter_u32", None)
+        self._page_view = getattr(memory, "page_u32_view", None)
+        self._fast = False
+
+    def _update_fast(self):
+        self._fast = (self._fast_path_enabled and self._enabled
+                      and self._walker is not None
+                      and self._page_view is not None)
+
+    @property
+    def enabled(self):
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value):
+        self._enabled = value
+        self._update_fast()
+
+    @property
+    def fast_path_enabled(self):
+        """Ablation knob: False forces every access onto the scalar path."""
+        return self._fast_path_enabled
+
+    @fast_path_enabled.setter
+    def fast_path_enabled(self, value):
+        self._fast_path_enabled = value
+        self._update_fast()
 
     def set_page_table(self, root):
         """Driver handing over the page-table base (MMU_PGD register)."""
         self._walker = PageTableWalker(self._memory, root)
+        self._tlb = {}
+        self._rview = {}
+        self._wview = {}
+        self._update_fast()
 
     def flush_tlb(self):
+        self._tlb = {}
+        self._rview = {}
+        self._wview = {}
         if self._walker is not None:
             self._walker.flush_tlb()
 
@@ -44,9 +112,68 @@ class GPUMMU:
         """
         if not self.enabled or self._walker is None:
             raise MMUFault(vaddr, access, "GPU MMU not enabled")
+        vpage = vaddr >> PAGE_SHIFT
         self.translations += 1
-        self.pages_accessed.add(vaddr >> PAGE_SHIFT)
-        return self._walker.translate(vaddr, access)
+        self.pages_accessed.add(vpage)
+        entry = self._tlb.get(vpage)
+        if entry is None:
+            entry = self._walker.lookup_page(vaddr)
+            if entry is None:
+                raise MMUFault(vaddr, access)
+            self._tlb[vpage] = entry
+        ppage, flags = entry
+        if not flags & _REQUIRED[access]:
+            raise MMUFault(vaddr, access,
+                           f"permission denied at 0x{vaddr:x} ({access})")
+        return ppage | (vaddr & _PAGE_MASK)
+
+    def _translate_list(self, lanes, required):
+        """Translate a list of lane addresses; one TLB probe per page.
+
+        Returns the physical-address list, or ``None`` when any lane
+        cannot be served — *without* having recorded anything, so the
+        scalar replay produces byte-identical statistics and the exact
+        per-lane fault the hardware would raise.
+        """
+        tlb = self._tlb
+        walker = self._walker
+        paddrs = []
+        pages = set()
+        for vaddr in lanes:
+            vpage = vaddr >> PAGE_SHIFT
+            entry = tlb.get(vpage)
+            if entry is None:
+                entry = walker.lookup_page(vaddr)
+                if entry is None:
+                    return None
+                tlb[vpage] = entry
+            ppage, flags = entry
+            if not flags & required:
+                return None
+            paddrs.append(ppage | (vaddr & _PAGE_MASK))
+            pages.add(vpage)
+        self.translations += len(lanes)
+        self.pages_accessed |= pages
+        return paddrs
+
+    def translate_quad(self, vaddrs, access="r"):
+        """Translate a vector of lane addresses (one TLB probe per page).
+
+        Returns an ``int64`` NumPy vector of physical addresses, or
+        ``None`` when the quad cannot be served whole (fast path disabled,
+        MMU off, an unmapped page, or a permission failure). The ``None``
+        case records *nothing* — no translation counts, no accessed pages
+        — so the caller can fall back to the scalar path.
+        """
+        if not self.fast_path_enabled or not self.enabled \
+                or self._walker is None:
+            return None
+        lanes = vaddrs.tolist() if isinstance(vaddrs, np.ndarray) \
+            else list(vaddrs)
+        paddrs = self._translate_list(lanes, _REQUIRED[access])
+        if paddrs is None:
+            return None
+        return np.asarray(paddrs, dtype=np.int64)
 
     def latch_fault(self, fault):
         self.fault_addr = fault.vaddr
@@ -59,6 +186,153 @@ class GPUMMU:
 
     def store_u32(self, vaddr, value):
         self._memory.write_u32(self.translate(vaddr, "w"), value)
+
+    def _quad_page(self, lanes, required):
+        """Resolve a same-page, word-aligned quad to (u32 view, offsets).
+
+        Returns ``None`` when the quad is not eligible (different pages,
+        unaligned lanes, fast path off) or would fault — recording nothing
+        in the fault case so the scalar replay is byte-identical.
+        """
+        if not self.fast_path_enabled or not self.enabled \
+                or self._walker is None:
+            return None
+        vpage = lanes[0] >> PAGE_SHIFT
+        offsets = []
+        for vaddr in lanes:
+            if vaddr >> PAGE_SHIFT != vpage or vaddr & 3:
+                return None
+            offsets.append((vaddr & _PAGE_MASK) >> 2)
+        entry = self._tlb.get(vpage)
+        if entry is None:
+            entry = self._walker.lookup_page(lanes[0])
+            if entry is None:
+                return None
+            self._tlb[vpage] = entry
+        ppage, flags = entry
+        if not flags & required:
+            return None
+        self.translations += len(lanes)
+        self.pages_accessed.add(vpage)
+        return self._memory.page_u32_view(ppage >> PAGE_SHIFT), offsets
+
+    def _resolve_view(self, vaddr, vpage, required, cache):
+        """Slow half of the quad tiers: probe, perm-check, cache the view."""
+        entry = self._tlb.get(vpage)
+        if entry is None:
+            entry = self._walker.lookup_page(vaddr)
+            if entry is None:
+                return None
+            self._tlb[vpage] = entry
+        if not entry[1] & required:
+            return None
+        view = self._page_view(entry[0] >> PAGE_SHIFT)
+        cache[vpage] = view
+        return view
+
+    def load_quad_u32(self, vaddrs):
+        """Gather one u32 per lane address, or ``None`` for scalar replay.
+
+        ``vaddrs`` may be a list of ints or an integer ndarray. The two
+        dominant lane shapes are recognized with pure Python-int
+        arithmetic and served without any NumPy fancy indexing:
+
+        - *contiguous* (lane i at base + 4i, e.g. row-major image and
+          matrix rows): one view-cache probe, one slice of the page view;
+        - *broadcast* (all lanes at one address, e.g. a shared matrix
+          element): one view-cache probe, one scalar read.
+
+        Remaining same-page quads go through a fancy-index gather;
+        cross-page quads through the per-lane translate + gather path.
+        Any lane that would fault makes the whole call return ``None``
+        with *no* state recorded, so the caller's scalar replay
+        reproduces the exact reference fault semantics and statistics.
+        """
+        if not self._fast:
+            return None
+        lanes = vaddrs.tolist() if isinstance(vaddrs, np.ndarray) \
+            else vaddrs
+        a0 = lanes[0]
+        if len(lanes) == 4 and not a0 & 3:
+            offset = a0 & _PAGE_MASK
+            if lanes[1] == a0 + 4 and lanes[2] == a0 + 8 \
+                    and lanes[3] == a0 + 12:
+                if offset <= _PAGE_MASK - 15:
+                    vpage = a0 >> PAGE_SHIFT
+                    view = self._rview.get(vpage)
+                    if view is None:
+                        view = self._resolve_view(a0, vpage, PTE_READ,
+                                                  self._rview)
+                    if view is not None:
+                        self.translations += 4
+                        self.pages_accessed.add(vpage)
+                        self.quad_accesses += 1
+                        word = offset >> 2
+                        return view[word:word + 4]
+            elif lanes[1] == a0 and lanes[2] == a0 and lanes[3] == a0:
+                vpage = a0 >> PAGE_SHIFT
+                view = self._rview.get(vpage)
+                if view is None:
+                    view = self._resolve_view(a0, vpage, PTE_READ,
+                                              self._rview)
+                if view is not None:
+                    self.translations += 4
+                    self.pages_accessed.add(vpage)
+                    self.quad_accesses += 1
+                    return view[offset >> 2]
+        hit = self._quad_page(lanes, PTE_READ)
+        if hit is not None:
+            self.quad_accesses += 1
+            view, offsets = hit
+            return view[offsets]
+        paddrs = self._translate_list(lanes, PTE_READ)
+        if not paddrs:
+            self.quad_fallbacks += 1
+            return None
+        self.quad_accesses += 1
+        return self._gather(paddrs)
+
+    def store_quad_u32(self, vaddrs, values):
+        """Scatter one u32 per lane address; ``None`` -> scalar replay.
+
+        The contiguous lane shape is served as one slice assignment on
+        the page view; see :meth:`load_quad_u32` for the tiering.
+        """
+        if not self._fast or self._scatter is None:
+            return None
+        lanes = vaddrs.tolist() if isinstance(vaddrs, np.ndarray) \
+            else vaddrs
+        a0 = lanes[0]
+        if len(lanes) == 4 and not a0 & 3 \
+                and lanes[1] == a0 + 4 and lanes[2] == a0 + 8 \
+                and lanes[3] == a0 + 12:
+            offset = a0 & _PAGE_MASK
+            if offset <= _PAGE_MASK - 15:
+                vpage = a0 >> PAGE_SHIFT
+                view = self._wview.get(vpage)
+                if view is None:
+                    view = self._resolve_view(a0, vpage, PTE_WRITE,
+                                              self._wview)
+                if view is not None:
+                    self.translations += 4
+                    self.pages_accessed.add(vpage)
+                    self.quad_accesses += 1
+                    word = offset >> 2
+                    view[word:word + 4] = values
+                    return True
+        hit = self._quad_page(lanes, PTE_WRITE)
+        if hit is not None:
+            self.quad_accesses += 1
+            view, offsets = hit
+            view[offsets] = values
+            return True
+        paddrs = self._translate_list(lanes, PTE_WRITE)
+        if not paddrs:
+            self.quad_fallbacks += 1
+            return None
+        self.quad_accesses += 1
+        self._scatter(paddrs, values)
+        return True
 
     def load_u64(self, vaddr):
         low = self.load_u32(vaddr)

@@ -108,11 +108,18 @@ class ComputeUnit:
             )
         from repro.gpu.jit import ClauseJIT
 
+        # Key on id() for hashability, but validate the entry against the
+        # program *object*: holding the program in the entry keeps its id
+        # from being recycled by the GC, and the identity check guards
+        # against a collision with an entry inserted for a dead program.
         key = (id(program), uniforms.tobytes())
-        cached = self._jit_cache.get(key)
-        if cached is None or cached.local is not self._local:
-            cached = ClauseJIT(program, uniforms, mem, local=self._local)
-            self._jit_cache[key] = cached
+        entry = self._jit_cache.get(key)
+        if entry is not None:
+            cached_program, cached = entry
+            if cached_program is program and cached.local is self._local:
+                return cached
+        cached = ClauseJIT(program, uniforms, mem, local=self._local)
+        self._jit_cache[key] = (program, cached)
         return cached
 
     def run_workgroup(self, program, uniforms, mem, shape, flat_group):

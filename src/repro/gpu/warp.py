@@ -31,6 +31,7 @@ from repro.gpu.isa import (
     NUM_GRF,
     NUM_TEMPS,
     OPERAND_NONE,
+    QUAD_WIDTH,
     REG_LANE,
     TEMP_BASE,
     CmpMode,
@@ -41,7 +42,7 @@ from repro.gpu.isa import (
     is_temp,
 )
 
-WARP_WIDTH = 4
+WARP_WIDTH = QUAD_WIDTH
 _END_PC = 1 << 30
 
 _SHIFT_MASK = np.uint32(31)
@@ -107,6 +108,22 @@ class ClauseInterpreter:
         self.cfg = cfg
         self.tracer = tracer
         self._dispatch = _DISPATCH
+        # quad-wide memory fast path: available when the memory port
+        # exposes the vector API (the GPU MMU over PhysicalMemory does;
+        # bus-routed or test stub ports fall back to per-word accesses).
+        # Tracing needs per-word visibility, so it pins the scalar path.
+        self._quad_load = getattr(mem, "load_quad_u32", None)
+        self._quad_store = getattr(mem, "store_quad_u32", None)
+        if tracer is not None or self._quad_load is None \
+                or self._quad_store is None:
+            self._quad_load = None
+            self._quad_store = None
+        # per-interpreter scratch: uniform broadcasts are materialized
+        # once per slot instead of one np.full per issue
+        self._uniform_vectors = {}
+        # deferred per-clause stat accumulation: clause index ->
+        # [issue count, total active lanes], flushed by run_warp
+        self._pending_stats = {}
 
     # -- warp scheduling ------------------------------------------------------
 
@@ -115,37 +132,51 @@ class ClauseInterpreter:
 
         Returns ``"done"`` or ``"barrier"``.
         """
-        while True:
-            if warp.finished:
-                return "done"
-            if warp.blocked:
-                return "barrier"
-            runnable = (warp.pcs < _END_PC) & ~warp.at_barrier
-            current = int(warp.pcs[runnable].min())
-            mask = runnable & (warp.pcs == current)
-            self._execute_clause(warp, current, mask)
-            warp.clause_steps += 1
-            if warp.clause_steps > max_clauses:
-                raise GuestError(
-                    f"warp exceeded {max_clauses} clauses; kernel is likely stuck"
-                )
+        pcs = warp.pcs
+        at_barrier = warp.at_barrier
+        try:
+            while True:
+                running = pcs < _END_PC
+                if not running.any():
+                    return "done"
+                runnable = running & ~at_barrier
+                if not runnable.any():
+                    return "barrier"
+                current = int(pcs[runnable].min())
+                mask = runnable & (pcs == current)
+                self._execute_clause(warp, current, mask)
+                warp.clause_steps += 1
+                if warp.clause_steps > max_clauses:
+                    raise GuestError(
+                        f"warp exceeded {max_clauses} clauses; "
+                        f"kernel is likely stuck"
+                    )
+        finally:
+            self._flush_clause_stats()
 
-    # -- clause execution -------------------------------------------------------
+    def _flush_clause_stats(self):
+        """Apply the deferred per-clause counters to the JobStats.
 
-    def _execute_clause(self, warp, clause_index, mask):
-        clause = self.program.clauses[clause_index]
-        lanes = int(mask.sum())
+        Every field in :class:`~repro.gpu.isa.ClauseMetrics` is static per
+        clause and scales linearly in issues/lanes, so accumulating
+        ``(issues, lanes)`` per clause index and multiplying out here is
+        arithmetically identical to the per-issue additions — at a dict
+        increment per clause instead of ~16 attribute additions.
+        """
+        pending = self._pending_stats
+        if not pending:
+            return
         stats = self.stats
-        if stats is not None:
-            # decode-time clause metrics: execution only records clause
-            # frequency and scales by active lanes (paper Section IV-A)
+        clauses = self.program.clauses
+        histogram = stats.clause_size_histogram
+        for clause_index, (issues, lanes) in pending.items():
+            clause = clauses[clause_index]
             metrics = clause.metrics()
-            stats.clauses_executed += 1
             size = clause.size
-            stats.clause_size_histogram[size] = \
-                stats.clause_size_histogram.get(size, 0) + 1
-            stats.arith_cycles += size
-            stats.ls_cycles += metrics.ls_beats
+            stats.clauses_executed += issues
+            histogram[size] = histogram.get(size, 0) + issues
+            stats.arith_cycles += size * issues
+            stats.ls_cycles += metrics.ls_beats * issues
             stats.arith_instrs += metrics.arith_instrs * lanes
             stats.nop_instrs += metrics.nop_instrs * lanes
             stats.ls_global_instrs += metrics.ls_global_instrs * lanes
@@ -159,24 +190,48 @@ class ClauseInterpreter:
             stats.rom_reads += metrics.rom_reads * lanes
             stats.main_mem_accesses += metrics.main_mem_accesses * lanes
             stats.local_mem_accesses += metrics.local_mem_accesses * lanes
-        for fma, add in clause.tuples:
-            if fma.op is not Op.NOP:
-                self._execute_instr(warp, clause, fma, mask, lanes)
-            if add.op is not Op.NOP:
-                self._execute_instr(warp, clause, add, mask, lanes)
+        pending.clear()
+
+    # -- clause execution -------------------------------------------------------
+
+    def _execute_clause(self, warp, clause_index, mask):
+        clause = self.program.clauses[clause_index]
+        lanes = int(mask.sum())
+        if self.stats is not None:
+            # decode-time clause metrics: execution only records clause
+            # frequency and scales by active lanes (paper Section IV-A);
+            # the actual additions are deferred to _flush_clause_stats
+            entry = self._pending_stats.get(clause_index)
+            if entry is None:
+                self._pending_stats[clause_index] = [1, lanes]
+            else:
+                entry[0] += 1
+                entry[1] += lanes
+        for instr in clause.active_slots():
+            self._execute_instr(warp, clause, instr, mask, lanes)
         self._apply_tail(warp, clause, clause_index, mask, lanes)
 
     def _apply_tail(self, warp, clause, clause_index, mask, lanes):
         tail = clause.tail
         stats = self.stats
+        full = lanes == WARP_WIDTH
         if tail is Tail.FALLTHROUGH:
-            warp.pcs[mask] = clause_index + 1
+            if full:
+                warp.pcs[:] = clause_index + 1
+            else:
+                warp.pcs[mask] = clause_index + 1
             next_pcs = None
         elif tail is Tail.END:
-            warp.pcs[mask] = _END_PC
+            if full:
+                warp.pcs[:] = _END_PC
+            else:
+                warp.pcs[mask] = _END_PC
             next_pcs = None
         elif tail is Tail.JUMP:
-            warp.pcs[mask] = clause.target
+            if full:
+                warp.pcs[:] = clause.target
+            else:
+                warp.pcs[mask] = clause.target
             next_pcs = None
             if stats is not None:
                 stats.cf_instrs += lanes
@@ -224,15 +279,26 @@ class ClauseInterpreter:
         if is_temp(operand):
             return warp.temps[:, operand - TEMP_BASE]
         if is_const(operand):
-            value = clause.constants[operand - CONST_BASE]
-            return np.full(WARP_WIDTH, value, dtype=np.uint32)
+            # decode-time pre-broadcast constant vector (shared, read-only)
+            return clause.constant_vectors()[operand - CONST_BASE]
         raise GuestError(f"invalid source operand {operand}")
 
     def _write(self, warp, operand, values, mask, lanes):
+        # full-warp writes skip the masked copyto: distinct register
+        # columns never overlap in storage, so a plain slice assignment
+        # is equivalent (and MOV r, r is the identity either way)
         if is_grf(operand):
-            np.copyto(warp.regs[:, operand], values.view(np.uint32), where=mask)
+            if lanes == WARP_WIDTH:
+                warp.regs[:, operand] = values.view(np.uint32)
+            else:
+                np.copyto(warp.regs[:, operand], values.view(np.uint32),
+                          where=mask)
         elif is_temp(operand):
-            np.copyto(warp.temps[:, operand - TEMP_BASE], values.view(np.uint32), where=mask)
+            if lanes == WARP_WIDTH:
+                warp.temps[:, operand - TEMP_BASE] = values.view(np.uint32)
+            else:
+                np.copyto(warp.temps[:, operand - TEMP_BASE],
+                          values.view(np.uint32), where=mask)
         else:
             raise GuestError(f"invalid destination operand {operand}")
 
@@ -247,7 +313,12 @@ class ClauseInterpreter:
             self._execute_atomic(warp, clause, instr, mask, lanes)
             return
         if op is Op.LDU:
-            values = np.full(WARP_WIDTH, self.uniforms[instr.imm], dtype=np.uint32)
+            values = self._uniform_vectors.get(instr.imm)
+            if values is None:
+                values = np.full(WARP_WIDTH, self.uniforms[instr.imm],
+                                 dtype=np.uint32)
+                values.flags.writeable = False
+                self._uniform_vectors[instr.imm] = values
             self._write(warp, instr.dst, values, mask, lanes)
             if self.tracer is not None:
                 self.tracer.record_quad(warp, mask, instr, values)
@@ -263,6 +334,115 @@ class ClauseInterpreter:
         width = instr.mem_width
         local = instr.mem_is_local
         addrs = self._read(warp, clause, instr.srca, lanes)
+        if self.tracer is None:
+            if local:
+                self._memory_local_quad(warp, clause, instr, addrs, mask,
+                                        lanes, width)
+                return
+            if self._quad_load is not None:
+                self._memory_global_quad(warp, clause, instr, addrs, mask,
+                                         lanes, width)
+                return
+        self._execute_memory_scalar(warp, clause, instr, addrs, mask,
+                                    lanes, width, local)
+
+    def _memory_local_quad(self, warp, clause, instr, addrs, mask, lanes,
+                           width):
+        """Workgroup-local LD/ST as NumPy fancy indexing on the local slab."""
+        local = self.local
+        if lanes == WARP_WIDTH:
+            indices = addrs >> 2
+            if instr.op is Op.LD:
+                base = instr.dst
+                for element in range(width):
+                    idx = indices if element == 0 else indices + element
+                    warp.regs[:, base + element] = local[idx]
+            else:
+                base = instr.srcb
+                for element in range(width):
+                    values = self._read(warp, clause, base + element, lanes)
+                    idx = indices if element == 0 else indices + element
+                    local[idx] = values.view(np.uint32)
+            return
+        active = np.flatnonzero(mask)
+        indices = (addrs[active].astype(np.int64) >> 2)
+        if instr.op is Op.LD:
+            base = instr.dst
+            for element in range(width):
+                warp.regs[active, base + element] = local[indices + element]
+        else:
+            base = instr.srcb
+            for element in range(width):
+                values = self._read(warp, clause, base + element, lanes)
+                local[indices + element] = values.view(np.uint32)[active]
+
+    def _memory_global_quad(self, warp, clause, instr, addrs, mask, lanes,
+                            width):
+        """Global LD/ST through the MMU quad gather/scatter fast path.
+
+        Lane addresses travel as Python ints (one ``tolist`` per
+        instruction) so the MMU's same-page probe stays off the NumPy
+        small-array overhead. Each element row tries the coalesced path
+        first; a quad the MMU cannot serve whole (fault, permissions,
+        disabled fast path) is replayed lane-by-lane through the scalar
+        port, which reproduces the exact scalar-mode fault semantics and
+        statistics.
+        """
+        full = lanes == WARP_WIDTH
+        if full:
+            active = None
+            addr_list = addrs.tolist()
+        else:
+            active = np.flatnonzero(mask)
+            addr_list = addrs[active].tolist()
+        if instr.op is Op.LD:
+            base = instr.dst
+            for element in range(width):
+                elem_addrs = addr_list if element == 0 else \
+                    [a + 4 * element for a in addr_list]
+                values = self._quad_load(elem_addrs)
+                if values is None:
+                    if active is None:
+                        active = np.flatnonzero(mask)
+                    self._scalar_load_element(warp, addrs, active,
+                                              base + element, element, False)
+                elif full:
+                    warp.regs[:, base + element] = values
+                else:
+                    warp.regs[active, base + element] = values
+        else:
+            base = instr.srcb
+            for element in range(width):
+                values = self._read(warp, clause, base + element, lanes)
+                u32 = values.view(np.uint32)
+                elem_addrs = addr_list if element == 0 else \
+                    [a + 4 * element for a in addr_list]
+                lane_values = u32 if full else u32[active]
+                if self._quad_store(elem_addrs, lane_values) is None:
+                    if active is None:
+                        active = np.flatnonzero(mask)
+                    self._scalar_store_element(addrs, active, u32,
+                                               element, False)
+
+    def _scalar_load_element(self, warp, addrs, active, reg, element, local):
+        for lane in active:
+            addr = int(addrs[lane]) + 4 * element
+            if local:
+                warp.regs[lane, reg] = self.local[addr >> 2]
+            else:
+                warp.regs[lane, reg] = self.mem.load_u32(addr)
+
+    def _scalar_store_element(self, addrs, active, values, element, local):
+        for lane in active:
+            addr = int(addrs[lane]) + 4 * element
+            if local:
+                self.local[addr >> 2] = values[lane]
+            else:
+                self.mem.store_u32(addr, int(values[lane]))
+
+    def _execute_memory_scalar(self, warp, clause, instr, addrs, mask,
+                               lanes, width, local):
+        """Reference per-word path (tracer mode / non-vector memory ports)."""
         lanes_index = np.flatnonzero(mask)
         if instr.op is Op.LD:
             base = instr.dst
@@ -330,12 +510,14 @@ class ClauseInterpreter:
         a = _as_f32(self._read(warp, clause, instr.srca, lanes))
         b = _as_f32(self._read(warp, clause, instr.srcb, lanes))
         with np.errstate(all="ignore"):
-            return fn(a, b).astype(np.float32)
+            # copy=False: fn always returns a fresh temporary, so the
+            # conversion can reuse it when the dtype already matches
+            return fn(a, b).astype(np.float32, copy=False)
 
     def _unary_f(self, warp, clause, instr, lanes, fn):
         a = _as_f32(self._read(warp, clause, instr.srca, lanes))
         with np.errstate(all="ignore"):
-            return fn(a).astype(np.float32)
+            return fn(a).astype(np.float32, copy=False)
 
     def _h_fadd(self, w, c, i, n):
         return self._binary_f(w, c, i, n, np.add)
@@ -351,7 +533,7 @@ class ClauseInterpreter:
         b = _as_f32(self._read(w, c, i.srcb, n))
         acc = _as_f32(self._read(w, c, i.srcc, n))
         with np.errstate(all="ignore"):
-            return (a * b + acc).astype(np.float32)
+            return (a * b + acc).astype(np.float32, copy=False)
 
     def _h_fmin(self, w, c, i, n):
         return self._binary_f(w, c, i, n, np.fmin)
@@ -416,7 +598,7 @@ class ClauseInterpreter:
     def _binary_u(self, warp, clause, instr, lanes, fn):
         a = self._read(warp, clause, instr.srca, lanes)
         b = self._read(warp, clause, instr.srcb, lanes)
-        return fn(a, b).astype(np.uint32)
+        return fn(a, b).astype(np.uint32, copy=False)
 
     def _h_iadd(self, w, c, i, n):
         return self._binary_u(w, c, i, n, np.add)
@@ -473,10 +655,8 @@ class ClauseInterpreter:
         a = self._read(w, c, i.srca, n).view(np.int32).astype(np.int64)
         b = self._read(w, c, i.srcb, n).view(np.int32).astype(np.int64)
         safe = np.where(b == 0, 1, b)
-        quotient = np.where(b == 0, 0, (a / safe).astype(np.int64))
-        # C semantics: truncate toward zero
-        quotient = np.trunc(a / safe)
-        quotient = np.where(b == 0, 0, quotient)
+        # C semantics: truncate toward zero; division by zero yields zero
+        quotient = np.where(b == 0, 0, np.trunc(a / safe))
         return quotient.astype(np.int64).astype(np.int32).view(np.uint32)
 
     def _h_irem(self, w, c, i, n):

@@ -123,6 +123,34 @@ class PageTableWalker:
     def flush_tlb(self):
         self._tlb.clear()
 
+    def lookup_page(self, vaddr):
+        """Resolve the page containing *vaddr* without permission checks.
+
+        Returns ``(physical page base, PTE flags)`` or ``None`` when the
+        page is unmapped (no exception — callers that need fault semantics
+        use :meth:`translate`). Successful lookups populate the TLB.
+        """
+        vpage = vaddr >> PAGE_SHIFT
+        cached = self._tlb.get(vpage)
+        if cached is not None:
+            self.tlb_hits += 1
+            return cached
+        if vaddr >> VA_BITS:
+            return None
+        self.walks += 1
+        table = self.root
+        for level in range(_LEVELS - 1):
+            entry = self._memory.read_u64(table + 8 * _index(vaddr, level))
+            if not entry & PTE_VALID:
+                return None
+            table = entry & _ADDR_MASK
+        entry = self._memory.read_u64(table + 8 * _index(vaddr, _LEVELS - 1))
+        if not entry & PTE_VALID:
+            return None
+        cached = (entry & _ADDR_MASK, entry & 0xFFF)
+        self._tlb[vpage] = cached
+        return cached
+
     def translate(self, vaddr, access="r"):
         """Translate *vaddr*; returns the physical address.
 
@@ -130,28 +158,10 @@ class PageTableWalker:
             MMUFault: if the page is unmapped or *access* ('r'/'w'/'x')
                 is not permitted.
         """
-        vpage = vaddr >> PAGE_SHIFT
-        cached = self._tlb.get(vpage)
-        if cached is not None:
-            ppage, flags = cached
-            self._check(vaddr, access, flags)
-            self.tlb_hits += 1
-            return ppage | (vaddr & (PAGE_SIZE - 1))
-        if vaddr >> VA_BITS:
+        cached = self.lookup_page(vaddr)
+        if cached is None:
             raise MMUFault(vaddr, access)
-        self.walks += 1
-        table = self.root
-        for level in range(_LEVELS - 1):
-            entry = self._memory.read_u64(table + 8 * _index(vaddr, level))
-            if not entry & PTE_VALID:
-                raise MMUFault(vaddr, access)
-            table = entry & _ADDR_MASK
-        entry = self._memory.read_u64(table + 8 * _index(vaddr, _LEVELS - 1))
-        if not entry & PTE_VALID:
-            raise MMUFault(vaddr, access)
-        ppage = entry & _ADDR_MASK
-        flags = entry & 0xFFF
-        self._tlb[vpage] = (ppage, flags)
+        ppage, flags = cached
         self._check(vaddr, access, flags)
         return ppage | (vaddr & (PAGE_SIZE - 1))
 

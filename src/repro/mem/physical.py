@@ -41,6 +41,7 @@ class PhysicalMemory:
             raise ValueError(f"memory size must be a positive multiple of {PAGE_SIZE}")
         self.size = size
         self._pages = {}
+        self._views = {}  # page index -> np.uint32 view sharing the bytearray
 
     # -- page management ----------------------------------------------------
 
@@ -54,6 +55,20 @@ class PhysicalMemory:
             page = bytearray(PAGE_SIZE)
             self._pages[index] = page
         return page, addr & _PAGE_MASK
+
+    def page_u32_view(self, index):
+        """Writable ``np.uint32`` view of page *index*, allocating it.
+
+        Views share storage with the page ``bytearray``, so byte-level and
+        vector accessors stay coherent. Pages are never reallocated, so the
+        views are cached for the lifetime of the memory.
+        """
+        view = self._views.get(index)
+        if view is None:
+            page, _ = self._page(index << PAGE_SHIFT)
+            view = np.frombuffer(page, dtype=np.uint32)
+            self._views[index] = view
+        return view
 
     @property
     def allocated_pages(self):
@@ -128,6 +143,61 @@ class PhysicalMemory:
     def write_array(self, addr, array):
         """Write a NumPy array's bytes starting at *addr*."""
         self.write_block(addr, np.ascontiguousarray(array).tobytes())
+
+    # -- vector accessors (the GPU quad fast path) --------------------------
+
+    def gather_u32(self, addrs):
+        """Read one u32 per physical address in *addrs* (quad gather).
+
+        When every address is 4-byte aligned and all land in the same page
+        — the common case for a coalesced GPU quad — the whole gather is a
+        single NumPy fancy-index on the page's u32 view. Stragglers
+        (cross-page or unaligned) fall back to scalar :meth:`read_u32` per
+        element, which keeps page-straddling words bit-exact.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        count = len(addrs)
+        if count == 0:
+            return np.empty(0, dtype=np.uint32)
+        first = int(addrs[0])
+        page_index = first >> PAGE_SHIFT
+        if ((addrs >> PAGE_SHIFT) == page_index).all() and not (addrs & 3).any():
+            if not 0 <= first < self.size:
+                raise MemoryError_(f"physical access out of range: 0x{first:x}")
+            view = self.page_u32_view(page_index)
+            return view[(addrs & _PAGE_MASK) >> 2]
+        out = np.empty(count, dtype=np.uint32)
+        for position in range(count):
+            out[position] = self.read_u32(int(addrs[position]))
+        return out
+
+    def scatter_u32(self, addrs, values, mask=None):
+        """Write one u32 per physical address in *addrs* (quad scatter).
+
+        *mask*, when given, suppresses inactive elements. Duplicate
+        addresses resolve in element order (the last element wins), which
+        matches the scalar lane-ordered store loop. Same-page aligned
+        scatters are one NumPy fancy-index store; stragglers fall back to
+        scalar :meth:`write_u32`.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        values = np.asarray(values, dtype=np.uint32)
+        if mask is not None:
+            addrs = addrs[mask]
+            values = values[mask]
+        count = len(addrs)
+        if count == 0:
+            return
+        first = int(addrs[0])
+        page_index = first >> PAGE_SHIFT
+        if ((addrs >> PAGE_SHIFT) == page_index).all() and not (addrs & 3).any():
+            if not 0 <= first < self.size:
+                raise MemoryError_(f"physical access out of range: 0x{first:x}")
+            view = self.page_u32_view(page_index)
+            view[(addrs & _PAGE_MASK) >> 2] = values
+            return
+        for position in range(count):
+            self.write_u32(int(addrs[position]), int(values[position]))
 
     def fill(self, addr, length, value=0):
         """Set *length* bytes starting at *addr* to *value*."""

@@ -1,0 +1,320 @@
+"""Fast quad memory path: gather/scatter, software TLB, bit-exactness.
+
+The quad fast path (PhysicalMemory.gather_u32/scatter_u32, the GPUMMU
+software TLB and translate_quad, and the interpreter's quad LD/ST) must be
+observationally identical to the scalar reference path: same register
+files, same JobStats, same pages-accessed set, same divergence CFG, and
+the exact same faults. These tests pin that contract at every layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cl import CommandQueue, Context
+from repro.core.platform import MobilePlatform, PlatformConfig
+from repro.errors import MMUFault
+from repro.gpu.device import GPUConfig
+from repro.gpu.mmu import GPUMMU
+from repro.kernels import get_workload
+from repro.mem import (
+    PAGE_SIZE,
+    PTE_READ,
+    PTE_WRITE,
+    PageTableBuilder,
+    PhysicalMemory,
+)
+
+VA = 0x4000_0000
+PA = 0x0020_0000
+
+
+# -- physical-memory gather/scatter ------------------------------------------
+
+
+class TestGatherScatter:
+    def _filled(self):
+        mem = PhysicalMemory(1 << 20)
+        rng = np.random.default_rng(3)
+        words = rng.integers(0, 1 << 32, 4 * PAGE_SIZE // 4,
+                             dtype=np.uint64).astype(np.uint32)
+        mem.write_block(0, words.tobytes())
+        return mem, words
+
+    def test_gather_same_page_matches_scalar(self):
+        mem, _ = self._filled()
+        addrs = [16, 20, 24, 28]
+        expected = [mem.read_u32(a) for a in addrs]
+        np.testing.assert_array_equal(mem.gather_u32(addrs), expected)
+
+    def test_gather_lanes_split_across_two_pages(self):
+        mem, _ = self._filled()
+        addrs = [PAGE_SIZE - 8, PAGE_SIZE - 4, PAGE_SIZE, PAGE_SIZE + 4]
+        expected = [mem.read_u32(a) for a in addrs]
+        np.testing.assert_array_equal(mem.gather_u32(addrs), expected)
+
+    def test_gather_unaligned_and_straddling(self):
+        mem, _ = self._filled()
+        # PAGE_SIZE - 2 straddles the page boundary itself
+        addrs = [2, 10, PAGE_SIZE - 2, PAGE_SIZE + 6]
+        expected = [mem.read_u32(a) for a in addrs]
+        np.testing.assert_array_equal(mem.gather_u32(addrs), expected)
+
+    def test_scatter_same_page_and_cross_page(self):
+        mem = PhysicalMemory(1 << 20)
+        values = np.array([1, 2, 3, 4], dtype=np.uint32)
+        mem.scatter_u32([8, 12, 16, 20], values)
+        assert [mem.read_u32(a) for a in (8, 12, 16, 20)] == [1, 2, 3, 4]
+        split = [PAGE_SIZE - 4, PAGE_SIZE, PAGE_SIZE + 4, PAGE_SIZE + 8]
+        mem.scatter_u32(split, values + 10)
+        assert [mem.read_u32(a) for a in split] == [11, 12, 13, 14]
+
+    def test_scatter_mask_and_duplicate_lane_order(self):
+        mem = PhysicalMemory(1 << 20)
+        mem.scatter_u32([0, 4, 8, 12], np.arange(1, 5, dtype=np.uint32),
+                        mask=np.array([True, False, True, False]))
+        assert [mem.read_u32(a) for a in (0, 4, 8, 12)] == [1, 0, 3, 0]
+        # duplicate addresses: the highest lane wins, as in lane-order
+        # scalar stores
+        mem.scatter_u32([16, 16, 16, 20], np.arange(5, 9, dtype=np.uint32))
+        assert mem.read_u32(16) == 7
+        assert mem.read_u32(20) == 8
+
+    def test_word_write_at_page_size_minus_two(self):
+        mem = PhysicalMemory(1 << 20)
+        mem.write_u32(PAGE_SIZE - 2, 0xAABBCCDD)
+        assert mem.read_u32(PAGE_SIZE - 2) == 0xAABBCCDD
+        # the two halves landed on the two adjacent pages
+        assert mem.read_block(PAGE_SIZE - 2, 2) == b"\xdd\xcc"
+        assert mem.read_block(PAGE_SIZE, 2) == b"\xbb\xaa"
+
+    def test_u64_straddling_page_boundary(self):
+        mem = PhysicalMemory(1 << 20)
+        mem.write_u64(PAGE_SIZE - 2, 0x1122334455667788)
+        assert mem.read_u64(PAGE_SIZE - 2) == 0x1122334455667788
+        assert mem.read_u32(PAGE_SIZE - 2) == 0x55667788
+
+    def test_page_view_shares_storage_with_byte_accessors(self):
+        mem = PhysicalMemory(1 << 20)
+        view = mem.page_u32_view(1)
+        mem.write_u32(PAGE_SIZE + 8, 0x1234)
+        assert view[2] == 0x1234
+        view[3] = 0x5678
+        assert mem.read_u32(PAGE_SIZE + 12) == 0x5678
+
+
+# -- GPU MMU quad translation -------------------------------------------------
+
+
+def _mmu(npages=4, flags=PTE_READ | PTE_WRITE):
+    mem = PhysicalMemory(1 << 22)
+    next_frame = [0x0010_0000]
+
+    def alloc():
+        frame = next_frame[0]
+        next_frame[0] += PAGE_SIZE
+        return frame
+
+    builder = PageTableBuilder(mem, alloc)
+    for i in range(npages):
+        # deliberately map adjacent VA pages to *non*-adjacent frames so
+        # cross-page quads cannot accidentally pass on physical adjacency
+        builder.map_page(VA + i * PAGE_SIZE, PA + 2 * i * PAGE_SIZE,
+                         flags=flags)
+    mmu = GPUMMU(mem)
+    mmu.set_page_table(builder.root)
+    mmu.enabled = True
+    return mem, builder, mmu
+
+
+class TestQuadTranslation:
+    def test_translate_quad_matches_scalar_translate(self):
+        _mem, _b, mmu = _mmu()
+        addrs = [VA + 4, VA + 8, VA + PAGE_SIZE + 4, VA + 16]
+        quad = mmu.translate_quad(addrs, "r")
+        scalar = [mmu.translate(a, "r") for a in addrs]
+        np.testing.assert_array_equal(quad, scalar)
+
+    def test_quad_stats_identical_to_scalar(self):
+        addrs = [VA + 4, VA + 8, VA + PAGE_SIZE + 4, VA + 16]
+        _m, _b, quad_mmu = _mmu()
+        quad_mmu.translate_quad(addrs, "r")
+        _m, _b, scalar_mmu = _mmu()
+        for a in addrs:
+            scalar_mmu.translate(a, "r")
+        assert quad_mmu.translations == scalar_mmu.translations == 4
+        assert quad_mmu.pages_accessed == scalar_mmu.pages_accessed
+
+    def test_faulting_lane_records_nothing(self):
+        _m, _b, mmu = _mmu(npages=1)
+        addrs = [VA + 4, VA + 8, VA + PAGE_SIZE + 4, VA + 16]
+        assert mmu.translate_quad(addrs, "r") is None
+        assert mmu.load_quad_u32(addrs) is None
+        assert mmu.translations == 0
+        assert mmu.pages_accessed == set()
+        # the scalar replay then reproduces the exact fault
+        with pytest.raises(MMUFault) as info:
+            for a in addrs:
+                mmu.translate(a, "r")
+        assert info.value.vaddr == VA + PAGE_SIZE + 4
+
+    def test_permission_failure_falls_back(self):
+        mem, _b, mmu = _mmu(flags=PTE_READ)
+        addrs = [VA, VA + 4, VA + 8, VA + 12]
+        assert mmu.load_quad_u32(addrs) is not None
+        before = mem.read_u32(PA)
+        values = np.arange(4, dtype=np.uint32) + 7
+        assert mmu.store_quad_u32(addrs, values) is None
+        assert mem.read_u32(PA) == before
+
+    def test_quad_load_lanes_split_across_pages(self):
+        mem, _b, mmu = _mmu()
+        for i in range(8):
+            mem.write_u32(PA + i * 4, 100 + i)
+            mem.write_u32(PA + 2 * PAGE_SIZE + i * 4, 200 + i)
+        addrs = [VA + PAGE_SIZE - 8, VA + PAGE_SIZE - 4,
+                 VA + PAGE_SIZE, VA + PAGE_SIZE + 4]
+        values = mmu.load_quad_u32(addrs)
+        expected = [mmu.load_u32(a) for a in addrs]
+        np.testing.assert_array_equal(values, expected)
+
+    def test_quad_store_then_scalar_read(self):
+        mem, _b, mmu = _mmu()
+        addrs = [VA + 16, VA + 20, VA + PAGE_SIZE + 8, VA + 24]
+        values = np.array([5, 6, 7, 8], dtype=np.uint32)
+        assert mmu.store_quad_u32(addrs, values) is True
+        assert [mmu.load_u32(a) for a in addrs] == [5, 6, 7, 8]
+
+    def test_unmap_requires_flush_for_quad_path_too(self):
+        _m, builder, mmu = _mmu()
+        addrs = [VA, VA + 4, VA + 8, VA + 12]
+        assert mmu.load_quad_u32(addrs) is not None
+        builder.unmap_page(VA)
+        # stale TLB and view cache still answer, as on real hardware...
+        assert mmu.load_quad_u32(addrs) is not None
+        mmu.flush_tlb()
+        # ...until the driver invalidates
+        assert mmu.load_quad_u32(addrs) is None
+
+    def test_ablation_knob_forces_scalar(self):
+        _m, _b, mmu = _mmu()
+        addrs = [VA, VA + 4, VA + 8, VA + 12]
+        mmu.fast_path_enabled = False
+        assert mmu.load_quad_u32(addrs) is None
+        assert mmu.translate_quad(addrs) is None
+        mmu.fast_path_enabled = True
+        assert mmu.load_quad_u32(addrs) is not None
+
+    def test_load_block_spanning_unmapped_page_faults(self):
+        _m, _b, mmu = _mmu(npages=1)
+        assert len(mmu.load_block(VA, 16)) == 16
+        with pytest.raises(MMUFault) as info:
+            mmu.load_block(VA + PAGE_SIZE - 8, 16)
+        assert info.value.vaddr == VA + PAGE_SIZE
+
+
+# -- end-to-end differential: fast path vs scalar reference ------------------
+
+
+DIVERGENT = """
+__kernel void divergent(__global int* data, __global int* out) {
+    int i = get_global_id(0);
+    int v = data[i];
+    int acc = 0;
+    if (v % 2 == 0) {
+        for (int j = 0; j < (v & 7); j += 1) {
+            acc += j * v;
+        }
+    } else {
+        acc = v * 3 - out[i];
+    }
+    out[i] = acc;
+}
+"""
+
+HISTOGRAM = """
+__kernel void histogram(__global int* values, __global int* bins, int nbins) {
+    int i = get_global_id(0);
+    int bin = values[i] % nbins;
+    atomic_add(&bins[bin], 1);
+}
+"""
+
+
+def _run_kernel(source, name, gsize, lsize, arrays, scalars=(), fast=True):
+    config = PlatformConfig(
+        gpu=GPUConfig(engine="interpreter", instrument=True, collect_cfg=True)
+    )
+    context = Context(MobilePlatform(config))
+    mmu = context.platform.gpu.mmu
+    mmu.fast_path_enabled = fast
+    queue = CommandQueue(context)
+    buffers = [context.buffer_from_array(a) for a in arrays]
+    kernel = context.build_program(source).kernel(name)
+    kernel.set_args(*buffers, *scalars)
+    stats = queue.enqueue_nd_range(kernel, gsize, lsize)
+    outputs = [queue.enqueue_read_buffer(b, a.dtype)
+               for b, a in zip(buffers, arrays)]
+    return {
+        "outputs": outputs,
+        "stats": dict(vars(stats)),
+        "cfg_edges": dict(kernel.last_cfg._edges),
+        "cfg_divergences": dict(kernel.last_cfg._divergences),
+        "pages": set(mmu.pages_accessed),
+        "translations": mmu.translations,
+        "quad_accesses": mmu.quad_accesses,
+    }
+
+
+def _assert_bit_exact(fast, scalar):
+    for got, want in zip(fast["outputs"], scalar["outputs"]):
+        np.testing.assert_array_equal(got, want)
+    assert fast["stats"] == scalar["stats"]
+    assert fast["cfg_edges"] == scalar["cfg_edges"]
+    assert fast["cfg_divergences"] == scalar["cfg_divergences"]
+    assert fast["pages"] == scalar["pages"]
+    assert fast["translations"] == scalar["translations"]
+
+
+class TestFastPathBitExact:
+    def test_divergent_kernel(self):
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 64, 64).astype(np.int32)
+        out = np.zeros(64, dtype=np.int32)
+        args = (DIVERGENT, "divergent", (64,), (16,), [data, out])
+        fast = _run_kernel(*args, fast=True)
+        scalar = _run_kernel(*args, fast=False)
+        _assert_bit_exact(fast, scalar)
+        assert fast["quad_accesses"] > 0
+        assert scalar["quad_accesses"] == 0
+
+    def test_atomics_kernel(self):
+        rng = np.random.default_rng(12)
+        values = rng.integers(0, 1000, 128).astype(np.int32)
+        bins = np.zeros(8, dtype=np.int32)
+        args = (HISTOGRAM, "histogram", (128,), (16,), [values, bins])
+        fast = _run_kernel(*args, scalars=[8], fast=True)
+        scalar = _run_kernel(*args, scalars=[8], fast=False)
+        _assert_bit_exact(fast, scalar)
+        expected = np.bincount(values % 8, minlength=8)
+        np.testing.assert_array_equal(fast["outputs"][1], expected)
+
+    def test_sgemm_workload(self):
+        def run(fast):
+            config = PlatformConfig(
+                gpu=GPUConfig(engine="interpreter", instrument=True,
+                              collect_cfg=True)
+            )
+            context = Context(MobilePlatform(config))
+            mmu = context.platform.gpu.mmu
+            mmu.fast_path_enabled = fast
+            result = get_workload("sgemm").run(context=context, verify=True)
+            assert result.verified
+            return (dict(vars(result.stats)), set(mmu.pages_accessed),
+                    mmu.translations, mmu.quad_accesses)
+
+        f_stats, f_pages, f_trans, f_quads = run(True)
+        s_stats, s_pages, s_trans, s_quads = run(False)
+        assert f_stats == s_stats
+        assert f_pages == s_pages
+        assert f_trans == s_trans
+        assert f_quads > 0 and s_quads == 0

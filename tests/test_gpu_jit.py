@@ -104,3 +104,38 @@ def test_jit_is_faster_on_compute_dense_kernel():
         f"JIT ({jit_seconds:.3f}s) not faster than interpreter "
         f"({interp_seconds:.3f}s)"
     )
+
+
+def test_jit_cache_survives_id_recycling_collision():
+    """The per-unit JIT cache keys on id(program); a dead program's id can
+    be recycled for a new Program object. The cache must hold a strong
+    reference to the keyed program and identity-check it on lookup, so a
+    recycled id can never serve another program's translation."""
+    from repro.gpu.isa import CONST_BASE, Clause, Instruction, Op, Program, Tail
+    from repro.gpu.shadercore import ComputeUnit
+
+    def make_program(constant):
+        clause = Clause(
+            tuples=[(Instruction(Op.MOV, dst=0, srca=CONST_BASE),
+                     Instruction(Op.NOP))],
+            constants=[constant],
+            tail=Tail.END,
+        )
+        program = Program(clauses=[clause])
+        program.validate()
+        return program
+
+    unit = ComputeUnit(0)
+    unit.prepare(64, instrument=False, collect_cfg=False, engine="jit")
+    uniforms = np.zeros(1, dtype=np.uint32)
+    prog_a = make_program(1)
+    prog_b = make_program(2)
+    jit_a = unit._executor(prog_a, uniforms, mem=None)
+    # repeat lookups for the same live program hit the cache
+    assert unit._executor(prog_a, uniforms, mem=None) is jit_a
+    # simulate id recycling: an entry left by a dead program whose id now
+    # equals id(prog_b) must not be returned for prog_b
+    unit._jit_cache[(id(prog_b), uniforms.tobytes())] = (prog_a, jit_a)
+    jit_b = unit._executor(prog_b, uniforms, mem=None)
+    assert jit_b is not jit_a
+    assert jit_b.program is prog_b

@@ -101,6 +101,20 @@ class TestALUSemantics:
         assert self._alu(Op.IDIV, minus7, 2) == ((-3) & 0xFFFFFFFF)
         assert self._alu(Op.IREM, minus7, 2) == ((-1) & 0xFFFFFFFF)
 
+    def test_signed_division_negative_dividend_and_divisor(self):
+        # regression: the handler once computed the quotient twice, with
+        # the dead first result floor-dividing negative dividends
+        minus7 = (-7) & 0xFFFFFFFF
+        minus2 = (-2) & 0xFFFFFFFF
+        assert self._alu(Op.IDIV, minus7, minus2) == 3
+        assert self._alu(Op.IDIV, 7, minus2) == ((-3) & 0xFFFFFFFF)
+        assert self._alu(Op.IREM, minus7, minus2) == ((-1) & 0xFFFFFFFF)
+        assert self._alu(Op.IREM, 7, minus2) == 1
+        # INT_MIN / -1 overflows; the architecture defines the wrap
+        int_min = 0x80000000
+        minus1 = 0xFFFFFFFF
+        assert self._alu(Op.IDIV, int_min, minus1) == 0x80000000
+
     def test_compare_modes(self):
         assert self._alu(Op.CMP, _f(1.5), _f(2.5), int(CmpMode.FLT)) == 1
         assert self._alu(Op.CMP, (-1) & 0xFFFFFFFF, 1, int(CmpMode.ILT)) == 1
