@@ -57,6 +57,40 @@ def _to_i(bits):
     return bits - (1 << 32) if bits & 0x80000000 else bits
 
 
+def _is_nan_bits(bits):
+    bits &= 0xFFFFFFFF
+    return (bits & 0x7F800000) == 0x7F800000 and (bits & 0x007FFFFF) != 0
+
+
+# Two-operand float ops whose NaN *payload* propagation differs between
+# NumPy's scalar and vector code paths (which operand's payload survives,
+# and whether signalling NaNs are quieted). The quad engines compute on
+# vectors, so for NaN inputs the scalar ALU delegates to a 1-element vector
+# computation; NumPy's vector NaN behaviour is width-independent, making the
+# two engines bit-exact by construction.
+_NAN_PROPAGATING = {Op.FADD, Op.FSUB, Op.FMUL, Op.FMA, Op.FMIN, Op.FMAX}
+
+
+def _vector_alu_f(op, a, b, c):
+    va = np.array([a & 0xFFFFFFFF], dtype=np.uint32).view(np.float32)
+    vb = np.array([b & 0xFFFFFFFF], dtype=np.uint32).view(np.float32)
+    with np.errstate(all="ignore"):
+        if op is Op.FADD:
+            result = va + vb
+        elif op is Op.FSUB:
+            result = va - vb
+        elif op is Op.FMUL:
+            result = va * vb
+        elif op is Op.FMA:
+            vc = np.array([c & 0xFFFFFFFF], dtype=np.uint32).view(np.float32)
+            result = va * vb + vc
+        elif op is Op.FMIN:
+            result = np.fmin(va, vb)
+        else:  # FMAX
+            result = np.fmax(va, vb)
+    return int(result.astype(np.float32).view(np.uint32)[0])
+
+
 class M2SStats:
     """Multi2Sim-style minimal report: instruction breakdown + dimensions."""
 
@@ -86,13 +120,18 @@ class _Thread:
 class M2SSimulator:
     """Functional-mode baseline simulator with an intercepted runtime."""
 
-    def __init__(self, memory_size=1 << 26, instrument=True, tracer=None):
+    def __init__(self, memory_size=1 << 26, instrument=True, tracer=None,
+                 capture_registers=False):
         self.memory = bytearray(memory_size)
         self._next_alloc = 4096
         self.instrument = instrument
         self.stats = M2SStats()
         self.decodes = 0
         self.tracer = tracer
+        # retired architectural state keyed by global-id triple, filled when
+        # capture_registers is set (the conformance harness compares it
+        # against the quad engines' final warp registers)
+        self.retired_registers = {} if capture_registers else None
 
     # -- intercepted runtime: host-managed flat memory -------------------------
 
@@ -196,6 +235,13 @@ class M2SSimulator:
                 self._run_thread(thread, binary, offsets, uniforms, local)
                 progressed = True
             if all(t.done for t in threads):
+                if self.retired_registers is not None:
+                    for thread in threads:
+                        regs = thread.regs
+                        key = (regs[REG_GLOBAL_ID], regs[REG_GLOBAL_ID + 1],
+                               regs[REG_GLOBAL_ID + 2])
+                        self.retired_registers[key] = (
+                            tuple(regs), tuple(thread.temps))
                 return
             if all(t.done or t.at_barrier for t in threads):
                 for thread in threads:
@@ -335,6 +381,10 @@ class M2SSimulator:
 
     @staticmethod
     def _alu(op, instr, a, b, c):
+        if op in _NAN_PROPAGATING and (
+                _is_nan_bits(a) or _is_nan_bits(b)
+                or (op is Op.FMA and _is_nan_bits(c))):
+            return _vector_alu_f(op, a, b, c)
         with np.errstate(all="ignore"):
             if op is Op.MOV:
                 return a

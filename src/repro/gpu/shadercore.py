@@ -123,7 +123,11 @@ class ComputeUnit:
         return cached
 
     def run_workgroup(self, program, uniforms, mem, shape, flat_group):
-        """Execute one thread-group to completion (including barriers)."""
+        """Execute one thread-group to completion (including barriers).
+
+        Returns the group's warps so callers (the conformance harness) can
+        inspect the retired architectural state.
+        """
         self._local[:] = 0
         interp = self._executor(program, uniforms, mem)
         warps = self._spawn_warps(shape, flat_group)
@@ -136,7 +140,7 @@ class ComputeUnit:
             for warp in runnable:
                 interp.run_warp(warp)
             if all(warp.finished for warp in warps):
-                return
+                return warps
             if all(warp.finished or warp.blocked for warp in warps):
                 # every live warp reached the barrier: release them together
                 for warp in warps:

@@ -10,6 +10,8 @@ Subcommands:
 - ``workloads``     — list the built-in Table-II workloads.
 - ``bench NAME``    — run one built-in workload; print stats + cycle
   estimate.
+- ``conformance``   — coverage-guided differential fuzzing campaign across
+  the execution engines (or ``--replay DIR`` of a reproducer corpus).
 """
 
 import argparse
@@ -171,6 +173,38 @@ def _cmd_bench(options):
     return 0 if result.verified else 1
 
 
+def _cmd_conformance(options):
+    from repro.validate import ENGINES, replay_directory, run_conformance
+
+    engines = tuple(options.engines.split("+")) if options.engines \
+        else ENGINES
+    if options.replay:
+        outcomes, failed = replay_directory(options.replay, engines=engines)
+        for path, name, mismatches in outcomes:
+            status = "FAIL" if mismatches else "ok"
+            print(f"{status:4s} {name} ({path})")
+            for mismatch in mismatches:
+                print(f"     {mismatch}")
+        print(f"replayed {len(outcomes)} entries, {len(failed)} failing")
+        return 1 if failed else 0
+
+    def progress(done, budget, failures):
+        if done % 50 == 0 or done == budget:
+            print(f"  {done}/{budget} programs, {failures} mismatching",
+                  flush=True)
+
+    report = run_conformance(
+        seed=options.seed, budget=options.budget, engines=engines,
+        minimize=not options.no_minimize, corpus_out=options.write_corpus,
+        progress=progress if options.budget >= 50 else None)
+    print("\n".join(report.lines()))
+    if report.coverage.fraction < options.min_coverage:
+        print(f"coverage {100 * report.coverage.fraction:.1f}% below "
+              f"required {100 * options.min_coverage:.1f}%")
+        return 1
+    return 0 if report.ok else 1
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -214,6 +248,26 @@ def main(argv=None):
     p_bench.add_argument("--param", action="append", default=[],
                          metavar="NAME=VALUE")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_conf = sub.add_parser(
+        "conformance",
+        help="differential fuzzing campaign across execution engines")
+    p_conf.add_argument("--seed", type=int, default=0,
+                        help="generator stream seed")
+    p_conf.add_argument("--budget", type=int, default=200,
+                        help="number of programs to generate and run")
+    p_conf.add_argument("--engines", default=None, metavar="A+B+...",
+                        help="engine subset, e.g. interp+fast+m2s "
+                             "(default: all four)")
+    p_conf.add_argument("--replay", default=None, metavar="DIR",
+                        help="replay a corpus directory instead of fuzzing")
+    p_conf.add_argument("--write-corpus", default=None, metavar="DIR",
+                        help="write minimized reproducers here on failure")
+    p_conf.add_argument("--no-minimize", action="store_true",
+                        help="skip failure minimization")
+    p_conf.add_argument("--min-coverage", type=float, default=0.0,
+                        help="fail below this coverage fraction (0..1)")
+    p_conf.set_defaults(func=_cmd_conformance)
 
     options = parser.parse_args(argv)
     return options.func(options)

@@ -16,6 +16,14 @@ The paper validates its GPU model two ways:
    :func:`execute_instruction_both` runs a single arbitrary instruction
    with arbitrary register inputs through both engines for
    hypothesis-driven differential testing (see tests/test_validation.py).
+
+Beyond the paper, the **conformance subsystem** scales this methodology to
+whole programs: :class:`ProgramGenerator` emits valid random multi-clause
+kernels with coverage tracking, :class:`DifferentialRunner` cross-executes
+them on up to four engines (interpreter, quad fast path, JIT, scalar
+baseline), :func:`minimize_case` shrinks failures, and
+:func:`run_conformance` ties it together with a replayable reproducer
+corpus (``tests/corpus/``).
 """
 
 from repro.validate.trace import (
@@ -25,6 +33,20 @@ from repro.validate.trace import (
     trace_kernel_both,
 )
 from repro.validate.fuzz import execute_instruction_both
+from repro.validate.progen import CoverageTracker, ProgramGenerator
+from repro.validate.runner import (
+    ENGINES,
+    DiffCase,
+    DifferentialRunner,
+    generated_case_to_diff,
+    make_kernel_case,
+)
+from repro.validate.minimize import make_predicate, minimize_case
+from repro.validate.conformance import (
+    ConformanceReport,
+    replay_directory,
+    run_conformance,
+)
 
 __all__ = [
     "InstructionTracer",
@@ -32,4 +54,16 @@ __all__ = [
     "compare_traces",
     "trace_kernel_both",
     "execute_instruction_both",
+    "CoverageTracker",
+    "ProgramGenerator",
+    "ENGINES",
+    "DiffCase",
+    "DifferentialRunner",
+    "generated_case_to_diff",
+    "make_kernel_case",
+    "make_predicate",
+    "minimize_case",
+    "ConformanceReport",
+    "replay_directory",
+    "run_conformance",
 ]

@@ -1,0 +1,166 @@
+"""Conformance campaign orchestration.
+
+``run_conformance`` drives a coverage-guided fuzzing campaign: a
+deterministic :class:`~repro.validate.progen.ProgramGenerator` stream is
+executed case-by-case through the N-way
+:class:`~repro.validate.runner.DifferentialRunner`; any mismatching case is
+automatically minimized and written to a replayable reproducer corpus.
+
+``replay_directory`` re-runs a committed corpus (tests/corpus/) and is what
+the tier-1 suite calls.
+"""
+
+import os
+from dataclasses import dataclass, field
+
+from repro.validate.corpus import case_to_dict, replay_corpus, save_entry
+from repro.validate.minimize import make_predicate, minimize_case
+from repro.validate.progen import CoverageTracker, ProgramGenerator
+from repro.validate.runner import (
+    ENGINES,
+    DifferentialRunner,
+    generated_case_to_diff,
+)
+
+
+@dataclass
+class CaseFailure:
+    """One mismatching case, before and after minimization."""
+
+    name: str
+    seed: int
+    index: int
+    mismatches: list
+    minimized_case: object = None
+    minimized_mismatches: list = None
+    evaluations: int = 0
+    reproducer_path: str = None
+
+    def summary(self):
+        head = str(self.mismatches[0]) if self.mismatches else "?"
+        return f"{self.name}: {head}"
+
+
+@dataclass
+class ConformanceReport:
+    seed: int
+    budget: int
+    engines: tuple
+    cases_run: int = 0
+    failures: list = field(default_factory=list)
+    coverage: CoverageTracker = None
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def lines(self):
+        out = [
+            f"conformance: {self.cases_run} programs, seed {self.seed}, "
+            f"engines {'+'.join(self.engines)}",
+            f"mismatching cases: {len(self.failures)}",
+        ]
+        out.extend(self.coverage.report_lines())
+        for failure in self.failures:
+            out.append(f"  FAIL {failure.summary()}")
+            if failure.minimized_case is not None:
+                out.append(
+                    f"       minimized to "
+                    f"{len(failure.minimized_case.program.clauses)} clauses "
+                    f"in {failure.evaluations} evaluations")
+            if failure.reproducer_path:
+                out.append(f"       reproducer: {failure.reproducer_path}")
+        return out
+
+
+def run_conformance(seed, budget, engines=ENGINES, minimize=True,
+                    corpus_out=None, progress=None,
+                    max_minimize_evaluations=300):
+    """Run a *budget*-program campaign; returns a :class:`ConformanceReport`.
+
+    Args:
+        seed: generator stream seed (campaigns are fully deterministic).
+        budget: number of programs to generate and cross-execute.
+        engines: engine subset for the differential runner.
+        minimize: shrink each mismatching case to a local fixpoint.
+        corpus_out: directory to write full-form reproducer entries into
+            (created on first failure; nothing is written on a clean run).
+        progress: optional callable ``progress(done, budget, failures)``.
+    """
+    runner = DifferentialRunner(engines)
+    generator = ProgramGenerator(seed)
+    report = ConformanceReport(seed=seed, budget=budget,
+                               engines=runner.engines,
+                               coverage=generator.coverage)
+    for _ in range(budget):
+        generated = generator.generate()
+        case = generated_case_to_diff(generated)
+        _results, mismatches = runner.run_case(case)
+        report.cases_run += 1
+        if mismatches:
+            failure = CaseFailure(
+                name=case.name, seed=generated.seed, index=generated.index,
+                mismatches=mismatches)
+            if minimize:
+                # minimize against only the engines implicated in the
+                # mismatch (plus the reference) — candidate evaluation is
+                # the minimizer's hot path
+                involved = {e for m in mismatches for e in m.engines}
+                involved.add(runner.engines[0])
+                subset = tuple(e for e in runner.engines if e in involved)
+                mini_runner = runner if len(subset) < 2 \
+                    else DifferentialRunner(subset)
+                predicate = make_predicate(mini_runner, mismatches)
+                shrunk = minimize_case(
+                    case, predicate,
+                    max_evaluations=max_minimize_evaluations)
+                failure.minimized_case = shrunk.case
+                failure.evaluations = shrunk.evaluations
+                _res, failure.minimized_mismatches = \
+                    runner.run_case(shrunk.case)
+            if corpus_out:
+                failure.reproducer_path = _write_reproducer(
+                    corpus_out, failure)
+            report.failures.append(failure)
+        if progress is not None:
+            progress(report.cases_run, budget, len(report.failures))
+    return report
+
+
+def _write_reproducer(directory, failure):
+    os.makedirs(directory, exist_ok=True)
+    case = failure.minimized_case \
+        if failure.minimized_case is not None else None
+    mismatches = failure.minimized_mismatches \
+        if case is not None else failure.mismatches
+    if case is None:
+        # minimization disabled: persist the original case
+        from repro.validate.corpus import seed_entry
+
+        entry = seed_entry(failure.seed, failure.index,
+                           name=failure.name, expect="mismatch",
+                           notes="; ".join(str(m) for m in failure.mismatches))
+        path = os.path.join(
+            directory, f"repro-seed{failure.seed}-i{failure.index}.json")
+        save_entry(path, entry)
+        return path
+    entry = case_to_dict(
+        case, expect="mismatch",
+        notes="; ".join(str(m) for m in (mismatches or failure.mismatches)))
+    path = os.path.join(
+        directory, f"repro-seed{failure.seed}-i{failure.index}.json")
+    save_entry(path, entry)
+    return path
+
+
+def replay_directory(directory, engines=ENGINES, expect="match"):
+    """Replay a corpus directory; returns (outcomes, failed) where *failed*
+    lists the entries whose result contradicts their ``expect`` field."""
+    runner = DifferentialRunner(engines)
+    outcomes = replay_corpus(directory, runner, expect=expect)
+    failed = []
+    for path, name, mismatches in outcomes:
+        bad = bool(mismatches) if expect == "match" else not mismatches
+        if bad:
+            failed.append((path, name, mismatches))
+    return outcomes, failed

@@ -1,0 +1,136 @@
+"""Replayable conformance corpus (tests/corpus/).
+
+Each corpus entry is one JSON file describing a differential test case in
+one of two forms:
+
+- **seed form** — ``{"generator": {"seed": S, "index": I}}``: the case is
+  regenerated deterministically as the I-th program of seed S's stream
+  (coverage-guided generation only depends on previously *generated*
+  programs, never on execution, so replay is exact). Compact; used for the
+  committed seed corpus.
+- **full form** — the encoded program binary plus every memory region as
+  hex: self-contained, used for minimized reproducers written by the
+  fuzzer (and for regression pins whose exact bytes matter).
+
+``expect`` is ``"match"`` for regression pins that must pass (replayed by
+the tier-1 suite) or ``"mismatch"`` for open reproducers of a known bug
+(skipped by tier-1, kept until the bug is fixed and the entry is flipped).
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.gpu.encoding import decode_program, encode_program
+from repro.validate.progen import ProgramGenerator
+from repro.validate.runner import DiffCase, generated_case_to_diff
+
+CORPUS_FORMAT = 1
+
+
+def case_to_dict(case, expect="match", notes=""):
+    """Serialize a :class:`DiffCase` to the full corpus form."""
+    return {
+        "format": CORPUS_FORMAT,
+        "name": case.name,
+        "expect": expect,
+        "notes": notes,
+        "global_size": list(case.global_size),
+        "local_size": list(case.local_size),
+        "args": [int(a) & 0xFFFFFFFF for a in case.args],
+        "local_bytes": case.local_bytes,
+        "program_hex": encode_program(case.program).hex(),
+        "regions": [
+            {
+                "name": name,
+                "va": va,
+                "data_hex": np.ascontiguousarray(
+                    words, dtype=np.uint32).tobytes().hex(),
+            }
+            for name, va, words in case.regions
+        ],
+    }
+
+
+def seed_entry(seed, index, name="", expect="match", notes=""):
+    """A compact seed-form corpus entry."""
+    return {
+        "format": CORPUS_FORMAT,
+        "name": name or f"gen-seed{seed}-i{index}",
+        "expect": expect,
+        "notes": notes,
+        "generator": {"seed": seed, "index": index},
+    }
+
+
+def dict_to_case(entry):
+    """Materialize a corpus entry back into a :class:`DiffCase`."""
+    if entry.get("format") != CORPUS_FORMAT:
+        raise ValueError(f"unsupported corpus format {entry.get('format')!r}")
+    generator = entry.get("generator")
+    if generator is not None:
+        produced = ProgramGenerator(generator["seed"]).generate_nth(
+            generator["index"])
+        case = generated_case_to_diff(produced)
+        return DiffCase(
+            program=case.program, global_size=case.global_size,
+            local_size=case.local_size, regions=case.regions,
+            args=case.args, local_bytes=case.local_bytes,
+            name=entry.get("name", case.name))
+    program = decode_program(bytes.fromhex(entry["program_hex"]))
+    regions = [
+        (region["name"], region["va"],
+         np.frombuffer(bytes.fromhex(region["data_hex"]),
+                       dtype=np.uint32).copy())
+        for region in entry["regions"]
+    ]
+    return DiffCase(
+        program=program,
+        global_size=tuple(entry["global_size"]),
+        local_size=tuple(entry["local_size"]),
+        regions=regions,
+        args=list(entry["args"]),
+        local_bytes=entry.get("local_bytes", 4096),
+        name=entry.get("name", "corpus-case"),
+    )
+
+
+def save_entry(path, entry):
+    with open(path, "w") as handle:
+        json.dump(entry, handle, indent=1)
+        handle.write("\n")
+
+
+def load_entries(directory):
+    """Load every ``*.json`` entry in *directory*, sorted by filename.
+
+    Returns a list of (path, entry dict).
+    """
+    entries = []
+    if not os.path.isdir(directory):
+        return entries
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".json"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path) as handle:
+            entries.append((path, json.load(handle)))
+    return entries
+
+
+def replay_corpus(directory, runner, expect="match"):
+    """Replay every entry in *directory* with the given *expect* value.
+
+    Returns a list of (path, case name, mismatches); an entry *passes*
+    when ``expect == "match"`` and its mismatch list is empty, or when
+    ``expect == "mismatch"`` and it is not.
+    """
+    outcomes = []
+    for path, entry in load_entries(directory):
+        if entry.get("expect", "match") != expect:
+            continue
+        case = dict_to_case(entry)
+        _results, mismatches = runner.run_case(case)
+        outcomes.append((path, case.name, mismatches))
+    return outcomes

@@ -1,0 +1,198 @@
+"""Automatic failure minimization for conformance cases.
+
+Given a mismatching :class:`~repro.validate.runner.DiffCase` and a
+predicate ("does this candidate still fail the same way?"), greedily
+shrinks the program to a local fixpoint:
+
+1. drop whole clauses (retargeting branches across the gap),
+2. drop whole tuples,
+3. replace individual slots with NOP,
+4. simplify clause tails (branch/jump/barrier -> fallthrough),
+5. simplify source operands (constants/temps/registers -> r0).
+
+Every transformation is validated structurally before the predicate runs,
+and the predicate is expected to require *the same mismatch category* as
+the original failure — a candidate that merely crashes differently (e.g.
+an out-of-bounds address after NOPing an address computation) is rejected,
+so minimization cannot wander onto an unrelated failure.
+"""
+
+from dataclasses import dataclass, replace as _dc_replace
+
+from repro.gpu.isa import (
+    NOP_INSTR,
+    OPERAND_NONE,
+    Clause,
+    Op,
+    Program,
+    Tail,
+)
+
+
+def _clone_program(program):
+    return Program(
+        clauses=[
+            Clause(tuples=list(clause.tuples),
+                   constants=list(clause.constants),
+                   tail=clause.tail, cond_reg=clause.cond_reg,
+                   target=clause.target)
+            for clause in program.clauses
+        ],
+        meta=dict(program.meta),
+    )
+
+
+def _drop_clause(program, index):
+    """Remove clause *index*, retargeting later references."""
+    if len(program.clauses) <= 1:
+        return None
+    clone = _clone_program(program)
+    del clone.clauses[index]
+    last = len(clone.clauses) - 1
+    for position, clause in enumerate(clone.clauses):
+        if clause.tail in (Tail.JUMP, Tail.BRANCH, Tail.BRANCH_Z):
+            if clause.target > index:
+                clause.target -= 1
+            clause.target = min(clause.target, last)
+            if clause.target <= position:
+                # generated programs are forward-branching only (that is
+                # the termination guarantee); a branch whose target no
+                # longer lies ahead would loop, so defuse it
+                clause.tail = Tail.FALLTHROUGH if position < last \
+                    else Tail.END
+                clause.cond_reg = 0
+                clause.target = 0
+    final = clone.clauses[-1]
+    if final.tail in (Tail.FALLTHROUGH, Tail.BARRIER):
+        final.tail = Tail.END
+    return clone
+
+
+def _drop_tuple(program, clause_index, tuple_index):
+    clause = program.clauses[clause_index]
+    if len(clause.tuples) <= 1:
+        return None
+    clone = _clone_program(program)
+    del clone.clauses[clause_index].tuples[tuple_index]
+    return clone
+
+
+def _nop_slot(program, clause_index, tuple_index, slot):
+    clause = program.clauses[clause_index]
+    fma, add = clause.tuples[tuple_index]
+    if (fma if slot == 0 else add).op is Op.NOP:
+        return None
+    clone = _clone_program(program)
+    pair = (NOP_INSTR, add) if slot == 0 else (fma, NOP_INSTR)
+    clone.clauses[clause_index].tuples[tuple_index] = pair
+    return clone
+
+
+def _simplify_tail(program, clause_index):
+    clause = program.clauses[clause_index]
+    if clause_index == len(program.clauses) - 1:
+        return None
+    if clause.tail in (Tail.FALLTHROUGH, Tail.END):
+        return None
+    clone = _clone_program(program)
+    target = clone.clauses[clause_index]
+    target.tail = Tail.FALLTHROUGH
+    target.cond_reg = 0
+    target.target = 0
+    return clone
+
+
+def _simplify_operand(program, clause_index, tuple_index, slot, which):
+    clause = program.clauses[clause_index]
+    instr = clause.tuples[tuple_index][slot]
+    operand = getattr(instr, which)
+    if operand in (OPERAND_NONE, 0):
+        return None
+    if instr.op in (Op.LD, Op.ST, Op.ATOM) and which == "srca":
+        return None  # never touch a memory op's address operand
+    clone = _clone_program(program)
+    pair = list(clone.clauses[clause_index].tuples[tuple_index])
+    pair[slot] = _dc_replace(instr, **{which: 0})
+    clone.clauses[clause_index].tuples[tuple_index] = tuple(pair)
+    return clone
+
+
+def _candidates(program):
+    """Yield candidate programs in decreasing order of reduction power."""
+    n = len(program.clauses)
+    for index in reversed(range(n)):
+        yield _drop_clause(program, index)
+    for clause_index in range(len(program.clauses)):
+        for tuple_index in reversed(
+                range(len(program.clauses[clause_index].tuples))):
+            yield _drop_tuple(program, clause_index, tuple_index)
+    for clause_index in range(len(program.clauses)):
+        for tuple_index in range(len(program.clauses[clause_index].tuples)):
+            yield _nop_slot(program, clause_index, tuple_index, 0)
+            yield _nop_slot(program, clause_index, tuple_index, 1)
+    for clause_index in range(len(program.clauses)):
+        yield _simplify_tail(program, clause_index)
+    for clause_index in range(len(program.clauses)):
+        for tuple_index in range(len(program.clauses[clause_index].tuples)):
+            for slot in (0, 1):
+                for which in ("srca", "srcb", "srcc"):
+                    yield _simplify_operand(program, clause_index,
+                                            tuple_index, slot, which)
+
+
+@dataclass
+class MinimizeResult:
+    case: object          # the minimized DiffCase
+    evaluations: int      # predicate invocations spent
+    rounds: int           # fixpoint passes
+
+
+def minimize_case(case, predicate, max_evaluations=500):
+    """Greedily shrink *case* while ``predicate(candidate)`` holds.
+
+    The predicate must return True when the candidate still exhibits the
+    original failure (same mismatch category). Runs transformation passes
+    to a fixpoint or until the evaluation budget is exhausted; the original
+    case is returned unchanged if nothing can be removed.
+    """
+    current = case
+    evaluations = 0
+    rounds = 0
+    changed = True
+    while changed and evaluations < max_evaluations:
+        changed = False
+        rounds += 1
+        for candidate_program in _candidates(current.program):
+            if candidate_program is None:
+                continue
+            try:
+                candidate_program.validate()
+            except ValueError:
+                continue
+            candidate = current.with_program(candidate_program)
+            evaluations += 1
+            if predicate(candidate):
+                current = candidate
+                changed = True
+                break  # restart passes on the smaller program
+            if evaluations >= max_evaluations:
+                break
+    return MinimizeResult(case=current, evaluations=evaluations,
+                          rounds=rounds)
+
+
+def mismatch_signature(mismatches):
+    """Category signature used to keep minimization on the original bug."""
+    return frozenset(m.kind for m in mismatches)
+
+
+def make_predicate(runner, original_mismatches):
+    """Standard predicate: the candidate must reproduce at least one
+    mismatch of a category seen in the original failure."""
+    wanted = mismatch_signature(original_mismatches)
+
+    def predicate(candidate):
+        _results, mismatches = runner.run_case(candidate)
+        return bool(wanted & mismatch_signature(mismatches))
+
+    return predicate

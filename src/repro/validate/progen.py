@@ -1,0 +1,520 @@
+"""Constrained random whole-program generation (conformance fuzzing).
+
+Emits valid Bifrost-like :class:`~repro.gpu.isa.Program` objects — multi-
+clause CFGs with branches at clause boundaries, embedded constant pools,
+clause temporaries, and LD/ST/LDU/ATOM over pre-seeded buffers — together
+with a launch shape and deterministic input data. Programs are correct by
+construction in three ways that matter for N-way differential execution:
+
+- **Termination**: control flow only ever targets *forward* clause indices,
+  so every lane reaches an END tail in at most ``len(clauses)`` steps.
+- **Address safety**: memory operands are computed by masking an arbitrary
+  32-bit value into a power-of-two-sized window of the pre-mapped buffer
+  (``addr = base + (x & (window - 4 * width))``), so no access can fault.
+- **Race freedom**: loads read a shared read-only input region; stores and
+  atomics target per-thread slices/words. The scalar baseline executes
+  threads one at a time while the quad engines interleave lanes, so any
+  shared-address write would make final memory schedule-dependent and the
+  engines incomparable.
+
+Coverage is tracked over (op × slot × operand-kind) triples plus clause-
+shape buckets, and the generator biases its choices toward uncovered
+triples (coverage-guided generation).
+"""
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.isa import (
+    ATOM_MODE_SHIFT,
+    MAX_CONSTS,
+    MEM_SPACE_LOCAL,
+    NOP_INSTR,
+    OPERAND_NONE,
+    REG_GLOBAL_ID,
+    REG_GROUP_FLAT,
+    REG_LANE,
+    REG_LOCAL_ID,
+    TEMP_BASE,
+    Clause,
+    CmpMode,
+    Instruction,
+    Op,
+    Program,
+    Tail,
+    can_use_add_slot,
+    is_const,
+    is_grf,
+    is_memory_op,
+    is_temp,
+)
+
+# -- memory layout contract shared with the differential runner ---------------
+
+IN_BYTES = 8192       # shared read-only input region (2 pages)
+OUT_SLICE_BYTES = 64  # private output slice per thread
+LOCAL_SLICE_BYTES = 32  # private workgroup-local slice per thread
+
+# register allocation convention for generated programs: the prologue owns
+# r45..r52, generated code writes only r0..r44 (and the temps)
+GEN_DST_MAX = 44
+REG_LOCAL_BASE = 47   # byte address of this thread's local slice
+REG_IN_BASE = 48      # VA of the input region
+REG_OUT_BASE = 49     # VA of this thread's output slice
+REG_ATOM_BASE = 50    # VA of this thread's private atomic word
+REG_ADDR_A = 51       # address scratch (loads)
+REG_ADDR_B = 52       # address scratch (stores)
+
+# uniform indices: 0-9 are the NDRange block, args follow (runner contract)
+UNIFORM_ARG_BASE = 10
+UNIFORM_COUNT = UNIFORM_ARG_BASE + 5  # in, out-slice, atom bases + 2 extras
+
+# transcendental special-function ops are excluded from *whole-program*
+# generation: NumPy's SIMD exp/log/sin/cos kernels may differ from the
+# scalar libm path in the last ulp depending on the host, and the N-way
+# runner demands bit-exactness. Single-instruction fuzzing still covers
+# them under an explicit ulp tolerance (repro.validate.fuzz).
+GEN_EXCLUDED = {Op.NOP, Op.FEXP, Op.FLOG, Op.FSIN, Op.FCOS}
+
+GENERATABLE_OPS = tuple(op for op in Op if op not in GEN_EXCLUDED)
+_ARITH_OPS = tuple(op for op in GENERATABLE_OPS if not is_memory_op(op))
+
+_UNARY_OPS = {
+    Op.MOV, Op.FABS, Op.FNEG, Op.FFLOOR, Op.FRCP, Op.FSQRT, Op.FRSQ,
+    Op.FEXP, Op.FLOG, Op.FSIN, Op.FCOS, Op.F2I, Op.F2U, Op.I2F, Op.U2F,
+    Op.IABS,
+}
+_TERNARY_OPS = {Op.FMA, Op.SELECT}
+
+
+def op_arity(op):
+    """Number of source operands an arithmetic op reads."""
+    if op in _UNARY_OPS:
+        return 1
+    if op in _TERNARY_OPS:
+        return 3
+    return 2
+
+
+# interesting 32-bit patterns for constants and input data: float special
+# values (including NaN payloads — the engines are bit-exact on them),
+# integer extremes, and small indices
+SPECIAL_BITS = (
+    0x00000000, 0x80000000, 0x3F800000, 0xBF800000,  # 0, -0, 1, -1
+    0x7F800000, 0xFF800000, 0x7FC00000, 0x7FC00001, 0x7F800001,  # inf, NaNs
+    0x00000001, 0x007FFFFF, 0x00800000,  # denormals, FLT_MIN
+    0x7F7FFFFF, 0xFF7FFFFF,  # +-FLT_MAX
+    0xFFFFFFFF, 0x7FFFFFFF, 0x80000000, 0x80000001,  # int extremes
+    0x00000002, 0x00000003, 0x0000001F, 0x00000020,  # small ints, shifts
+)
+
+_KINDS = ("grf", "temp", "const")
+
+
+def operand_kind(operand):
+    if is_grf(operand):
+        return "grf"
+    if is_temp(operand):
+        return "temp"
+    if is_const(operand):
+        return "const"
+    return None
+
+
+def coverage_space():
+    """All fuzzable (op, slot, operand-kind) triples.
+
+    Arithmetic ops pair every legal slot with every source-operand kind;
+    memory ops have fixed operand shapes by construction (addresses are
+    always GRF, LDU reads an immediate), except the ATOM update operand
+    which ranges over all kinds.
+    """
+    space = set()
+    for op in _ARITH_OPS:
+        slots = ("fma", "add") if can_use_add_slot(op) else ("fma",)
+        for slot in slots:
+            for kind in _KINDS:
+                space.add((op, slot, kind))
+    space.add((Op.LD, "fma", "grf"))
+    space.add((Op.ST, "fma", "grf"))
+    space.add((Op.LDU, "fma", "imm"))
+    for kind in _KINDS:
+        space.add((Op.ATOM, "fma", kind))
+    return frozenset(space)
+
+
+class CoverageTracker:
+    """Static coverage over (op × slot × operand-kind) and clause shapes."""
+
+    def __init__(self):
+        self.space = coverage_space()
+        self.hit = set()
+        self.clause_shapes = {}  # (size, tail name) -> count
+        self.programs = 0
+
+    @property
+    def covered(self):
+        return len(self.hit)
+
+    @property
+    def total(self):
+        return len(self.space)
+
+    @property
+    def fraction(self):
+        return self.covered / self.total if self.total else 1.0
+
+    def uncovered(self):
+        return self.space - self.hit
+
+    def record_program(self, program):
+        self.programs += 1
+        for clause in program.clauses:
+            shape = (clause.size, clause.tail.name)
+            self.clause_shapes[shape] = self.clause_shapes.get(shape, 0) + 1
+            for fma, add in clause.tuples:
+                self._record_slot(fma, "fma")
+                self._record_slot(add, "add")
+
+    def _record_slot(self, instr, slot):
+        op = instr.op
+        if op is Op.NOP:
+            return
+        if op is Op.LDU:
+            self.hit.add((op, slot, "imm"))
+            return
+        if op is Op.LD or op is Op.ST:
+            self.hit.add((op, slot, "grf"))
+            return
+        if op is Op.ATOM:
+            kind = operand_kind(instr.srcb)
+            if kind:
+                self.hit.add((op, slot, kind))
+            return
+        for source in instr.sources():
+            kind = operand_kind(source)
+            if kind:
+                self.hit.add((op, slot, kind))
+
+    def report_lines(self):
+        lines = [
+            f"coverage: {self.covered}/{self.total} "
+            f"({100.0 * self.fraction:.1f}%) op x slot x operand-kind "
+            f"combinations",
+            f"clause shapes: {len(self.clause_shapes)} distinct "
+            f"(size x tail) buckets over {self.programs} programs",
+        ]
+        missing = sorted(
+            (op.name, slot, kind) for op, slot, kind in self.uncovered())
+        if missing:
+            preview = ", ".join("/".join(t) for t in missing[:8])
+            suffix = ", ..." if len(missing) > 8 else ""
+            lines.append(f"uncovered: {preview}{suffix}")
+        return lines
+
+
+@dataclass
+class GeneratedCase:
+    """One generated conformance test case."""
+
+    program: Program
+    global_size: tuple
+    local_size: tuple
+    in_words: np.ndarray  # uint32, IN_BYTES // 4 entries
+    extra_uniforms: tuple = (0, 0)
+    seed: int = 0
+    index: int = 0
+    label: str = ""
+
+
+class _ClauseBuilder:
+    """Accumulates instruction slots + constants for one clause."""
+
+    def __init__(self, rng):
+        self.rng = rng
+        self.slots = []
+        self.constants = []
+
+    def const(self, value):
+        """Operand index for *value* in this clause's pool (deduplicated)."""
+        value &= 0xFFFFFFFF
+        try:
+            return 128 + self.constants.index(value)
+        except ValueError:
+            if len(self.constants) >= MAX_CONSTS:
+                # pool full: fall back to reusing an existing slot
+                return 128 + self.rng.randrange(len(self.constants))
+            self.constants.append(value)
+            return 128 + len(self.constants) - 1
+
+    def pack(self, tail=Tail.FALLTHROUGH, cond_reg=0, target=0):
+        """Pack the slot list into (FMA, ADD) tuples preserving order."""
+        tuples = []
+        index = 0
+        slots = self.slots
+        while index < len(slots):
+            fma = slots[index]
+            index += 1
+            add = NOP_INSTR
+            if index < len(slots) and can_use_add_slot(slots[index].op):
+                add = slots[index]
+                index += 1
+            tuples.append((fma, add))
+        if not tuples:
+            tuples.append((NOP_INSTR, NOP_INSTR))
+        # clauses hold at most 8 tuples; dropping trailing slots is safe
+        # (a kept memory op always follows its address-setup slots)
+        return Clause(tuples=tuples[:8], constants=list(self.constants),
+                      tail=tail, cond_reg=cond_reg, target=target)
+
+
+class ProgramGenerator:
+    """Coverage-guided constrained random program generator.
+
+    One instance generates a deterministic stream of cases from its seed;
+    when a :class:`CoverageTracker` is supplied, generation records static
+    coverage and biases op/operand choices toward uncovered triples (the
+    tracker state only ever depends on generated programs, so replaying the
+    same seed regenerates the identical stream).
+    """
+
+    def __init__(self, seed, coverage=None):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.coverage = coverage if coverage is not None else CoverageTracker()
+        self._index = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def generate(self):
+        rng = self.rng
+        index = self._index
+        self._index += 1
+        local = rng.choice((4, 8, 16))
+        groups = rng.choice((1, 1, 2))
+        threads = local * groups
+        clauses = list(self._prologue(rng))
+        body = rng.randint(1, 5)
+        first_body = len(clauses)
+        total = first_body + body
+        for offset in range(body):
+            clause_index = first_body + offset
+            clauses.append(
+                self._body_clause(rng, clause_index, total))
+        program = Program(clauses=clauses,
+                          meta={"generator_seed": self.seed,
+                                "generator_index": index})
+        program.validate()
+        self.coverage.record_program(program)
+        in_words = np.array(
+            [self._data_word(rng) for _ in range(IN_BYTES // 4)],
+            dtype=np.uint32)
+        extras = (rng.getrandbits(32), rng.getrandbits(32))
+        case = GeneratedCase(
+            program=program,
+            global_size=(threads, 1, 1),
+            local_size=(local, 1, 1),
+            in_words=in_words,
+            extra_uniforms=extras,
+            seed=self.seed,
+            index=index,
+            label=f"gen[seed={self.seed},i={index}]",
+        )
+        return case
+
+    def generate_nth(self, index):
+        """Regenerate the *index*-th case of this seed's stream (corpus
+        replay-by-seed). Requires a fresh generator instance."""
+        case = None
+        for _ in range(index + 1):
+            case = self.generate()
+        return case
+
+    # -- data ----------------------------------------------------------------
+
+    def _data_word(self, rng):
+        if rng.random() < 0.3:
+            return rng.choice(SPECIAL_BITS)
+        return rng.getrandbits(32)
+
+    # -- prologue -------------------------------------------------------------
+
+    def _prologue(self, rng):
+        """Two fixed clauses establishing the address-safety invariants.
+
+        Clause 0 loads the buffer base addresses from the uniforms and
+        privatizes them per thread (output slice, atomic word, local
+        slice), then seeds r8..r11 from the input region. Clause 1 seeds
+        r0..r7 with random constants and thread ids so generated code has
+        varied live values to consume.
+        """
+        gid = REG_GLOBAL_ID
+        lid = REG_LOCAL_ID
+        t0 = TEMP_BASE
+        c0 = _ClauseBuilder(rng)
+        c0.slots = [
+            Instruction(Op.LDU, dst=REG_IN_BASE, imm=UNIFORM_ARG_BASE),
+            Instruction(Op.LDU, dst=REG_OUT_BASE, imm=UNIFORM_ARG_BASE + 1),
+            Instruction(Op.LDU, dst=REG_ATOM_BASE, imm=UNIFORM_ARG_BASE + 2),
+            Instruction(Op.ISHL, dst=t0, srca=gid, srcb=c0.const(6)),
+            Instruction(Op.IADD, dst=REG_OUT_BASE, srca=REG_OUT_BASE,
+                        srcb=t0),
+            Instruction(Op.ISHL, dst=t0, srca=gid, srcb=c0.const(2)),
+            Instruction(Op.IADD, dst=REG_ATOM_BASE, srca=REG_ATOM_BASE,
+                        srcb=t0),
+            Instruction(Op.ISHL, dst=REG_LOCAL_BASE, srca=lid,
+                        srcb=c0.const(5)),
+            Instruction(Op.ISHL, dst=t0, srca=gid, srcb=c0.const(4)),
+            Instruction(Op.IADD, dst=REG_ADDR_A, srca=REG_IN_BASE, srcb=t0),
+            Instruction(Op.LD, dst=8, srca=REG_ADDR_A, flags=2),  # r8..r11
+        ]
+        yield c0.pack()
+
+        c1 = _ClauseBuilder(rng)
+        for reg in range(6):
+            value = rng.choice(SPECIAL_BITS) if rng.random() < 0.5 \
+                else rng.getrandbits(32)
+            c1.slots.append(
+                Instruction(Op.MOV, dst=reg, srca=c1.const(value)))
+        c1.slots.append(Instruction(Op.MOV, dst=6, srca=gid))
+        c1.slots.append(Instruction(Op.MOV, dst=7, srca=REG_LANE))
+        yield c1.pack()
+
+    # -- body clauses ---------------------------------------------------------
+
+    def _body_clause(self, rng, clause_index, total_clauses):
+        builder = _ClauseBuilder(rng)
+        budget = rng.randint(2, 10)
+        while budget > 0 and len(builder.slots) < 11:
+            roll = rng.random()
+            if roll < 0.10:
+                self._emit_load(rng, builder)
+            elif roll < 0.18:
+                self._emit_store(rng, builder)
+            elif roll < 0.23:
+                self._emit_atomic(rng, builder)
+            elif roll < 0.28:
+                builder.slots.append(Instruction(
+                    Op.LDU, dst=self._dst_reg(rng),
+                    imm=rng.randrange(UNIFORM_COUNT)))
+            else:
+                self._emit_arith(rng, builder)
+            budget -= 1
+        return self._finish_clause(rng, builder, clause_index, total_clauses)
+
+    def _finish_clause(self, rng, builder, clause_index, total_clauses):
+        last = clause_index == total_clauses - 1
+        if last:
+            return builder.pack(tail=Tail.END)
+        target = rng.randint(clause_index + 1, total_clauses - 1)
+        roll = rng.random()
+        if roll < 0.35:
+            return builder.pack(tail=Tail.FALLTHROUGH)
+        if roll < 0.45:
+            return builder.pack(tail=Tail.JUMP, target=target)
+        if roll < 0.75:
+            tail = Tail.BRANCH if roll < 0.60 else Tail.BRANCH_Z
+            cond = rng.choice((
+                rng.randrange(0, 13),  # computed values
+                REG_GLOBAL_ID, REG_LOCAL_ID, REG_LANE, REG_GROUP_FLAT,
+            ))
+            return builder.pack(tail=tail, cond_reg=cond, target=target)
+        if roll < 0.90:
+            return builder.pack(tail=Tail.BARRIER)
+        return builder.pack(tail=Tail.END)
+
+    # -- instruction emission ---------------------------------------------------
+
+    def _dst_reg(self, rng, span=1):
+        if span == 1 and rng.random() < 0.15:
+            return TEMP_BASE + rng.randrange(2)
+        return rng.randrange(0, GEN_DST_MAX - span + 2)
+
+    def _source(self, rng, builder, kind=None):
+        if kind is None:
+            kind = rng.choices(_KINDS, weights=(6, 2, 2))[0]
+        if kind == "temp":
+            return TEMP_BASE + rng.randrange(2)
+        if kind == "const":
+            value = rng.choice(SPECIAL_BITS) if rng.random() < 0.5 \
+                else rng.getrandbits(32)
+            return builder.const(value)
+        return rng.randrange(0, 64)
+
+    def _pick_arith(self, rng):
+        """Pick an arithmetic op and a preferred first-source kind, biased
+        toward uncovered coverage triples."""
+        # sorted: uncovered() is a set, and set iteration order varies with
+        # the process hash seed — rng.choice over it would make the stream
+        # non-reproducible across processes (breaking corpus seed replay)
+        uncovered = sorted(t for t in self.coverage.uncovered()
+                           if t[0] in _ARITH_OPS)
+        if uncovered and rng.random() < 0.7:
+            op, _slot, kind = rng.choice(uncovered)
+            return op, kind
+        return rng.choice(_ARITH_OPS), None
+
+    def _emit_arith(self, rng, builder):
+        op, first_kind = self._pick_arith(rng)
+        arity = op_arity(op)
+        sources = [self._source(rng, builder, kind=first_kind)]
+        for _ in range(arity - 1):
+            sources.append(self._source(rng, builder))
+        while len(sources) < 3:
+            sources.append(OPERAND_NONE)
+        flags = int(rng.choice(list(CmpMode))) if op is Op.CMP else 0
+        builder.slots.append(Instruction(
+            op, dst=self._dst_reg(rng), srca=sources[0], srcb=sources[1],
+            srcc=sources[2], flags=flags))
+
+    def _emit_load(self, rng, builder):
+        log2w = rng.choice((0, 0, 1, 2))
+        width = 1 << log2w
+        local = rng.random() < 0.3
+        window = LOCAL_SLICE_BYTES if local else IN_BYTES
+        mask = window - 4 * width
+        base = REG_LOCAL_BASE if local else REG_IN_BASE
+        offset_src = self._source(rng, builder)
+        builder.slots.append(Instruction(
+            Op.IAND, dst=REG_ADDR_A, srca=offset_src,
+            srcb=builder.const(mask)))
+        builder.slots.append(Instruction(
+            Op.IADD, dst=REG_ADDR_A, srca=REG_ADDR_A, srcb=base))
+        flags = log2w | (MEM_SPACE_LOCAL if local else 0)
+        # LD destinations are GRF by design (wide loads write register rows)
+        dst = rng.randrange(0, GEN_DST_MAX - width + 2)
+        builder.slots.append(Instruction(
+            Op.LD, dst=dst, srca=REG_ADDR_A, flags=flags))
+
+    def _emit_store(self, rng, builder):
+        log2w = rng.choice((0, 0, 1, 2))
+        width = 1 << log2w
+        local = rng.random() < 0.3
+        window = LOCAL_SLICE_BYTES if local else OUT_SLICE_BYTES
+        mask = window - 4 * width
+        base = REG_LOCAL_BASE if local else REG_OUT_BASE
+        offset_src = self._source(rng, builder)
+        builder.slots.append(Instruction(
+            Op.IAND, dst=REG_ADDR_B, srca=offset_src,
+            srcb=builder.const(mask)))
+        builder.slots.append(Instruction(
+            Op.IADD, dst=REG_ADDR_B, srca=REG_ADDR_B, srcb=base))
+        flags = log2w | (MEM_SPACE_LOCAL if local else 0)
+        data_base = rng.randrange(0, GEN_DST_MAX - width + 2)
+        builder.slots.append(Instruction(
+            Op.ST, srca=REG_ADDR_B, srcb=data_base, flags=flags))
+
+    def _emit_atomic(self, rng, builder):
+        local = rng.random() < 0.3
+        base = REG_LOCAL_BASE if local else REG_ATOM_BASE
+        mode = rng.randrange(8)
+        uncovered_atom = sorted(t for t in self.coverage.uncovered()
+                                if t[0] is Op.ATOM)  # sorted: see _pick_arith
+        kind = rng.choice(uncovered_atom)[2] if uncovered_atom else None
+        value_src = self._source(rng, builder, kind=kind)
+        flags = (mode << ATOM_MODE_SHIFT) | (MEM_SPACE_LOCAL if local else 0)
+        builder.slots.append(Instruction(
+            Op.ATOM, dst=self._dst_reg(rng), srca=base, srcb=value_src,
+            flags=flags))

@@ -1,0 +1,444 @@
+"""N-way differential execution of GPU programs (conformance harness).
+
+Runs one :class:`DiffCase` through up to four independent execution engines
+and compares every observable outcome:
+
+- ``interp`` — the quad-warp clause interpreter with the MMU quad fast path
+  *disabled* (scalar per-word memory port), fully instrumented. This is the
+  reference engine.
+- ``fast``   — the same interpreter with the quad gather/scatter fast path
+  enabled (PR 1's vectorized pipeline), fully instrumented.
+- ``jit``    — the closure-translation JIT engine (no instrumentation by
+  design).
+- ``m2s``    — the scalar Multi2Sim-style baseline: thread-at-a-time, flat
+  memory, per-visit re-decode from the encoded binary.
+
+Compared per engine pair: final registers and clause temporaries of every
+thread, the full memory image of every buffer region, normalized
+instruction-category counters, and for the instrumented pair the complete
+``JobStats``, divergence CFG and MMU translation behaviour. When both the
+reference and the baseline carry a tracer, retired per-thread instruction
+streams are diffed too.
+
+The quad engines run behind real page tables that map adjacent virtual
+pages to *non-adjacent* physical frames, so the fast path's cross-page
+tiers cannot pass by accident; the m2s baseline places the same data at the
+same virtual addresses in its flat memory.
+"""
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.gpu.isa import NUM_GRF, REG_GLOBAL_ID, Program
+from repro.gpu.encoding import encode_program
+from repro.gpu.mmu import GPUMMU
+from repro.gpu.shadercore import ComputeUnit, WorkgroupShape
+from repro.mem import PAGE_SIZE, PTE_READ, PTE_WRITE, PageTableBuilder, \
+    PhysicalMemory
+from repro.validate.trace import InstructionTracer, compare_traces
+
+ENGINES = ("interp", "fast", "jit", "m2s")
+
+# virtual layout for generated cases (shared with repro.validate.progen)
+VA_IN = 0x0010_0000
+VA_OUT = VA_IN + 0x2000
+VA_ATOM = VA_OUT + 0x2000
+# per-thread output slices start 128 bytes before a page boundary so that
+# neighbouring lanes' slices straddle pages (exercises cross-page scatter)
+OUT_SLICE_BASE = VA_OUT + PAGE_SIZE - 128
+
+_PHYS_SIZE = 1 << 22
+_TABLE_FRAME_BASE = 0x0008_0000
+_DATA_FRAME_BASE = 0x0010_0000
+
+
+def _pages(nbytes):
+    return -(-nbytes // PAGE_SIZE)
+
+
+@dataclass
+class DiffCase:
+    """One differential test case: a program plus launch and memory setup.
+
+    Attributes:
+        program: decoded :class:`~repro.gpu.isa.Program`.
+        global_size/local_size: NDRange (3-tuples).
+        regions: list of ``(name, va, words)`` buffer regions; *words* is a
+            1-D uint32 array, *va* must be page-aligned.
+        args: kernel argument u32 values (buffer VAs, scalar bits, local
+            byte offsets) appended to the 10 NDRange uniforms.
+        local_bytes: workgroup-local slab size.
+    """
+
+    program: Program
+    global_size: tuple
+    local_size: tuple
+    regions: list
+    args: list
+    local_bytes: int = 4096
+    name: str = "case"
+
+    def with_program(self, program):
+        return replace(self, program=program)
+
+
+def generated_case_to_diff(case):
+    """Adapt a :class:`~repro.validate.progen.GeneratedCase`."""
+    threads = case.global_size[0] * case.global_size[1] * case.global_size[2]
+    out_words = np.zeros(0x2000 // 4, dtype=np.uint32)
+    atom_words = np.zeros(PAGE_SIZE // 4, dtype=np.uint32)
+    assert OUT_SLICE_BASE + threads * 64 <= VA_OUT + 0x2000
+    return DiffCase(
+        program=case.program,
+        global_size=tuple(case.global_size),
+        local_size=tuple(case.local_size),
+        regions=[
+            ("in", VA_IN, np.asarray(case.in_words, dtype=np.uint32)),
+            ("out", VA_OUT, out_words),
+            ("atom", VA_ATOM, atom_words),
+        ],
+        args=[VA_IN, OUT_SLICE_BASE, VA_ATOM,
+              case.extra_uniforms[0], case.extra_uniforms[1]],
+        name=case.label or f"gen[{case.seed}:{case.index}]",
+    )
+
+
+def make_kernel_case(source, kernel_name, global_size, local_size, buffers,
+                     scalars=(), local_args=(), version=None, name=None):
+    """Build a :class:`DiffCase` from kernel-language source (compiled once,
+    then executed from the same binary by every engine)."""
+    from repro.clc import compile_source
+
+    compiled = compile_source(source, options=version).kernel(kernel_name)
+    global_size = tuple(global_size) + (1,) * (3 - len(global_size))
+    local_size = tuple(local_size) + (1,) * (3 - len(local_size))
+    threads_per_group = local_size[0] * local_size[1] * local_size[2]
+    cursor = (compiled.local_static_size
+              + compiled.scratch_per_thread * threads_per_group)
+    regions = []
+    args = []
+    va = VA_IN
+    # arguments are positional: consume the buffer/scalar/local queues in
+    # the kernel's declared parameter order
+    buffer_queue = list(buffers)
+    scalar_queue = list(scalars)
+    local_queue = list(local_args)
+    for _param, kind, _ty in compiled.params:
+        if kind == "buffer":
+            array = buffer_queue.pop(0)
+            words = np.ascontiguousarray(array).reshape(-1).view(np.uint32)
+            regions.append((f"buf{len(regions)}", va, words))
+            args.append(va)
+            va += _pages(max(words.nbytes, 4)) * PAGE_SIZE
+        elif kind == "local_ptr":
+            nbytes = local_queue.pop(0)
+            args.append(cursor)
+            cursor += (nbytes + 3) & ~3
+        else:
+            value = scalar_queue.pop(0)
+            if isinstance(value, float) or (hasattr(value, "dtype")
+                                            and value.dtype.kind == "f"):
+                args.append(int(np.float32(value).view(np.uint32)))
+            else:
+                args.append(int(value) & 0xFFFFFFFF)
+    if buffer_queue or scalar_queue or local_queue:
+        raise ValueError(
+            f"argument count mismatch for {kernel_name}: "
+            f"{len(buffer_queue)} buffers, {len(scalar_queue)} scalars, "
+            f"{len(local_queue)} local args left over")
+    return DiffCase(
+        program=compiled.program,
+        global_size=global_size,
+        local_size=local_size,
+        regions=regions,
+        args=args,
+        local_bytes=max(4096, (cursor + 4095) & ~4095),
+        name=name or kernel_name,
+    )
+
+
+@dataclass
+class EngineResult:
+    """Everything observable from one engine's execution of a case."""
+
+    engine: str
+    registers: dict = None   # gid triple -> (regs tuple, temps tuple)
+    memory: dict = None      # region name -> bytes
+    counters: dict = None    # normalized instruction categories
+    stats: dict = None       # full JobStats fields (instrumented engines)
+    cfg: tuple = None        # (edges dict, divergences dict)
+    mmu: dict = None         # pages/translation behaviour
+    trace: InstructionTracer = None
+    error: str = None        # set when the engine raised
+
+
+@dataclass
+class Mismatch:
+    """One observed divergence between two engines."""
+
+    kind: str       # registers|memory|counters|stats|cfg|mmu|trace|crash
+    engines: tuple
+    detail: str
+
+    def __str__(self):
+        return f"[{self.kind}] {' vs '.join(self.engines)}: {self.detail}"
+
+
+def build_uniforms(case):
+    """The 10 NDRange uniforms + argument words (same layout in every
+    engine; mirrors M2SSimulator.run_kernel and the CL runtime)."""
+    g, l = case.global_size, case.local_size
+    num_groups = tuple(gd // ld for gd, ld in zip(g, l))
+    uniforms = list(g) + list(l) + list(num_groups)
+    uniforms.append(sum(1 for gd in g if gd > 1) or 1)
+    uniforms.extend(int(a) & 0xFFFFFFFF for a in case.args)
+    return np.array(uniforms, dtype=np.uint32)
+
+
+class _CompiledShim:
+    """Just enough of a CompiledKernel for M2SSimulator.run_kernel."""
+
+    def __init__(self, binary, local_static_size=0, scratch_per_thread=0):
+        self.binary = binary
+        self.local_static_size = local_static_size
+        self.scratch_per_thread = scratch_per_thread
+
+
+class DifferentialRunner:
+    """Executes cases on an engine subset and compares all outcomes."""
+
+    def __init__(self, engines=ENGINES, trace=True):
+        for engine in engines:
+            if engine not in ENGINES:
+                raise ValueError(f"unknown engine {engine!r}")
+        self.engines = tuple(engines)
+        # instruction tracing needs both the reference interpreter and the
+        # scalar baseline (tracing pins the interpreter's scalar memory
+        # path, which is exactly the "interp" configuration)
+        self.trace = trace and "interp" in engines and "m2s" in engines
+
+    # -- engine execution ------------------------------------------------------
+
+    def run_case(self, case):
+        """Run *case* on every engine; returns (results dict, mismatches)."""
+        results = {}
+        for engine in self.engines:
+            tracer = InstructionTracer() \
+                if self.trace and engine in ("interp", "m2s") else None
+            try:
+                if engine == "m2s":
+                    results[engine] = self._run_m2s(case, tracer)
+                else:
+                    results[engine] = self._run_quad(case, engine, tracer)
+            except Exception as exc:  # noqa: BLE001 - crash is an outcome
+                results[engine] = EngineResult(
+                    engine=engine,
+                    error=f"{type(exc).__name__}: {exc}")
+        return results, self.compare(results)
+
+    def _run_quad(self, case, engine, tracer):
+        phys = PhysicalMemory(_PHYS_SIZE)
+        table_frame = [_TABLE_FRAME_BASE]
+
+        def alloc_table_frame():
+            frame = table_frame[0]
+            table_frame[0] += PAGE_SIZE
+            return frame
+
+        builder = PageTableBuilder(phys, alloc_table_frame)
+        va_to_pa = {}
+        data_frame = _DATA_FRAME_BASE
+        for _name, va, words in case.regions:
+            data = np.ascontiguousarray(words, dtype=np.uint32).tobytes()
+            for page in range(_pages(max(len(data), 1))):
+                page_va = va + page * PAGE_SIZE
+                # adjacent virtual pages -> non-adjacent physical frames,
+                # so cross-page quads can never pass by accident
+                builder.map_page(page_va, data_frame, PTE_READ | PTE_WRITE)
+                va_to_pa[page_va] = data_frame
+                chunk = data[page * PAGE_SIZE:(page + 1) * PAGE_SIZE]
+                if chunk:
+                    phys.write_block(data_frame, chunk)
+                data_frame += 2 * PAGE_SIZE
+        mmu = GPUMMU(phys)
+        mmu.set_page_table(builder.root)
+        mmu.enabled = True
+        mmu.fast_path_enabled = engine != "interp"
+
+        instrumented = engine in ("interp", "fast")
+        unit = ComputeUnit(0)
+        unit.prepare(case.local_bytes, instrument=instrumented,
+                     collect_cfg=instrumented, tracer=tracer,
+                     engine="jit" if engine == "jit" else "interpreter")
+        shape = WorkgroupShape(case.global_size, case.local_size)
+        uniforms = build_uniforms(case)
+        registers = {}
+        for flat_group in range(shape.total_groups):
+            warps = unit.run_workgroup(case.program, uniforms, mmu, shape,
+                                       flat_group)
+            for warp in warps:
+                for lane in np.flatnonzero(warp.live):
+                    regs = warp.regs[lane]
+                    key = (int(regs[REG_GLOBAL_ID]),
+                           int(regs[REG_GLOBAL_ID + 1]),
+                           int(regs[REG_GLOBAL_ID + 2]))
+                    registers[key] = (
+                        tuple(int(v) for v in regs),
+                        tuple(int(v) for v in warp.temps[lane]))
+
+        memory = {}
+        for name, va, words in case.regions:
+            nbytes = words.nbytes
+            image = bytearray()
+            for page in range(_pages(max(nbytes, 1))):
+                image += phys.read_block(va_to_pa[va + page * PAGE_SIZE],
+                                         PAGE_SIZE)
+            memory[name] = bytes(image[:nbytes])
+
+        result = EngineResult(engine=engine, registers=registers,
+                              memory=memory, trace=tracer)
+        if instrumented:
+            stats = unit.stats
+            result.counters = _quad_counters(stats)
+            fields = dict(vars(stats))
+            fields["clause_size_histogram"] = dict(
+                fields["clause_size_histogram"])
+            result.stats = fields
+            result.cfg = (unit.cfg.edges, unit.cfg.divergences)
+            result.mmu = {
+                "pages_accessed": frozenset(mmu.pages_accessed),
+                "translations": mmu.translations,
+            }
+        return result
+
+    def _run_m2s(self, case, tracer):
+        from repro.baselines.m2s import M2SSimulator
+
+        top = max(va + _pages(max(words.nbytes, 1)) * PAGE_SIZE
+                  for _n, va, words in case.regions)
+        sim = M2SSimulator(memory_size=1 << max(top.bit_length() + 1, 20),
+                           tracer=tracer, capture_registers=True)
+        for _name, va, words in case.regions:
+            if words.size:
+                sim.place(va, words)
+        shim = _CompiledShim(encode_program(case.program))
+        sim.run_kernel(shim, case.global_size, case.local_size, case.args)
+        registers = dict(sim.retired_registers)
+        memory = {
+            name: sim.read(va, words.size, np.uint32).tobytes()
+            if words.size else b""
+            for name, va, words in case.regions
+        }
+        counters = {
+            "arith": sim.stats.arith,
+            "ls": sim.stats.load_store,
+            "nop": sim.stats.nop,
+            "cf": sim.stats.control_flow,
+        }
+        return EngineResult(engine="m2s", registers=registers, memory=memory,
+                            counters=counters, trace=tracer)
+
+    # -- comparison ------------------------------------------------------------
+
+    def compare(self, results):
+        """All pairwise comparisons against the first engine in the subset
+        (instrumentation-level comparisons only between engines that carry
+        the corresponding data)."""
+        mismatches = []
+        crashed = [(e, r) for e, r in results.items() if r.error is not None]
+        if crashed:
+            # well-formed cases must not fault in any engine; report and
+            # skip state comparisons (there is no state to compare)
+            for engine, result in crashed:
+                mismatches.append(Mismatch("crash", (engine,), result.error))
+            return mismatches
+        order = [e for e in self.engines if e in results]
+        ref = results[order[0]]
+        for engine in order[1:]:
+            mismatches.extend(self._compare_pair(ref, results[engine]))
+        return mismatches
+
+    def _compare_pair(self, ref, other):
+        found = []
+        pair = (ref.engine, other.engine)
+        found.extend(self._compare_registers(pair, ref, other))
+        found.extend(self._compare_memory(pair, ref, other))
+        if ref.counters is not None and other.counters is not None \
+                and ref.counters != other.counters:
+            found.append(Mismatch(
+                "counters", pair,
+                f"{ref.counters} != {other.counters}"))
+        if ref.stats is not None and other.stats is not None \
+                and ref.stats != other.stats:
+            diff = [k for k in ref.stats if ref.stats[k] != other.stats[k]]
+            found.append(Mismatch("stats", pair, f"fields differ: {diff}"))
+        if ref.cfg is not None and other.cfg is not None \
+                and ref.cfg != other.cfg:
+            found.append(Mismatch("cfg", pair,
+                                  "divergence CFG edges/events differ"))
+        if ref.mmu is not None and other.mmu is not None \
+                and ref.mmu != other.mmu:
+            found.append(Mismatch(
+                "mmu", pair,
+                f"pages/translations differ: {ref.mmu['translations']} vs "
+                f"{other.mmu['translations']} translations"))
+        if ref.trace is not None and other.trace is not None:
+            trace_diffs = compare_traces(ref.trace, other.trace)
+            if trace_diffs:
+                found.append(Mismatch("trace", pair, str(trace_diffs[0])))
+        return found
+
+    @staticmethod
+    def _compare_registers(pair, ref, other):
+        if set(ref.registers) != set(other.registers):
+            missing = set(ref.registers) ^ set(other.registers)
+            return [Mismatch("threads", pair,
+                             f"thread sets differ: {sorted(missing)[:4]}")]
+        for key in sorted(ref.registers):
+            a_regs, a_temps = ref.registers[key]
+            b_regs, b_temps = other.registers[key]
+            if a_regs != b_regs:
+                reg = next(i for i in range(NUM_GRF)
+                           if a_regs[i] != b_regs[i])
+                return [Mismatch(
+                    "registers", pair,
+                    f"thread {key} r{reg}: 0x{a_regs[reg]:08x} != "
+                    f"0x{b_regs[reg]:08x}")]
+            if a_temps != b_temps:
+                t = next(i for i in range(len(a_temps))
+                         if a_temps[i] != b_temps[i])
+                return [Mismatch(
+                    "registers", pair,
+                    f"thread {key} t{t}: 0x{a_temps[t]:08x} != "
+                    f"0x{b_temps[t]:08x}")]
+        return []
+
+    @staticmethod
+    def _compare_memory(pair, ref, other):
+        for name in ref.memory:
+            a, b = ref.memory[name], other.memory.get(name)
+            if a == b:
+                continue
+            if b is None:
+                return [Mismatch("memory", pair, f"region {name} missing")]
+            word = next(i for i in range(0, min(len(a), len(b)), 4)
+                        if a[i:i + 4] != b[i:i + 4])
+            a_val = int.from_bytes(a[word:word + 4], "little")
+            b_val = int.from_bytes(b[word:word + 4], "little")
+            return [Mismatch(
+                "memory", pair,
+                f"region {name} word {word // 4}: 0x{a_val:08x} != "
+                f"0x{b_val:08x}")]
+        return []
+
+
+def _quad_counters(stats):
+    """JobStats collapsed to the categories the m2s baseline reports."""
+    return {
+        "arith": stats.arith_instrs,
+        "ls": (stats.ls_global_instrs + stats.ls_local_instrs
+               + stats.const_load_instrs),
+        "nop": stats.nop_instrs,
+        "cf": stats.cf_instrs,
+    }
