@@ -1,0 +1,11 @@
+/* SAXPY: the canonical streaming kernel. Good first target for the
+ * stats/trace CLI verbs:
+ *
+ *   python -m repro.tools trace examples/saxpy.cl --validate
+ *   python -m repro.tools stats examples/saxpy.cl
+ */
+__kernel void saxpy(__global float* x, __global float* y,
+                    __global float* out, float a) {
+    int i = get_global_id(0);
+    out[i] = a * x[i] + y[i];
+}

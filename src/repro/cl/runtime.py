@@ -1,6 +1,7 @@
 """The OpenCL-like host runtime."""
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -53,6 +54,7 @@ class Buffer:
         self.context = context
         self.nbytes = int(nbytes)
         self.region = context.platform.driver.alloc_region(self.nbytes)
+        context.stat_buffers_allocated.increment()
 
     @property
     def gpu_va(self):
@@ -66,6 +68,21 @@ class Context:
         self.platform = platform or MobilePlatform()
         self.platform.initialize()
         self.cpu_seconds = 0.0  # host wall time spent simulating guest CPU
+        # runtime-level counters in the platform's unified registry
+        # (get-or-create: several contexts may share one platform)
+        scope = self.platform.stats_registry.scope("cl.runtime")
+        self.stat_kernels_launched = scope.counter(
+            "kernels_launched", "clEnqueueNDRangeKernel commands")
+        self.stat_buffers_allocated = scope.counter(
+            "buffers_allocated", "device buffers created")
+        self.stat_buffer_writes = scope.counter(
+            "buffer_writes", "host-to-device buffer transfers")
+        self.stat_buffer_reads = scope.counter(
+            "buffer_reads", "device-to-host buffer transfers")
+        self.stat_bytes_written = scope.counter(
+            "bytes_written", "bytes moved host-to-device")
+        self.stat_bytes_read = scope.counter(
+            "bytes_read", "bytes moved device-to-host")
 
     def alloc_buffer(self, nbytes):
         return Buffer(self, nbytes)
@@ -209,6 +226,13 @@ class CommandQueue:
             self.events.append(Event(kind, name, start, time.perf_counter(),
                                      stats=stats))
 
+    def _span(self, name, args=None):
+        """A Chrome-trace span on the CL command track (no-op untraced)."""
+        tracer = self.context.platform.events
+        if tracer is None:
+            return nullcontext()
+        return tracer.span(name, "cl", "queue", args)
+
     # -- buffer transfers ------------------------------------------------------------
 
     def enqueue_write_buffer(self, buffer, array):
@@ -219,17 +243,24 @@ class CommandQueue:
                 f"write of {array.nbytes} bytes into {buffer.nbytes}-byte buffer"
             )
         platform = self.context.platform
-        staging = platform.stage_bytes(array.tobytes())
-        self.context.guest_memcpy(buffer.region.phys, staging, array.nbytes)
+        with self._span("clEnqueueWriteBuffer",
+                        args={"bytes": int(array.nbytes)}):
+            staging = platform.stage_bytes(array.tobytes())
+            self.context.guest_memcpy(buffer.region.phys, staging, array.nbytes)
+        self.context.stat_buffer_writes.increment()
+        self.context.stat_bytes_written.add(int(array.nbytes))
         self._record_event("write", f"{array.nbytes}B", start)
 
     def enqueue_read_buffer(self, buffer, dtype=np.uint8, count=None):
         start = time.perf_counter()
         platform = self.context.platform
         nbytes = buffer.nbytes if count is None else count * np.dtype(dtype).itemsize
-        staging = platform.stage_bytes(b"\x00" * nbytes)
-        self.context.guest_memcpy(staging, buffer.region.phys, nbytes)
-        raw = platform.memory.read_block(staging, nbytes)
+        with self._span("clEnqueueReadBuffer", args={"bytes": int(nbytes)}):
+            staging = platform.stage_bytes(b"\x00" * nbytes)
+            self.context.guest_memcpy(staging, buffer.region.phys, nbytes)
+            raw = platform.memory.read_block(staging, nbytes)
+        self.context.stat_buffer_reads.increment()
+        self.context.stat_bytes_read.add(int(nbytes))
         self._record_event("read", f"{nbytes}B", start)
         return np.frombuffer(raw, dtype=dtype).copy()
 
@@ -286,21 +317,26 @@ class CommandQueue:
         staging = platform.stage_bytes(uniforms.tobytes())
         context.guest_memcpy(kernel._uniform_region.phys, staging, uniforms.nbytes)
 
-        driver.run_job(
-            global_size=global_size,
-            local_size=local_size,
-            binary_region=binary_region,
-            binary_size=len(kernel.compiled.binary),
-            uniform_region=kernel._uniform_region,
-            uniform_count=len(uniforms),
-            local_mem_size=local_mem_size,
-        )
+        with self._span("clEnqueueNDRangeKernel",
+                        args={"kernel": kernel.name,
+                              "global": list(global_size),
+                              "local": list(local_size)}):
+            driver.run_job(
+                global_size=global_size,
+                local_size=local_size,
+                binary_region=binary_region,
+                binary_size=len(kernel.compiled.binary),
+                uniform_region=kernel._uniform_region,
+                uniform_count=len(uniforms),
+                local_mem_size=local_mem_size,
+            )
         results = platform.last_job_results()
         result = results[-1]
         kernel.last_stats = result.stats
         kernel.last_cfg = result.cfg
         self.total_stats.merge(result.stats)
         self.kernels_launched += 1
+        context.stat_kernels_launched.increment()
         self._record_event("ndrange", kernel.name, event_start,
                            stats=result.stats)
         return result.stats

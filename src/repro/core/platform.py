@@ -24,6 +24,7 @@ from repro.cpu.routines import GuestRoutines
 from repro.driver.kbase import KBaseDriver
 from repro.gpu import regs as gpu_regs
 from repro.gpu.device import GPUConfig, GPUDevice
+from repro.instrument.registry import StatsRegistry
 from repro.mem.bus import Bus
 from repro.mem.physical import PhysicalMemory
 
@@ -87,6 +88,28 @@ class MobilePlatform:
             self.bus, self.irqc, GPU_BASE, heap_base=HEAP_BASE, heap_size=HEAP_SIZE
         )
         self._staging_next = STAGING_BASE
+
+        # cross-layer observability: every layer registers its counters
+        # into one hierarchical registry; the event tracer is attached on
+        # demand (attach_events) since tracing is opt-in
+        self.stats_registry = StatsRegistry()
+        self.events = None
+        self._register_stats()
+
+    def _register_stats(self):
+        registry = self.stats_registry
+        self.guest.register_stats(registry.scope("cpu.core"))
+        self.driver.register_stats(registry.scope("driver.kbase"))
+        self.gpu.register_stats(registry.scope("gpu"))
+
+    def attach_events(self, tracer):
+        """Attach an :class:`~repro.instrument.tracing.EventTracer`; the
+        driver and the GPU start emitting job-lifecycle spans into it.
+        Pass None to detach."""
+        self.events = tracer
+        self.driver.events = tracer
+        self.gpu.job_manager.events = tracer
+        return tracer
 
     def _gpu_irq(self, gpu):
         """Route GPU interrupt assertions to the interrupt controller."""

@@ -120,3 +120,18 @@ class GuestRoutines:
     @property
     def instructions_executed(self):
         return self.cpu.instructions_executed
+
+    def register_stats(self, scope):
+        """Register guest-CPU counters under *scope* (``cpu.core``).
+
+        Instruction counts are architectural (engine-invariant); the DBT
+        translation count is an engine diagnostic.
+        """
+        scope.probe("instructions", lambda: self.instructions_executed,
+                    desc="guest instructions retired")
+        translations = getattr(self.engine, "translations", None)
+        if translations is not None:
+            scope.probe("dbt_translations",
+                        lambda: self.engine.translations,
+                        desc="basic blocks translated by the DBT engine",
+                        golden=False)

@@ -69,6 +69,18 @@ class KBaseDriver:
         self._descriptor_region = None
         self.initialized = False
         self.jobs_submitted = 0
+        self.regions_allocated = 0
+        self.bytes_mapped = 0
+        self.events = None  # optional EventTracer (ioctl-level spans)
+
+    def register_stats(self, scope):
+        """Register driver counters under *scope* (``driver.kbase``)."""
+        scope.probe("jobs_submitted", lambda: self.jobs_submitted,
+                    desc="job chains rung through the doorbell")
+        scope.probe("regions_allocated", lambda: self.regions_allocated,
+                    desc="GPU-mapped memory regions allocated")
+        scope.probe("bytes_mapped", lambda: self.bytes_mapped,
+                    desc="bytes mapped into the GPU VA zone")
 
     # -- low-level register access -------------------------------------------
 
@@ -102,6 +114,8 @@ class KBaseDriver:
         flags = PTE_READ | PTE_WRITE | (PTE_EXEC if executable else 0)
         self._page_table.map_range(gpu_va, phys, size, flags)
         self._write(regs.MMU_FLUSH, 1)
+        self.regions_allocated += 1
+        self.bytes_mapped += size
         return Region(gpu_va=gpu_va, phys=phys, size=size)
 
     def free_region(self, region):
@@ -173,6 +187,14 @@ class KBaseDriver:
             JobFault: the GPU reported a job or MMU fault; fault details are
                 read back from the MMU fault registers.
         """
+        if self.events is not None:
+            with self.events.span("kbase_ioctl(job_submit)", "driver",
+                                  "kbase", args={"descriptor_va":
+                                                 descriptor_va}):
+                return self._submit_and_wait(descriptor_va)
+        return self._submit_and_wait(descriptor_va)
+
+    def _submit_and_wait(self, descriptor_va):
         self._write(regs.JOB_SUBMIT_LO, descriptor_va & 0xFFFFFFFF)
         self._write(regs.JOB_SUBMIT_HI, descriptor_va >> 32)
         self.jobs_submitted += 1

@@ -196,3 +196,24 @@ class GPUDevice(MMIODevice):
         """Return SystemStats including the MMU's distinct-page count."""
         self.system_stats.pages_accessed = len(self.mmu.pages_accessed)
         return self.system_stats
+
+    def register_stats(self, scope):
+        """Register the GPU hierarchy under *scope* (typically ``gpu``):
+        Table III interaction counters, the Job Manager / per-core warp
+        groups, and the MMU."""
+        from repro.instrument.registry import register_mmu_stats
+
+        stats = self.system_stats
+        for field_name, desc in (
+            ("ctrl_reg_reads", "control-register reads (Table III)"),
+            ("ctrl_reg_writes", "control-register writes (Table III)"),
+            ("interrupts_asserted", "IRQ line assertions (Table III)"),
+            ("compute_jobs", "compute jobs submitted (Table III)"),
+            ("mmu_faults", "jobs terminated by an MMU fault"),
+            ("tlb_flushes", "MMU_FLUSH TLB invalidations"),
+        ):
+            scope.probe(field_name,
+                        (lambda s=stats, f=field_name: getattr(s, f)),
+                        desc=desc)
+        self.job_manager.register_stats(scope)
+        register_mmu_stats(scope.scope("mmu"), self.mmu)

@@ -11,15 +11,20 @@ decode, no dispatch and no operand-kind branching — the GPU-side analogue
 of the CPU DBT engine.
 
 The JIT engine is functionally identical to the interpreter (the test
-suite runs both and compares bit-for-bit) but collects no statistics; it is
-selected with ``GPUConfig(engine="jit")`` and automatically falls back to
-the interpreter when instrumentation, CFG collection or tracing is
-requested.
+suite runs both and compares bit-for-bit) and reports identical
+:class:`~repro.instrument.stats.JobStats`: clause metrics are static at
+decode time, so the scheduling loop only records ``(issues, lanes)`` per
+clause plus tail branch events, and the same deferred flush the
+interpreter uses multiplies them out. It is selected with
+``GPUConfig(engine="jit")`` and falls back to the interpreter only when
+CFG collection or memory tracing is requested (those need per-issue /
+per-word visibility the translated closures deliberately avoid).
 """
 
 import numpy as np
 
 from repro.errors import GuestError
+from repro.instrument.stats import apply_clause_stats
 from repro.gpu.isa import (
     CONST_BASE,
     TEMP_BASE,
@@ -102,11 +107,17 @@ _ALU = _alu_table()
 class ClauseJIT:
     """Clause-translating GPU execution engine."""
 
-    def __init__(self, program, uniforms, mem, local=None):
+    def __init__(self, program, uniforms, mem, local=None, stats=None):
         self.program = program
         self.uniforms = uniforms
         self.mem = mem
         self.local = local
+        # stats is rebound per job by the compute unit (translations are
+        # cached across jobs, counters are not)
+        self.stats = stats
+        # deferred per-clause stat accumulation, same scheme (and same
+        # flush helper) as the interpreter: clause index -> [issues, lanes]
+        self._pending_stats = {}
         # translate every clause once (the decode cache already guarantees
         # programs are decoded once; this caches the *execution* form too)
         self._compiled = [self._translate(c) for c in program.clauses]
@@ -321,31 +332,49 @@ class ClauseJIT:
     def run_warp(self, warp, max_clauses=1_000_000):
         program = self.program
         compiled = self._compiled
-        while True:
-            if warp.finished:
-                return "done"
-            if warp.blocked:
-                return "barrier"
-            runnable = (warp.pcs < _END_PC) & ~warp.at_barrier
-            current = int(warp.pcs[runnable].min())
-            mask = runnable & (warp.pcs == current)
-            lanes = int(mask.sum())
-            for slot in compiled[current]:
-                slot(warp, mask, lanes)
-            self._apply_tail(warp, program.clauses[current], current, mask)
-            warp.clause_steps += 1
-            if warp.clause_steps > max_clauses:
-                raise GuestError("warp exceeded clause budget (stuck kernel?)")
+        stats = self.stats
+        pending = self._pending_stats
+        try:
+            while True:
+                if warp.finished:
+                    return "done"
+                if warp.blocked:
+                    return "barrier"
+                runnable = (warp.pcs < _END_PC) & ~warp.at_barrier
+                current = int(warp.pcs[runnable].min())
+                mask = runnable & (warp.pcs == current)
+                lanes = int(mask.sum())
+                if stats is not None:
+                    entry = pending.get(current)
+                    if entry is None:
+                        pending[current] = [1, lanes]
+                    else:
+                        entry[0] += 1
+                        entry[1] += lanes
+                for slot in compiled[current]:
+                    slot(warp, mask, lanes)
+                self._apply_tail(warp, program.clauses[current], current,
+                                 mask, lanes)
+                warp.clause_steps += 1
+                if warp.clause_steps > max_clauses:
+                    raise GuestError(
+                        "warp exceeded clause budget (stuck kernel?)")
+        finally:
+            if stats is not None and pending:
+                apply_clause_stats(stats, program.clauses, pending)
 
-    @staticmethod
-    def _apply_tail(warp, clause, clause_index, mask):
+    def _apply_tail(self, warp, clause, clause_index, mask, lanes):
         tail = clause.tail
+        stats = self.stats
         if tail is Tail.FALLTHROUGH:
             warp.pcs[mask] = clause_index + 1
         elif tail is Tail.END:
             warp.pcs[mask] = _END_PC
         elif tail is Tail.JUMP:
             warp.pcs[mask] = clause.target
+            if stats is not None:
+                stats.cf_instrs += lanes
+                stats.branch_events += 1
         elif tail is Tail.BARRIER:
             warp.pcs[mask] = clause_index + 1
             warp.at_barrier |= mask
@@ -353,5 +382,12 @@ class ClauseJIT:
             cond = warp.regs[:, clause.cond_reg] != 0
             if tail is Tail.BRANCH_Z:
                 cond = ~cond
-            warp.pcs[mask & cond] = clause.target
-            warp.pcs[mask & ~cond] = clause_index + 1
+            taken = mask & cond
+            not_taken = mask & ~cond
+            warp.pcs[taken] = clause.target
+            warp.pcs[not_taken] = clause_index + 1
+            if stats is not None:
+                stats.cf_instrs += lanes
+                stats.branch_events += 1
+                if taken.any() and not_taken.any():
+                    stats.divergent_branches += 1

@@ -72,7 +72,7 @@ class JobManager:
 
     def __init__(self, mmu, num_shader_cores=8, num_host_threads=1,
                  instrument=True, collect_cfg=False, tracer=None,
-                 engine="interpreter"):
+                 engine="interpreter", events=None):
         self.mmu = mmu
         self.num_shader_cores = num_shader_cores
         self.num_host_threads = num_host_threads
@@ -80,11 +80,41 @@ class JobManager:
         self.collect_cfg = collect_cfg
         self.tracer = tracer
         self.engine = engine
+        self.events = events  # optional EventTracer (job-lifecycle spans)
         self.decode_cache_enabled = True  # ablation knob (Section III-B3)
         self._decode_cache = {}
         self.decode_count = 0
         self.results = []
         self._units = []
+        # running totals across retired jobs, observed by the StatsRegistry
+        self.jobs_retired = 0
+        self.total_stats = JobStats()
+        self.core_stats = {
+            unit_id: JobStats()
+            for unit_id in range(max(1, num_host_threads))
+        }
+
+    def register_stats(self, gpu_scope):
+        """Register Job Manager counters under the GPU's scope: the
+        ``jobmanager`` group, the merged per-``job`` JobStats view, and a
+        ``core<i>.warp`` hierarchy per execution unit."""
+        from repro.instrument.registry import register_job_stats
+
+        jm = gpu_scope.scope("jobmanager")
+        jm.probe("jobs_retired", lambda: self.jobs_retired,
+                 desc="compute jobs run to completion")
+        jm.probe("descriptor_decodes", lambda: self.decode_count,
+                 desc="shader binaries decoded (cache misses)",
+                 golden=False)
+        register_job_stats(gpu_scope.scope("job"), lambda: self.total_stats)
+        for unit_id, stats in self.core_stats.items():
+            warp_scope = gpu_scope.scope(f"core{unit_id}.warp")
+            for field_name in ("clauses_executed", "branch_events",
+                               "divergent_branches", "warps_launched",
+                               "threads_launched"):
+                warp_scope.probe(
+                    field_name,
+                    (lambda s=stats, f=field_name: getattr(s, f)))
 
     def invalidate_decode_cache(self):
         self._decode_cache.clear()
@@ -148,6 +178,23 @@ class JobManager:
         return results
 
     def run_job(self, descriptor_va):
+        events = self.events
+        if events is not None:
+            events.begin("job", "gpu", "jobmanager",
+                         args={"descriptor_va": descriptor_va})
+        try:
+            return self._run_job(descriptor_va)
+        finally:
+            if events is not None:
+                events.end("job", "gpu", "jobmanager")
+
+    def _fault_instant(self, exc):
+        if self.events is not None:
+            self.events.instant("mmu_fault", "gpu", "mmu",
+                                args={"fault": str(exc)})
+
+    def _run_job(self, descriptor_va):
+        events = self.events
         try:
             descriptor = self.parse_descriptor(descriptor_va)
             if descriptor.job_type != JOB_TYPE_COMPUTE:
@@ -157,6 +204,7 @@ class JobManager:
         except (MMUFault, DecodeError, struct.error) as exc:
             if isinstance(exc, MMUFault):
                 self.mmu.latch_fault(exc)
+                self._fault_instant(exc)
             raise JobFault(f"job setup failed: {exc}") from exc
 
         shape = WorkgroupShape(descriptor.global_size, descriptor.local_size)
@@ -168,7 +216,7 @@ class JobManager:
         for unit in units:
             unit.prepare(descriptor.local_mem_size, self.instrument,
                          self.collect_cfg, tracer=self.tracer,
-                         engine=self.engine)
+                         engine=self.engine, events=events)
 
         try:
             if num_units == 1:
@@ -178,6 +226,7 @@ class JobManager:
                 self._run_parallel(units, program, uniforms, shape)
         except MMUFault as exc:
             self.mmu.latch_fault(exc)
+            self._fault_instant(exc)
             raise JobFault(f"job faulted: {exc}") from exc
 
         stats = merge_stats(unit.stats for unit in units if unit.stats is not None)
@@ -190,6 +239,11 @@ class JobManager:
         host_slabs = sum(1 for unit in units if unit.virtual)
         result = JobResult(descriptor, stats, cfg, host_slabs)
         self.results.append(result)
+        self.jobs_retired += 1
+        self.total_stats.merge(stats)
+        for unit in units:
+            if unit.stats is not None and unit.unit_id in self.core_stats:
+                self.core_stats[unit.unit_id].merge(unit.stats)
         return result
 
     def _run_parallel(self, units, program, uniforms, shape):

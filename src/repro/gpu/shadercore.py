@@ -74,12 +74,14 @@ class ComputeUnit:
         self.stats = None
         self.cfg = None
         self.tracer = None
+        self.events = None
         self._local = None
 
     def prepare(self, local_mem_bytes, instrument, collect_cfg, tracer=None,
-                engine="interpreter"):
+                engine="interpreter", events=None):
         self.stats = JobStats() if instrument else None
         self.tracer = tracer
+        self.events = events
         self.engine = engine
         self._jit_cache = {}
         if collect_cfg:
@@ -95,11 +97,14 @@ class ComputeUnit:
     def _executor(self, program, uniforms, mem):
         """Pick the execution engine for this job.
 
-        The JIT engine (paper future work, Section VII-A) is used when
-        requested and when no instrumentation/CFG/trace collection is
-        active; translated clauses are cached per (program, uniforms).
+        The JIT engine (paper future work, Section VII-A) reports the
+        same JobStats as the interpreter, so instrumentation no longer
+        forces a fallback; only CFG collection and per-word memory
+        tracing do (they need per-issue visibility the translated
+        closures deliberately avoid). Translated clauses are cached per
+        (program, uniforms).
         """
-        use_jit = (self.engine == "jit" and self.stats is None
+        use_jit = (self.engine == "jit"
                    and self.cfg is None and self.tracer is None)
         if not use_jit:
             return ClauseInterpreter(
@@ -117,8 +122,11 @@ class ComputeUnit:
         if entry is not None:
             cached_program, cached = entry
             if cached_program is program and cached.local is self._local:
+                # translations persist across jobs; counters do not
+                cached.stats = self.stats
                 return cached
-        cached = ClauseJIT(program, uniforms, mem, local=self._local)
+        cached = ClauseJIT(program, uniforms, mem, local=self._local,
+                           stats=self.stats)
         self._jit_cache[key] = (program, cached)
         return cached
 
@@ -135,16 +143,34 @@ class ComputeUnit:
             self.stats.workgroups += 1
             self.stats.warps_launched += len(warps)
             self.stats.threads_launched += shape.threads_per_group
-        while True:
-            runnable = [w for w in warps if not w.finished and not w.blocked]
-            for warp in runnable:
-                interp.run_warp(warp)
-            if all(warp.finished for warp in warps):
-                return warps
-            if all(warp.finished or warp.blocked for warp in warps):
-                # every live warp reached the barrier: release them together
-                for warp in warps:
-                    warp.release_barrier()
+        events = self.events
+        track = f"core{self.unit_id}"
+        if events is not None:
+            events.begin("workgroup", "gpu", track,
+                         args={"group": flat_group, "warps": len(warps)})
+        try:
+            while True:
+                runnable = [w for w in warps
+                            if not w.finished and not w.blocked]
+                for index, warp in enumerate(runnable):
+                    if events is None:
+                        interp.run_warp(warp)
+                    else:
+                        # per-warp clause batches are the highest-frequency
+                        # span, so they go through the sampling gate
+                        with events.sampled_span(
+                                "clause_batch", "gpu", track,
+                                args={"group": flat_group, "warp": index}):
+                            interp.run_warp(warp)
+                if all(warp.finished for warp in warps):
+                    return warps
+                if all(warp.finished or warp.blocked for warp in warps):
+                    # every live warp reached the barrier: release together
+                    for warp in warps:
+                        warp.release_barrier()
+        finally:
+            if events is not None:
+                events.end("workgroup", "gpu", track)
 
     def _spawn_warps(self, shape, flat_group):
         gx, gy, gz = shape.group_coords(flat_group)

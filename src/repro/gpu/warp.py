@@ -17,6 +17,7 @@ Fig. 6 CFG.
 import numpy as np
 
 from repro.errors import GuestError
+from repro.instrument.stats import apply_clause_stats
 from repro.gpu.isa import (
     ATOM_ADD,
     ATOM_AND,
@@ -155,42 +156,11 @@ class ClauseInterpreter:
             self._flush_clause_stats()
 
     def _flush_clause_stats(self):
-        """Apply the deferred per-clause counters to the JobStats.
-
-        Every field in :class:`~repro.gpu.isa.ClauseMetrics` is static per
-        clause and scales linearly in issues/lanes, so accumulating
-        ``(issues, lanes)`` per clause index and multiplying out here is
-        arithmetically identical to the per-issue additions — at a dict
-        increment per clause instead of ~16 attribute additions.
-        """
-        pending = self._pending_stats
-        if not pending:
-            return
-        stats = self.stats
-        clauses = self.program.clauses
-        histogram = stats.clause_size_histogram
-        for clause_index, (issues, lanes) in pending.items():
-            clause = clauses[clause_index]
-            metrics = clause.metrics()
-            size = clause.size
-            stats.clauses_executed += issues
-            histogram[size] = histogram.get(size, 0) + issues
-            stats.arith_cycles += size * issues
-            stats.ls_cycles += metrics.ls_beats * issues
-            stats.arith_instrs += metrics.arith_instrs * lanes
-            stats.nop_instrs += metrics.nop_instrs * lanes
-            stats.ls_global_instrs += metrics.ls_global_instrs * lanes
-            stats.ls_local_instrs += metrics.ls_local_instrs * lanes
-            stats.const_load_instrs += metrics.const_load_instrs * lanes
-            stats.temp_reads += metrics.temp_reads * lanes
-            stats.temp_writes += metrics.temp_writes * lanes
-            stats.grf_reads += metrics.grf_reads * lanes
-            stats.grf_writes += metrics.grf_writes * lanes
-            stats.const_reads += metrics.const_reads * lanes
-            stats.rom_reads += metrics.rom_reads * lanes
-            stats.main_mem_accesses += metrics.main_mem_accesses * lanes
-            stats.local_mem_accesses += metrics.local_mem_accesses * lanes
-        pending.clear()
+        """Apply the deferred per-clause counters to the JobStats
+        (shared with the JIT engine so both produce identical counts)."""
+        if self._pending_stats:
+            apply_clause_stats(self.stats, self.program.clauses,
+                               self._pending_stats)
 
     # -- clause execution -------------------------------------------------------
 

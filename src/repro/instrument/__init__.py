@@ -4,10 +4,34 @@ The paper's Section IV: instruction counts and breakdowns, data-access
 breakdowns across the architecturally visible memory hierarchy, clause
 metrics, system-level CPU-GPU interaction counters, and a control-flow
 graph pinpointing thread divergence on actual GPU instructions (Fig. 6).
+
+Cross-layer observability (the ROADMAP direction): every layer registers
+its counters into one hierarchical :class:`StatsRegistry`, the
+:class:`EventTracer` emits Chrome-trace/Perfetto JSON for the full job
+lifecycle, and :func:`measure_overhead` self-checks the paper's <5%
+instrumentation budget.
 """
 
-from repro.instrument.stats import JobStats, SystemStats, merge_stats
+from repro.instrument.stats import (
+    JobStats,
+    SystemStats,
+    apply_clause_stats,
+    merge_stats,
+)
 from repro.instrument.cfg import DivergenceCFG
+from repro.instrument.registry import (
+    Counter,
+    Distribution,
+    Formula,
+    Probe,
+    Scope,
+    StatsRegistry,
+    format_registry,
+    register_job_stats,
+    register_mmu_stats,
+)
+from repro.instrument.tracing import EventTracer, validate_trace
+from repro.instrument.overhead import OverheadReport, measure_overhead
 from repro.instrument.report import (
     format_clause_histogram,
     format_data_access_breakdown,
@@ -18,8 +42,22 @@ from repro.instrument.report import (
 __all__ = [
     "JobStats",
     "SystemStats",
+    "apply_clause_stats",
     "merge_stats",
     "DivergenceCFG",
+    "Counter",
+    "Distribution",
+    "Formula",
+    "Probe",
+    "Scope",
+    "StatsRegistry",
+    "format_registry",
+    "register_job_stats",
+    "register_mmu_stats",
+    "EventTracer",
+    "validate_trace",
+    "OverheadReport",
+    "measure_overhead",
     "format_clause_histogram",
     "format_data_access_breakdown",
     "format_instruction_mix",

@@ -136,6 +136,44 @@ def merge_stats(stats_list):
     return total
 
 
+def apply_clause_stats(stats, clauses, pending):
+    """Apply deferred per-clause counters to *stats* and clear *pending*.
+
+    *pending* maps clause index -> ``[issues, total active lanes]``. Every
+    field in :class:`~repro.gpu.isa.ClauseMetrics` is static per clause and
+    scales linearly in issues/lanes, so accumulating ``(issues, lanes)``
+    per clause index and multiplying out here is arithmetically identical
+    to per-issue additions — at a dict increment per clause instead of ~16
+    attribute additions. Shared by the interpreter and the JIT engine so
+    both produce bit-identical :class:`JobStats`.
+    """
+    if not pending:
+        return
+    histogram = stats.clause_size_histogram
+    for clause_index, (issues, lanes) in pending.items():
+        clause = clauses[clause_index]
+        metrics = clause.metrics()
+        size = clause.size
+        stats.clauses_executed += issues
+        histogram[size] = histogram.get(size, 0) + issues
+        stats.arith_cycles += size * issues
+        stats.ls_cycles += metrics.ls_beats * issues
+        stats.arith_instrs += metrics.arith_instrs * lanes
+        stats.nop_instrs += metrics.nop_instrs * lanes
+        stats.ls_global_instrs += metrics.ls_global_instrs * lanes
+        stats.ls_local_instrs += metrics.ls_local_instrs * lanes
+        stats.const_load_instrs += metrics.const_load_instrs * lanes
+        stats.temp_reads += metrics.temp_reads * lanes
+        stats.temp_writes += metrics.temp_writes * lanes
+        stats.grf_reads += metrics.grf_reads * lanes
+        stats.grf_writes += metrics.grf_writes * lanes
+        stats.const_reads += metrics.const_reads * lanes
+        stats.rom_reads += metrics.rom_reads * lanes
+        stats.main_mem_accesses += metrics.main_mem_accesses * lanes
+        stats.local_mem_accesses += metrics.local_mem_accesses * lanes
+    pending.clear()
+
+
 @dataclass
 class SystemStats:
     """System-level CPU-GPU interaction counters (Table III)."""

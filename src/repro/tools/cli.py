@@ -12,6 +12,13 @@ Subcommands:
   estimate.
 - ``conformance``   — coverage-guided differential fuzzing campaign across
   the execution engines (or ``--replay DIR`` of a reproducer corpus).
+- ``stats FILE``    — run a kernel and dump the unified cross-layer
+  StatsRegistry (text or JSON).
+- ``trace FILE``    — run a kernel with the event tracer attached; write
+  Chrome-trace/Perfetto JSON (load it in chrome://tracing or
+  https://ui.perfetto.dev).
+- ``overhead``      — self-measure instrumentation overhead on a built-in
+  workload against the paper's <5% budget.
 """
 
 import argparse
@@ -27,6 +34,21 @@ def _add_compile_args(parser):
     parser.add_argument("-D", "--define", action="append", default=[],
                         metavar="NAME=VALUE",
                         help="preprocessor define (repeatable)")
+
+
+def _add_launch_args(parser):
+    parser.add_argument("--kernel", default=None)
+    parser.add_argument("--global-size", type=int, nargs="+", default=[64],
+                        dest="global_size")
+    parser.add_argument("--local-size", type=int, nargs="+", default=None,
+                        dest="local_size")
+    parser.add_argument("--elements", type=int, default=64,
+                        help="elements per auto-generated buffer")
+    parser.add_argument("--local", type=int, default=64,
+                        help="words per LocalMemory argument")
+    parser.add_argument("--arg", action="append", default=[],
+                        metavar="NAME=VALUE", help="scalar argument value")
+    parser.add_argument("--seed", type=int, default=0)
 
 
 def _defines(options):
@@ -77,12 +99,14 @@ def _cmd_disasm(options):
     return 0
 
 
-def _cmd_run(options):
-    from repro.cl import CommandQueue, Context, LocalMemory
+def _prepare_launch(options, context):
+    """Shared kernel-launch setup (compile, auto-generate buffers, bind
+    args) for the run/stats/trace verbs. Returns (queue, kernel, buffers,
+    global_size, local_size)."""
+    from repro.cl import CommandQueue, LocalMemory
 
     with open(options.file) as handle:
         source = handle.read()
-    context = Context()
     queue = CommandQueue(context)
     program = context.build_program(source, version=options.version,
                                     defines=_defines(options))
@@ -114,6 +138,16 @@ def _cmd_run(options):
 
     global_size = tuple(options.global_size)
     local_size = tuple(options.local_size) if options.local_size else None
+    return queue, kernel, buffers, global_size, local_size
+
+
+def _cmd_run(options):
+    from repro.cl import Context
+
+    context = Context()
+    queue, kernel, buffers, global_size, local_size = \
+        _prepare_launch(options, context)
+    name = kernel.name
     stats = queue.enqueue_nd_range(kernel, global_size, local_size)
     print(f"ran {name}: {stats.threads_launched} threads, "
           f"{stats.workgroups} workgroups")
@@ -173,6 +207,75 @@ def _cmd_bench(options):
     return 0 if result.verified else 1
 
 
+def _cmd_stats(options):
+    from repro.cl import Context
+    from repro.instrument.registry import format_registry
+
+    context = Context()
+    queue, kernel, _buffers, global_size, local_size = \
+        _prepare_launch(options, context)
+    queue.enqueue_nd_range(kernel, global_size, local_size)
+    registry = context.platform.stats_registry
+    if options.json:
+        print(registry.to_json(golden_only=options.golden_only))
+    else:
+        print(format_registry(registry, golden_only=options.golden_only))
+    return 0
+
+
+def _cmd_trace(options):
+    import json
+
+    from repro.cl import Context
+    from repro.instrument.tracing import EventTracer, validate_trace
+
+    context = Context()
+    tracer = EventTracer(ring_size=options.limit,
+                         sample_every=options.sample)
+    context.platform.attach_events(tracer)
+    queue, kernel, _buffers, global_size, local_size = \
+        _prepare_launch(options, context)
+    queue.enqueue_nd_range(kernel, global_size, local_size)
+    trace = tracer.to_chrome_trace()
+    with open(options.output, "w") as handle:
+        json.dump(trace, handle, indent=1)
+    print(f"wrote {len(trace['traceEvents'])} events to {options.output} "
+          f"(open in chrome://tracing or https://ui.perfetto.dev)")
+    if options.validate:
+        # a ring buffer may have evicted opening B events
+        problems = validate_trace(trace,
+                                  check_balance=options.limit is None)
+        for problem in problems:
+            print(f"invalid: {problem}")
+        if problems:
+            return 1
+        print("trace validates against the schema")
+    return 0
+
+
+def _cmd_overhead(options):
+    from repro.core.platform import MobilePlatform, PlatformConfig
+    from repro.cl import Context
+    from repro.gpu.device import GPUConfig
+    from repro.instrument.overhead import measure_overhead
+    from repro.kernels import get_workload
+
+    def run(instrument):
+        config = PlatformConfig(gpu=GPUConfig(instrument=instrument))
+        context = Context(MobilePlatform(config))
+        workload = get_workload(options.workload)
+        workload.run(context=context, verify=False)
+
+    report = measure_overhead(run, workload=options.workload,
+                              repeats=options.repeats,
+                              budget=options.budget)
+    if options.json:
+        print(report.to_json())
+    else:
+        print("\n".join(report.lines()))
+    return 0 if report.within_budget else 1
+
+
 def _cmd_conformance(options):
     from repro.validate import ENGINES, replay_directory, run_conformance
 
@@ -225,20 +328,45 @@ def main(argv=None):
 
     p_run = sub.add_parser("run", help="run a kernel on the platform")
     _add_compile_args(p_run)
-    p_run.add_argument("--kernel", default=None)
-    p_run.add_argument("--global-size", type=int, nargs="+", default=[64],
-                       dest="global_size")
-    p_run.add_argument("--local-size", type=int, nargs="+", default=None,
-                       dest="local_size")
-    p_run.add_argument("--elements", type=int, default=64,
-                       help="elements per auto-generated buffer")
-    p_run.add_argument("--local", type=int, default=64,
-                       help="words per LocalMemory argument")
-    p_run.add_argument("--arg", action="append", default=[],
-                       metavar="NAME=VALUE", help="scalar argument value")
-    p_run.add_argument("--seed", type=int, default=0)
+    _add_launch_args(p_run)
     p_run.add_argument("--show-buffers", type=int, default=1)
     p_run.set_defaults(func=_cmd_run)
+
+    p_stats = sub.add_parser(
+        "stats", help="run a kernel; dump the unified stats registry")
+    _add_compile_args(p_stats)
+    _add_launch_args(p_stats)
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit JSON instead of the text table")
+    p_stats.add_argument("--golden-only", action="store_true",
+                         help="only engine-invariant (golden) stats")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a kernel; write Chrome-trace/Perfetto JSON")
+    _add_compile_args(p_trace)
+    _add_launch_args(p_trace)
+    p_trace.add_argument("--output", "-o", default="trace.json",
+                         help="output path (default: trace.json)")
+    p_trace.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="ring-buffer mode: keep only the last N events")
+    p_trace.add_argument("--sample", type=int, default=1, metavar="N",
+                         help="record every Nth high-frequency span")
+    p_trace.add_argument("--validate", action="store_true",
+                         help="check the emitted trace against the schema")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_over = sub.add_parser(
+        "overhead",
+        help="self-measure instrumentation overhead (paper: <5%%)")
+    p_over.add_argument("--workload", default="sgemm",
+                        help="built-in workload name (default: sgemm)")
+    p_over.add_argument("--repeats", type=int, default=5,
+                        help="timed repetitions per mode")
+    p_over.add_argument("--budget", type=float, default=0.05,
+                        help="overhead budget as a fraction (default 0.05)")
+    p_over.add_argument("--json", action="store_true")
+    p_over.set_defaults(func=_cmd_overhead)
 
     p_work = sub.add_parser("workloads", help="list built-in workloads")
     p_work.set_defaults(func=_cmd_workloads)

@@ -8,17 +8,19 @@ and compares every observable outcome:
   reference engine.
 - ``fast``   — the same interpreter with the quad gather/scatter fast path
   enabled (PR 1's vectorized pipeline), fully instrumented.
-- ``jit``    — the closure-translation JIT engine (no instrumentation by
-  design).
+- ``jit``    — the closure-translation JIT engine, instrumented (it must
+  report the same unified counters as the interpreter).
 - ``m2s``    — the scalar Multi2Sim-style baseline: thread-at-a-time, flat
   memory, per-visit re-decode from the encoded binary.
 
 Compared per engine pair: final registers and clause temporaries of every
 thread, the full memory image of every buffer region, normalized
-instruction-category counters, and for the instrumented pair the complete
-``JobStats``, divergence CFG and MMU translation behaviour. When both the
-reference and the baseline carry a tracer, retired per-thread instruction
-streams are diffed too.
+instruction-category counters, and for the instrumented engines the golden
+``StatsRegistry`` dump (the same registration helpers the full platform
+uses, so fuzzing guards exactly the counters the platform reports),
+divergence CFG and MMU translation behaviour. When both the reference and
+the baseline carry a tracer, retired per-thread instruction streams are
+diffed too.
 
 The quad engines run behind real page tables that map adjacent virtual
 pages to *non-adjacent* physical frames, so the fast path's cross-page
@@ -266,10 +268,13 @@ class DifferentialRunner:
         mmu.enabled = True
         mmu.fast_path_enabled = engine != "interp"
 
-        instrumented = engine in ("interp", "fast")
+        instrumented = engine in ("interp", "fast", "jit")
+        # CFG collection needs per-issue visibility the JIT's translated
+        # closures avoid, so only the interpreter engines build it
+        collect_cfg = engine in ("interp", "fast")
         unit = ComputeUnit(0)
         unit.prepare(case.local_bytes, instrument=instrumented,
-                     collect_cfg=instrumented, tracer=tracer,
+                     collect_cfg=collect_cfg, tracer=tracer,
                      engine="jit" if engine == "jit" else "interpreter")
         shape = WorkgroupShape(case.global_size, case.local_size)
         uniforms = build_uniforms(case)
@@ -301,11 +306,9 @@ class DifferentialRunner:
         if instrumented:
             stats = unit.stats
             result.counters = _quad_counters(stats)
-            fields = dict(vars(stats))
-            fields["clause_size_histogram"] = dict(
-                fields["clause_size_histogram"])
-            result.stats = fields
-            result.cfg = (unit.cfg.edges, unit.cfg.divergences)
+            result.stats = _unified_dump(stats, mmu)
+            if collect_cfg:
+                result.cfg = (unit.cfg.edges, unit.cfg.divergences)
             result.mmu = {
                 "pages_accessed": frozenset(mmu.pages_accessed),
                 "translations": mmu.translations,
@@ -431,6 +434,26 @@ class DifferentialRunner:
                 f"region {name} word {word // 4}: 0x{a_val:08x} != "
                 f"0x{b_val:08x}")]
         return []
+
+
+def _unified_dump(stats, mmu):
+    """The golden StatsRegistry dump for one engine's run.
+
+    Uses the same registration helpers as the full platform, so the
+    conformance fuzzer guards exactly the counters the platform reports;
+    golden-only filtering drops engine diagnostics (quad-path shape) that
+    legitimately differ between engines.
+    """
+    from repro.instrument.registry import (
+        StatsRegistry,
+        register_job_stats,
+        register_mmu_stats,
+    )
+
+    registry = StatsRegistry()
+    register_job_stats(registry.scope("gpu.job"), lambda: stats)
+    register_mmu_stats(registry.scope("gpu.mmu"), mmu)
+    return registry.dump(golden_only=True)
 
 
 def _quad_counters(stats):

@@ -76,13 +76,46 @@ def test_jit_verifies_on_workloads(name):
     assert result.verified, name
 
 
-def test_jit_falls_back_when_instrumented():
-    """With instrumentation on, the engine transparently uses the
-    interpreter so statistics stay complete."""
-    context = _context("jit", instrument=True)
-    result = get_workload("URNG", n=256).run(context=context)
-    assert result.verified
-    assert result.stats.total_instrs > 0  # stats collected despite engine=jit
+def test_jit_collects_stats_when_instrumented():
+    """Instrumentation no longer forces an interpreter fallback: the JIT
+    engine records the same deferred clause counters itself and must
+    report JobStats identical to the interpreter's."""
+    jit_context = _context("jit", instrument=True)
+    jit_result = get_workload("URNG", n=256).run(context=jit_context)
+    assert jit_result.verified
+    assert jit_result.stats.total_instrs > 0
+    interp_result = get_workload("URNG", n=256).run(
+        context=_context("interpreter", instrument=True))
+    assert jit_result.stats == interp_result.stats
+
+
+def test_jit_cache_hit_rebinds_stats():
+    """Translations outlive a job but its JobStats do not: a cache hit
+    must rebind the cached executor to the unit's current stats object."""
+    import numpy as np
+
+    from repro.gpu.isa import CONST_BASE, Clause, Instruction, Op, Program, Tail
+    from repro.gpu.jit import ClauseJIT
+    from repro.gpu.shadercore import ComputeUnit
+    from repro.instrument import JobStats
+
+    clause = Clause(
+        tuples=[(Instruction(Op.MOV, dst=0, srca=CONST_BASE),
+                 Instruction(Op.NOP))],
+        constants=[1],
+        tail=Tail.END,
+    )
+    program = Program(clauses=[clause])
+    program.validate()
+    unit = ComputeUnit(0)
+    unit.prepare(64, instrument=True, collect_cfg=False, engine="jit")
+    uniforms = np.zeros(1, dtype=np.uint32)
+    executor = unit._executor(program, uniforms, mem=None)
+    assert isinstance(executor, ClauseJIT)
+    assert executor.stats is unit.stats
+    unit.stats = JobStats()  # a new job brings fresh stats
+    assert unit._executor(program, uniforms, mem=None) is executor
+    assert executor.stats is unit.stats
 
 
 def test_jit_is_faster_on_compute_dense_kernel():

@@ -6,6 +6,7 @@ from repro.instrument import (
     DivergenceCFG,
     JobStats,
     SystemStats,
+    apply_clause_stats,
     format_clause_histogram,
     format_data_access_breakdown,
     format_instruction_mix,
@@ -65,6 +66,56 @@ class TestJobStats:
         breakdown = stats.data_access_breakdown()
         assert breakdown["grf_read"] == 0.3
         assert abs(sum(breakdown.values()) - 1.0) < 1e-12
+
+
+class TestApplyClauseStats:
+    """The deferred (issues, lanes) accumulation scheme shared by the
+    interpreter and the JIT engine must be arithmetically identical to
+    per-issue counting."""
+
+    def _clause(self):
+        from repro.gpu.isa import CONST_BASE, Clause, Instruction, Op, Tail
+        clause = Clause(
+            tuples=[(Instruction(Op.MOV, dst=0, srca=CONST_BASE),
+                     Instruction(Op.NOP))],
+            constants=[7],
+            tail=Tail.END,
+        )
+        return clause
+
+    def test_multiplies_out_issues_and_lanes(self):
+        clause = self._clause()
+        metrics = clause.metrics()
+        stats = JobStats()
+        pending = {0: [3, 11]}  # 3 warp issues, 11 total active lanes
+        apply_clause_stats(stats, [clause], pending)
+        assert stats.clauses_executed == 3
+        assert stats.clause_size_histogram == {clause.size: 3}
+        assert stats.arith_cycles == clause.size * 3
+        assert stats.ls_cycles == metrics.ls_beats * 3
+        assert stats.arith_instrs == metrics.arith_instrs * 11
+        assert stats.nop_instrs == metrics.nop_instrs * 11
+        assert stats.rom_reads == metrics.rom_reads * 11
+        assert stats.grf_writes == metrics.grf_writes * 11
+
+    def test_equivalent_to_per_issue_additions(self):
+        clause = self._clause()
+        deferred = JobStats()
+        apply_clause_stats(deferred, [clause], {0: [5, 20]})
+        per_issue = JobStats()
+        for lanes in (4, 4, 4, 4, 4):  # 5 issues of 4 active lanes
+            apply_clause_stats(per_issue, [clause], {0: [1, lanes]})
+        assert deferred == per_issue
+
+    def test_clears_pending(self):
+        pending = {0: [1, 4]}
+        apply_clause_stats(JobStats(), [self._clause()], pending)
+        assert pending == {}
+
+    def test_empty_pending_is_noop(self):
+        stats = JobStats()
+        apply_clause_stats(stats, [], {})
+        assert stats == JobStats()
 
 
 class TestSystemStats:

@@ -1,0 +1,205 @@
+"""Unit + golden-regression tests: the unified cross-layer stats registry.
+
+The golden tests are the engine-conformance contract of ISSUE 3: sgemm and
+a warp-divergent kernel must produce *identical* ``dump(golden_only=True)``
+output on the interpreter, the quad fast path and the JIT engine, and the
+dump must be stable across repeated runs.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cl import CommandQueue, Context
+from repro.core.platform import MobilePlatform, PlatformConfig
+from repro.gpu.device import GPUConfig
+from repro.instrument import (
+    Counter,
+    Distribution,
+    JobStats,
+    StatsRegistry,
+    format_registry,
+    register_job_stats,
+)
+from repro.kernels import get_workload
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestStatsRegistry:
+    def test_counter_accumulates(self):
+        registry = StatsRegistry()
+        counter = registry.counter("a.b", desc="demo")
+        counter.increment()
+        counter.increment(4)
+        counter.add(5)
+        assert registry.value("a.b") == 10
+        assert "a.b" in registry
+
+    def test_probe_views_live_value(self):
+        registry = StatsRegistry()
+        state = {"n": 0}
+        registry.probe("live", lambda: state["n"])
+        state["n"] = 7
+        assert registry.value("live") == 7
+
+    def test_owned_distribution_records(self):
+        registry = StatsRegistry()
+        dist = registry.distribution("sizes")
+        dist.record(4)
+        dist.record(4, count=2)
+        dist.record(1)
+        assert registry.value("sizes") == {1: 1, 4: 3}
+
+    def test_view_distribution_rejects_record(self):
+        registry = StatsRegistry()
+        backing = {8: 2, 2: 1}
+        dist = registry.distribution("view", fn=lambda: backing)
+        with pytest.raises(TypeError):
+            dist.record(1)
+        # sorted by bucket regardless of insertion order
+        assert list(registry.value("view")) == [2, 8]
+
+    def test_formula_sees_registry(self):
+        registry = StatsRegistry()
+        registry.counter("x").add(3)
+        registry.counter("y").add(4)
+        registry.formula("sum", lambda reg: reg.value("x") + reg.value("y"))
+        assert registry.value("sum") == 7
+
+    def test_scope_prefixes_and_nests(self):
+        registry = StatsRegistry()
+        gpu = registry.scope("gpu")
+        core = gpu.scope("core0")
+        core.counter("warps").increment()
+        assert registry.value("gpu.core0.warps") == 1
+        assert registry.names() == ["gpu.core0.warps"]
+
+    def test_get_or_create_returns_same_stat(self):
+        registry = StatsRegistry()
+        first = registry.counter("shared")
+        second = registry.counter("shared")
+        assert first is second
+        first.increment()
+        assert second.value() == 1
+
+    def test_kind_conflict_raises(self):
+        registry = StatsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.distribution("name")
+
+    def test_dump_golden_filter_and_sorting(self):
+        registry = StatsRegistry()
+        registry.counter("b.diag", golden=False).add(1)
+        registry.counter("a.arch").add(2)
+        full = registry.dump()
+        assert list(full) == ["a.arch", "b.diag"]
+        assert registry.dump(golden_only=True) == {"a.arch": 2}
+
+    def test_tree_folds_dotted_names(self):
+        registry = StatsRegistry()
+        registry.counter("gpu.core0.warps").add(2)
+        registry.counter("gpu.jobs").add(1)
+        assert registry.tree() == {"gpu": {"core0": {"warps": 2}, "jobs": 1}}
+
+    def test_reset_clears_owned_stats_only(self):
+        registry = StatsRegistry()
+        registry.counter("owned").add(5)
+        registry.probe("view", lambda: 9)
+        registry.reset()
+        assert registry.value("owned") == 0
+        assert registry.value("view") == 9
+
+    def test_format_registry_alignment_and_buckets(self):
+        registry = StatsRegistry()
+        registry.counter("jobs", desc="jobs retired").add(3)
+        dist = registry.distribution("sizes")
+        dist.record(4, count=2)
+        text = format_registry(registry)
+        assert "jobs" in text and "# jobs retired" in text
+        assert "sizes::4" in text
+        assert format_registry(StatsRegistry()) == "(no statistics registered)"
+
+    def test_register_job_stats_probes_and_formulas(self):
+        registry = StatsRegistry()
+        stats = JobStats()
+        register_job_stats(registry.scope("gpu.job"), lambda: stats)
+        stats.arith_instrs = 10
+        stats.nop_instrs = 5
+        stats.clause_size_histogram = {4: 2}
+        dump = registry.dump()
+        assert dump["gpu.job.arith_instrs"] == 10
+        assert dump["gpu.job.total_instrs"] == 15
+        assert dump["gpu.job.clause_size_histogram"] == {4: 2}
+        assert dump["gpu.job.average_clause_size"] == pytest.approx(4.0)
+
+    def test_exports(self):
+        assert Counter.kind == "counter"
+        assert Distribution.kind == "distribution"
+
+
+# -- golden cross-engine regression --------------------------------------------
+
+
+def _run_divergent(engine, fast_path=True):
+    """Run examples/divergent.cl on a full platform; return the golden dump."""
+    config = PlatformConfig(
+        gpu=GPUConfig(engine=engine, instrument=True)
+    )
+    context = Context(MobilePlatform(config))
+    context.platform.gpu.mmu.fast_path_enabled = fast_path
+    queue = CommandQueue(context)
+    n = 64
+    data = (np.arange(n, dtype=np.int32) * 7) % 23
+    buf_data = context.buffer_from_array(data)
+    buf_out = context.buffer_from_array(np.zeros(n, dtype=np.int32))
+    source = (EXAMPLES / "divergent.cl").read_text()
+    kernel = context.build_program(source).kernel("divergent")
+    kernel.set_args(buf_data, buf_out)
+    queue.enqueue_nd_range(kernel, (n,), (16,))
+    return context.platform.stats_registry.dump(golden_only=True)
+
+
+def _run_sgemm(engine):
+    config = PlatformConfig(
+        gpu=GPUConfig(engine=engine, instrument=True)
+    )
+    context = Context(MobilePlatform(config))
+    workload = get_workload("sgemm", m=16, k=16, n=16)
+    result = workload.run(context=context)
+    assert result.verified
+    return context.platform.stats_registry.dump(golden_only=True)
+
+
+class TestGoldenCrossEngine:
+    def test_divergent_kernel_identical_across_engines(self):
+        interp = _run_divergent("interpreter", fast_path=False)
+        fast = _run_divergent("interpreter", fast_path=True)
+        jit = _run_divergent("jit")
+        assert interp == fast
+        assert interp == jit
+        # the workload actually diverged, so the counters mean something
+        assert interp["gpu.job.divergent_branches"] > 0
+
+    def test_divergent_kernel_stable_across_runs(self):
+        assert _run_divergent("jit") == _run_divergent("jit")
+
+    def test_sgemm_identical_across_engines(self):
+        interp = _run_sgemm("interpreter")
+        jit = _run_sgemm("jit")
+        assert interp == jit
+        assert interp["gpu.job.total_instrs"] > 0
+        assert interp["cl.runtime.kernels_launched"] >= 1
+
+    def test_sgemm_stable_across_runs(self):
+        assert _run_sgemm("interpreter") == _run_sgemm("interpreter")
+
+    def test_dump_spans_every_layer(self):
+        dump = _run_divergent("interpreter")
+        prefixes = {name.split(".")[0] for name in dump}
+        assert {"cpu", "driver", "gpu", "cl"} <= prefixes
+        assert dump["gpu.jobmanager.jobs_retired"] == 1
+        assert dump["driver.kbase.jobs_submitted"] == 1
+        assert dump["gpu.mmu.translations"] > 0
