@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import CLError
+from repro.errors import CLError, JobFault
 from repro.clc import compile_source
 from repro.core.platform import MobilePlatform
 from repro.instrument.stats import JobStats
@@ -20,7 +20,10 @@ class Event:
 
     One event is recorded per enqueued command when the queue has
     profiling enabled; ``stats`` carries the per-job statistics for kernel
-    launches.
+    launches. ``status`` is ``"complete"`` or ``"error"`` — a kernel
+    launch the driver could not recover (an unrecoverable
+    :class:`~repro.errors.JobFault`) records an errored event, mirroring
+    ``CL_EVENT_COMMAND_EXECUTION_STATUS`` going negative.
     """
 
     kind: str  # 'ndrange' | 'write' | 'read' | 'fill'
@@ -28,6 +31,7 @@ class Event:
     start: float
     end: float
     stats: object = None
+    status: str = "complete"
 
     @property
     def duration(self):
@@ -48,12 +52,13 @@ class LocalMemory:
 class Buffer:
     """A device buffer living in GPU-mapped memory."""
 
-    def __init__(self, context, nbytes):
+    def __init__(self, context, nbytes, grow_on_fault=False):
         if nbytes <= 0:
             raise CLError("buffer size must be positive")
         self.context = context
         self.nbytes = int(nbytes)
-        self.region = context.platform.driver.alloc_region(self.nbytes)
+        self.region = context.platform.driver.alloc_region(
+            self.nbytes, grow_on_fault=grow_on_fault)
         context.stat_buffers_allocated.increment()
 
     @property
@@ -83,9 +88,15 @@ class Context:
             "bytes_written", "bytes moved host-to-device")
         self.stat_bytes_read = scope.counter(
             "bytes_read", "bytes moved device-to-host")
+        self.stat_kernels_failed = scope.counter(
+            "kernels_failed",
+            "launches surfacing an unrecoverable JobFault", golden=False)
 
-    def alloc_buffer(self, nbytes):
-        return Buffer(self, nbytes)
+    def alloc_buffer(self, nbytes, grow_on_fault=False):
+        """Create a device buffer. With ``grow_on_fault`` the region is
+        committed lazily: the driver maps pages as the GPU first touches
+        them (kbase's demand-grown heap regions)."""
+        return Buffer(self, nbytes, grow_on_fault=grow_on_fault)
 
     def buffer_from_array(self, array):
         array = np.ascontiguousarray(array)
@@ -221,10 +232,11 @@ class CommandQueue:
         self.profiling = profiling
         self.events = []
 
-    def _record_event(self, kind, name, start, stats=None):
+    def _record_event(self, kind, name, start, stats=None,
+                      status="complete"):
         if self.profiling:
             self.events.append(Event(kind, name, start, time.perf_counter(),
-                                     stats=stats))
+                                     stats=stats, status=status))
 
     def _span(self, name, args=None):
         """A Chrome-trace span on the CL command track (no-op untraced)."""
@@ -321,15 +333,25 @@ class CommandQueue:
                         args={"kernel": kernel.name,
                               "global": list(global_size),
                               "local": list(local_size)}):
-            driver.run_job(
-                global_size=global_size,
-                local_size=local_size,
-                binary_region=binary_region,
-                binary_size=len(kernel.compiled.binary),
-                uniform_region=kernel._uniform_region,
-                uniform_count=len(uniforms),
-                local_mem_size=local_mem_size,
-            )
+            try:
+                driver.run_job(
+                    global_size=global_size,
+                    local_size=local_size,
+                    binary_region=binary_region,
+                    binary_size=len(kernel.compiled.binary),
+                    uniform_region=kernel._uniform_region,
+                    uniform_count=len(uniforms),
+                    local_mem_size=local_mem_size,
+                )
+            except JobFault:
+                # the driver exhausted its recovery ladder: surface the
+                # fault as an errored event; the context, queue and other
+                # buffers stay fully usable (kbase leaves the address
+                # space intact after an unrecoverable job)
+                context.stat_kernels_failed.increment()
+                self._record_event("ndrange", kernel.name, event_start,
+                                   status="error")
+                raise
         results = platform.last_job_results()
         result = results[-1]
         kernel.last_stats = result.stats

@@ -87,6 +87,11 @@ class MobilePlatform:
         self.driver = KBaseDriver(
             self.bus, self.irqc, GPU_BASE, heap_base=HEAP_BASE, heap_size=HEAP_SIZE
         )
+        # the driver's page-fault worker resolves translation misses in
+        # grow-on-fault regions synchronously, so the faulting GPU access
+        # resumes (kbase's parked-transaction page-fault handling)
+        self.gpu.mmu.set_fault_handler(self.driver.handle_page_fault)
+        self._injector = None
         self._staging_next = STAGING_BASE
 
         # cross-layer observability: every layer registers its counters
@@ -101,6 +106,28 @@ class MobilePlatform:
         self.guest.register_stats(registry.scope("cpu.core"))
         self.driver.register_stats(registry.scope("driver.kbase"))
         self.gpu.register_stats(registry.scope("gpu"))
+        # recovery-ladder headline counters at the driver scope root
+        driver_scope = registry.scope("driver")
+        driver_scope.probe("resets", lambda: self.driver.resets,
+                           desc="GPU resets issued by the recovery ladder")
+        driver_scope.probe("retries", lambda: self.driver.retries,
+                           desc="job resubmissions by the recovery ladder")
+        # injection counters bind through self._injector so attaching or
+        # swapping injectors never re-registers (probes are get-or-create)
+        from repro.inject.plan import SITES
+
+        inject_scope = registry.scope("inject")
+        for site in sorted(SITES):
+            inject_scope.probe(
+                site.replace(".", "_"),
+                (lambda s=site: self._injector.fired[s]
+                 if self._injector is not None else 0),
+                desc=f"faults injected at {site}", golden=False)
+        inject_scope.probe(
+            "total",
+            lambda: (self._injector.total_fired
+                     if self._injector is not None else 0),
+            desc="total faults injected", golden=False)
 
     def attach_events(self, tracer):
         """Attach an :class:`~repro.instrument.tracing.EventTracer`; the
@@ -111,11 +138,27 @@ class MobilePlatform:
         self.gpu.job_manager.events = tracer
         return tracer
 
+    def attach_injector(self, injector):
+        """Attach a :class:`~repro.inject.FaultInjector` to every
+        registered injection site (driver allocator and IRQ paths, GPU
+        MMU, job manager, shader cores). Pass None to detach; the
+        platform then behaves exactly as if no injector ever existed."""
+        self._injector = injector
+        self.driver.injector = injector
+        self.gpu.mmu.set_injector(injector)
+        self.gpu.job_manager.injector = injector
+        return injector
+
     def _gpu_irq(self, gpu):
         """Route GPU interrupt assertions to the interrupt controller."""
         self.timer.tick()
         if gpu._job_irq_rawstat & gpu._job_irq_mask:
-            self.irqc.raise_irq(InterruptController.SRC_GPU_JOB)
+            injector = self._injector
+            if injector is None or injector.fire("irq.lost") is None:
+                self.irqc.raise_irq(InterruptController.SRC_GPU_JOB)
+            # else: the JOB line assertion is dropped on the floor — the
+            # driver's completion poll detects rawstat with no pending
+            # line and recovers (IRQMismatchError "lost")
         if gpu._mmu_irq_rawstat & gpu._mmu_irq_mask:
             self.irqc.raise_irq(InterruptController.SRC_GPU_MMU)
 

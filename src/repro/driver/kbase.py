@@ -6,15 +6,37 @@ buffers/binaries/descriptors, performs the power-up sequence, submits job
 chains through the doorbell registers and waits for completion by reading
 the interrupt controller and the GPU's IRQ status registers.
 
+The fault paths are modelled alongside the happy path, the way kbase is
+actually structured:
+
+- **grow-on-fault regions** (`alloc_region(grow_on_fault=True)`) reserve
+  their full GPU-VA/physical extent but commit only a small initial
+  window; the driver's page-fault worker (:meth:`KBaseDriver.
+  handle_page_fault`, installed into the GPU MMU) maps fresh pages on
+  demand and the faulting access *resumes* — the paper's demand-grown
+  heap regions.
+- **the recovery ladder**: a faulted or watchdog-parked job is retried
+  with deterministic escalation — soft-stop, hard-stop, then a full GPU
+  reset (``GPU_COMMAND`` soft reset + re-running the power-up sequence
+  and reinstalling the page tables) — with bounded retries and a
+  deterministic progress-unit backoff (never wall-clock time).
+  Unrecoverable jobs surface as a clean :class:`~repro.errors.JobFault`
+  that leaves the driver, its regions and the GPU usable.
+- **IRQ cross-checking**: the completion poll reads the interrupt
+  controller's pending lines *and* the GPU raw status and raises a
+  distinct :class:`~repro.errors.IRQMismatchError` when they disagree
+  (lost or spurious IRQs), recovering unless ``strict_irq`` is set.
+
 Every register access the driver makes lands in the GPU's
 :class:`~repro.instrument.stats.SystemStats` — these are the Table III
 "Ctrl. Reg Reads/Writes".
 """
 
 import struct
+import threading
 from dataclasses import dataclass
 
-from repro.errors import DriverError, JobFault
+from repro.errors import DriverError, IRQMismatchError, JobFault
 from repro.cpu.devices import IRQC_ACK, IRQC_PENDING, InterruptController
 from repro.gpu import regs
 from repro.gpu.jobmanager import (
@@ -35,13 +57,54 @@ class Region:
 
     Attributes:
         gpu_va: base GPU virtual address.
-        phys: base physical address (regions are physically contiguous).
-        size: mapped size in bytes (page-aligned).
+        phys: base physical address (regions are physically contiguous;
+            grow-on-fault regions reserve their whole physical extent up
+            front — simulated physical memory is sparse, so uncommitted
+            pages cost nothing — and only the *mapping* grows on demand).
+        size: reserved size in bytes (page-aligned).
+        committed: bytes actually mapped into the GPU VA zone (== size
+            for ordinary regions; the demand-grown window otherwise).
+        growable: True for grow-on-fault regions.
     """
 
     gpu_va: int
     phys: int
     size: int
+    committed: int = -1
+    growable: bool = False
+
+    def __post_init__(self):
+        if self.committed < 0:
+            self.committed = self.size
+
+
+@dataclass
+class RecoveryPolicy:
+    """Knobs for the kbase-faithful fault-recovery ladder.
+
+    All budgets are counts of deterministic events — retries, pages,
+    progress units — never wall-clock time, so identical fault plans
+    produce identical recovery behaviour run to run.
+
+    Attributes:
+        max_retries: job resubmissions before a fault is declared
+            unrecoverable (the ladder escalates soft-stop → hard-stop →
+            GPU reset across these attempts).
+        grow_initial_pages: committed window of a fresh grow-on-fault
+            region, in pages.
+        grow_chunk_pages: pages mapped per page-fault beyond the faulting
+            page (kbase's heap grow chunk).
+        backoff_base: progress units accumulated into ``backoff_ticks``
+            before the first retry; doubles per subsequent attempt.
+        strict_irq: propagate :class:`~repro.errors.IRQMismatchError`
+            instead of recovering (used by negative-path tests).
+    """
+
+    max_retries: int = 3
+    grow_initial_pages: int = 1
+    grow_chunk_pages: int = 4
+    backoff_base: int = 8
+    strict_irq: bool = False
 
 
 class KBaseDriver:
@@ -55,23 +118,49 @@ class KBaseDriver:
         heap_base/heap_size: physical carve-out the driver allocates
             buffers, page tables and descriptors from.
         gpu_va_base: start of the GPU virtual address zone.
+        recovery: a :class:`RecoveryPolicy` (defaults used when None).
     """
 
     def __init__(self, bus, irqc, gpu_mmio_base, heap_base, heap_size,
-                 gpu_va_base=0x0100_0000):
+                 gpu_va_base=0x0100_0000, recovery=None):
         self.bus = bus
         self.irqc = irqc
         self.gpu_mmio_base = gpu_mmio_base
+        self.policy = recovery or RecoveryPolicy()
+        self._heap_base = heap_base
         self._heap_next = heap_base
         self._heap_end = heap_base + heap_size
         self._va_next = gpu_va_base
+        self.events = None  # optional EventTracer (ioctl-level spans)
+        self.injector = None  # optional FaultInjector (repro.inject)
+        self.alloc_failures = 0
+        self.bytes_recycled = 0
+        # physical free list: sorted, coalesced [base, size] extents
+        # returned by free_region and preferred by the allocator, so
+        # long fault campaigns and reset/retry loops never leak the heap
+        self._free_extents = []
         self._page_table = PageTableBuilder(bus.memory, self._alloc_frame)
         self._descriptor_region = None
         self.initialized = False
         self.jobs_submitted = 0
         self.regions_allocated = 0
+        self.regions_freed = 0
         self.bytes_mapped = 0
-        self.events = None  # optional EventTracer (ioctl-level spans)
+        # grow-on-fault state: regions the page-fault worker may grow;
+        # the lock serializes growth against concurrent faulting units
+        self._growable = []
+        self._grow_lock = threading.Lock()
+        # fault-recovery counters (all deterministic under a fault plan)
+        self.page_faults = 0
+        self.pages_grown = 0
+        self.retries = 0
+        self.resets = 0
+        self.soft_stops = 0
+        self.hard_stops = 0
+        self.irq_mismatches = 0
+        self.spurious_irqs = 0
+        self.backoff_ticks = 0
+        self.faults_unrecovered = 0
 
     def register_stats(self, scope):
         """Register driver counters under *scope* (``driver.kbase``)."""
@@ -79,8 +168,37 @@ class KBaseDriver:
                     desc="job chains rung through the doorbell")
         scope.probe("regions_allocated", lambda: self.regions_allocated,
                     desc="GPU-mapped memory regions allocated")
+        scope.probe("regions_freed", lambda: self.regions_freed,
+                    desc="regions unmapped and recycled")
         scope.probe("bytes_mapped", lambda: self.bytes_mapped,
-                    desc="bytes mapped into the GPU VA zone")
+                    desc="bytes currently mapped into the GPU VA zone")
+        scope.probe("bytes_recycled", lambda: self.bytes_recycled,
+                    desc="freed bytes handed back by the allocator")
+        scope.probe("free_bytes", lambda: self.free_bytes,
+                    desc="bytes sitting on the physical free list")
+        scope.probe("page_faults", lambda: self.page_faults,
+                    desc="GPU page faults resolved by growing a region")
+        scope.probe("pages_grown", lambda: self.pages_grown,
+                    desc="pages mapped by the page-fault worker")
+        scope.probe("retries", lambda: self.retries,
+                    desc="job resubmissions by the recovery ladder")
+        scope.probe("resets", lambda: self.resets,
+                    desc="full GPU resets (power-up sequence re-run)")
+        scope.probe("soft_stops", lambda: self.soft_stops,
+                    desc="JOB_COMMAND soft-stops issued")
+        scope.probe("hard_stops", lambda: self.hard_stops,
+                    desc="JOB_COMMAND hard-stops issued")
+        scope.probe("irq_mismatches", lambda: self.irq_mismatches,
+                    desc="lost IRQs recovered from rawstat cross-check")
+        scope.probe("spurious_irqs", lambda: self.spurious_irqs,
+                    desc="spurious IRQ lines acknowledged")
+        scope.probe("backoff_ticks", lambda: self.backoff_ticks,
+                    desc="deterministic backoff units between retries")
+        scope.probe("alloc_failures", lambda: self.alloc_failures,
+                    desc="allocation failures (injected or heap pressure)",
+                    golden=False)
+        scope.probe("faults_unrecovered", lambda: self.faults_unrecovered,
+                    desc="jobs surfaced as JobFault after retry exhaustion")
 
     # -- low-level register access -------------------------------------------
 
@@ -99,37 +217,140 @@ class KBaseDriver:
 
     def _alloc_phys(self, size):
         size = _round_up(size, PAGE_SIZE)
+        if self.injector is not None:
+            params = self.injector.fire("alloc.phys")
+            if params is not None:
+                self.alloc_failures += 1
+                raise DriverError("injected transient allocation failure")
+        # first fit from the free list (lowest base first — deterministic)
+        for index, (base, extent) in enumerate(self._free_extents):
+            if extent >= size:
+                if extent == size:
+                    del self._free_extents[index]
+                else:
+                    self._free_extents[index] = (base + size, extent - size)
+                # recycled frames may hold stale data; hand out zeroed
+                # memory like a real allocator
+                self.bus.memory.fill(base, size, 0)
+                self.bytes_recycled += size
+                return base
         if self._heap_next + size > self._heap_end:
             raise DriverError("driver heap exhausted")
         base = self._heap_next
         self._heap_next += size
         return base
 
-    def alloc_region(self, size, executable=False):
-        """Allocate and GPU-map a region of at least *size* bytes."""
+    def _free_phys(self, base, size):
+        """Return a physical extent to the free list, coalescing."""
+        extents = self._free_extents
+        extents.append((base, size))
+        extents.sort()
+        merged = [extents[0]]
+        for nbase, nsize in extents[1:]:
+            pbase, psize = merged[-1]
+            if pbase + psize == nbase:
+                merged[-1] = (pbase, psize + nsize)
+            else:
+                merged.append((nbase, nsize))
+        self._free_extents = merged
+
+    @property
+    def free_bytes(self):
+        return sum(size for _base, size in self._free_extents)
+
+    @property
+    def heap_used(self):
+        """Bytes claimed from the bump pointer (recycling excluded)."""
+        return self._heap_next - self._heap_base
+
+    def alloc_region(self, size, executable=False, grow_on_fault=False):
+        """Allocate and GPU-map a region of at least *size* bytes.
+
+        With ``grow_on_fault`` the region reserves its full extent but
+        commits only ``RecoveryPolicy.grow_initial_pages`` pages; the
+        remainder is mapped on demand by :meth:`handle_page_fault`.
+        """
+        if grow_on_fault and executable:
+            raise DriverError("grow-on-fault regions cannot be executable")
         size = _round_up(max(size, 1), PAGE_SIZE)
         phys = self._alloc_phys(size)
         gpu_va = self._va_next
         self._va_next += size + PAGE_SIZE  # guard page between regions
         flags = PTE_READ | PTE_WRITE | (PTE_EXEC if executable else 0)
-        self._page_table.map_range(gpu_va, phys, size, flags)
+        if grow_on_fault:
+            committed = min(size, self.policy.grow_initial_pages * PAGE_SIZE)
+        else:
+            committed = size
+        self._page_table.map_range(gpu_va, phys, committed, flags)
         self._write(regs.MMU_FLUSH, 1)
         self.regions_allocated += 1
-        self.bytes_mapped += size
-        return Region(gpu_va=gpu_va, phys=phys, size=size)
+        self.bytes_mapped += committed
+        region = Region(gpu_va=gpu_va, phys=phys, size=size,
+                        committed=committed, growable=grow_on_fault)
+        if grow_on_fault:
+            self._growable.append(region)
+        return region
 
     def free_region(self, region):
-        """Unmap a region from the GPU (physical memory is not recycled)."""
+        """Unmap a region and recycle its physical extent."""
         offset = 0
-        while offset < region.size:
+        while offset < region.committed:
             self._page_table.unmap_page(region.gpu_va + offset)
             offset += PAGE_SIZE
         self._write(regs.MMU_FLUSH, 1)
+        self._free_phys(region.phys, region.size)
+        self.bytes_mapped -= region.committed
+        region.committed = 0
+        self.regions_freed += 1
+        if region.growable:
+            self._growable = [r for r in self._growable if r is not region]
+
+    # -- page-fault worker (grow-on-fault) ------------------------------------
+
+    def handle_page_fault(self, vaddr, access):
+        """The MMU's parked-transaction resolver (kbase page-fault worker).
+
+        Returns True when *vaddr* fell inside a grow-on-fault region and
+        fresh pages were mapped (or another unit already grew past it),
+        so the MMU retries the walk and the access resumes. Any other
+        address returns False and faults normally.
+        """
+        with self._grow_lock:
+            for region in self._growable:
+                if not region.gpu_va <= vaddr < region.gpu_va + region.size:
+                    continue
+                offset = vaddr - region.gpu_va
+                if offset < region.committed:
+                    return True  # a sibling unit grew the window already
+                fault_page_end = _round_up(offset + 1, PAGE_SIZE)
+                target = min(
+                    region.size,
+                    fault_page_end + self.policy.grow_chunk_pages * PAGE_SIZE)
+                grow = target - region.committed
+                self._page_table.map_range(
+                    region.gpu_va + region.committed,
+                    region.phys + region.committed,
+                    grow, PTE_READ | PTE_WRITE)
+                region.committed = target
+                self.page_faults += 1
+                self.pages_grown += grow // PAGE_SIZE
+                self.bytes_mapped += grow
+                if self.events is not None:
+                    self.events.instant(
+                        "page_fault_grow", "driver", "kbase",
+                        args={"vaddr": vaddr, "access": access,
+                              "grown_pages": grow // PAGE_SIZE})
+                return True
+        return False
 
     # -- initialization -----------------------------------------------------------
 
-    def initialize_gpu(self):
-        """Probe and power up the GPU; install page tables and IRQ masks."""
+    def _power_up(self):
+        """Probe and power the GPU; install IRQ masks and page tables.
+
+        Shared by first bring-up and post-reset recovery, exactly like
+        kbase re-running its init sequence after a GPU reset.
+        """
         gpu_id = self._read(regs.GPU_ID)
         if gpu_id != regs.GPU_ID_VALUE:
             raise DriverError(f"unexpected GPU id 0x{gpu_id:08x}")
@@ -144,8 +365,29 @@ class KBaseDriver:
         self._write(regs.MMU_PGD_LO, root & 0xFFFFFFFF)
         self._write(regs.MMU_PGD_HI, root >> 32)
         self._write(regs.MMU_ENABLE, 1)
-        self._descriptor_region = self.alloc_region(PAGE_SIZE)
+
+    def initialize_gpu(self):
+        """Probe and power up the GPU; install page tables and IRQ masks."""
+        self._power_up()
+        if self._descriptor_region is None:
+            self._descriptor_region = self.alloc_region(PAGE_SIZE)
         self.initialized = True
+
+    def reset_gpu(self):
+        """GPU reset and re-bring-up (the top of the recovery ladder).
+
+        Issues a ``GPU_COMMAND`` soft reset — the device returns to its
+        power-on state, losing IRQ masks, the page-table base and the
+        decode cache — then re-runs the power-up sequence and reinstalls
+        the page tables. Mapped regions survive: the tables live in
+        memory and the reset only cleared the GPU's pointer to them.
+        """
+        self._write(regs.GPU_COMMAND, regs.GPU_COMMAND_SOFT_RESET)
+        self.resets += 1
+        self._power_up()
+        if self.events is not None:
+            self.events.instant("gpu_reset", "driver", "kbase",
+                                args={"resets": self.resets})
 
     # -- job submission ----------------------------------------------------------
 
@@ -181,12 +423,15 @@ class KBaseDriver:
         return self._descriptor_region.gpu_va + offset
 
     def submit_and_wait(self, descriptor_va):
-        """Ring the doorbell and wait for (poll + acknowledge) completion.
+        """Ring the doorbell; wait, recover if possible, acknowledge.
 
         Raises:
-            JobFault: the GPU reported a job or MMU fault; fault details are
-                read back from the MMU fault registers.
+            JobFault: the job faulted and the recovery ladder (bounded
+                retries escalating soft-stop → hard-stop → GPU reset)
+                could not complete it. The driver and GPU remain usable.
         """
+        if not self.initialized:
+            raise DriverError("driver not initialized")
         if self.events is not None:
             with self.events.span("kbase_ioctl(job_submit)", "driver",
                                   "kbase", args={"descriptor_va":
@@ -195,19 +440,99 @@ class KBaseDriver:
         return self._submit_and_wait(descriptor_va)
 
     def _submit_and_wait(self, descriptor_va):
-        self._write(regs.JOB_SUBMIT_LO, descriptor_va & 0xFFFFFFFF)
-        self._write(regs.JOB_SUBMIT_HI, descriptor_va >> 32)
-        self.jobs_submitted += 1
-        # interrupt-driven completion: check the interrupt controller, then
-        # the GPU's own IRQ status registers
+        policy = self.policy
+        attempt = 0
+        while True:
+            if self.injector is not None:
+                params = self.injector.fire("irq.spurious")
+                if params is not None:
+                    # assert an IRQ line with no device state behind it;
+                    # the completion path detects and acknowledges it
+                    line = (InterruptController.SRC_GPU_JOB
+                            if params.get("line") == "job"
+                            else InterruptController.SRC_GPU_MMU)
+                    self.irqc.raise_irq(line)
+            self._write(regs.JOB_SUBMIT_LO, descriptor_va & 0xFFFFFFFF)
+            self._write(regs.JOB_SUBMIT_HI, descriptor_va >> 32)
+            self.jobs_submitted += 1
+            done, value = self._complete_one()
+            if done:
+                return value
+            reason, info = value
+            attempt += 1
+            if attempt > policy.max_retries:
+                self.faults_unrecovered += 1
+                raise JobFault(
+                    f"unrecoverable job fault after {attempt - 1} "
+                    f"retries: {info}")
+            # deterministic escalation: a hung slot is soft-stopped, then
+            # hard-stopped; the final attempt is preceded by a full GPU
+            # reset whatever the fault class
+            if reason == regs.REASON_HANG and attempt == 1:
+                self._write(regs.JOB_COMMAND, regs.JOB_COMMAND_SOFT_STOP)
+                self.soft_stops += 1
+            elif reason == regs.REASON_HANG and attempt == 2:
+                self._write(regs.JOB_COMMAND, regs.JOB_COMMAND_HARD_STOP)
+                self.hard_stops += 1
+            elif attempt == policy.max_retries:
+                self.reset_gpu()
+            self.retries += 1
+            # progress-unit backoff, doubling per attempt — deterministic,
+            # no wall clock involved
+            self.backoff_ticks += policy.backoff_base << (attempt - 1)
+            if self.events is not None:
+                self.events.instant(
+                    "job_retry", "driver", "kbase",
+                    args={"attempt": attempt, "reason": reason})
+
+    def _poll_completion(self):
+        """Cross-check the IRQC pending lines against GPU rawstat.
+
+        Raises:
+            IRQMismatchError: the two disagree (lost or spurious IRQ).
+            DriverError: neither shows a completion at all.
+        """
         pending = self.irqc.read_reg(IRQC_PENDING)
         rawstat = self._read(regs.JOB_IRQ_RAWSTAT)
+        if rawstat and not pending & InterruptController.SRC_GPU_JOB:
+            raise IRQMismatchError(pending, rawstat, "lost")
+        if pending & InterruptController.SRC_GPU_JOB and not rawstat:
+            raise IRQMismatchError(pending, rawstat, "spurious")
         if not rawstat:
             raise DriverError("job submitted but no completion IRQ")
+        return pending, rawstat
+
+    def _complete_one(self):
+        """Wait for one submission; returns ``(True, status)`` on
+        completion or ``(False, (reason, info))`` on a fault the ladder
+        may retry. IRQ mismatches are recovered here (and counted)
+        unless the policy is strict."""
+        try:
+            pending, rawstat = self._poll_completion()
+        except IRQMismatchError as exc:
+            if self.policy.strict_irq:
+                raise
+            if exc.kind == "lost":
+                # the GPU finished but the line never latched: trust the
+                # rawstat we already read, acknowledge everything below
+                self.irq_mismatches += 1
+                pending, rawstat = exc.pending, exc.rawstat
+            else:
+                # pending line with no work behind it: acknowledge the
+                # ghost and look again
+                self.spurious_irqs += 1
+                self.irqc.write_reg(IRQC_ACK,
+                                    InterruptController.SRC_GPU_JOB)
+                pending = self.irqc.read_reg(IRQC_PENDING)
+                rawstat = self._read(regs.JOB_IRQ_RAWSTAT)
+                if not rawstat:
+                    raise DriverError(
+                        "spurious completion IRQ with idle GPU") from exc
         status = self._read(regs.JOB_STATUS)
         self._write(regs.JOB_IRQ_CLEAR, rawstat)
         ack_mask = InterruptController.SRC_GPU_JOB
         if rawstat & regs.JOB_IRQ_FAULT:
+            reason = self._read(regs.JOB_FAULT_REASON)
             mmu_raw = self._read(regs.MMU_IRQ_RAWSTAT)
             fault_lo = self._read(regs.MMU_FAULT_ADDR_LO)
             fault_hi = self._read(regs.MMU_FAULT_ADDR_HI)
@@ -216,13 +541,22 @@ class KBaseDriver:
             ack_mask |= InterruptController.SRC_GPU_MMU
             self.irqc.write_reg(IRQC_ACK, ack_mask)
             fault_addr = fault_lo | (fault_hi << 32)
-            raise JobFault(
-                f"GPU job fault: status={status} mmu_status={fault_status}"
-                f" addr=0x{fault_addr:x}"
-            )
+            info = (f"reason={reason} status={status} "
+                    f"mmu_status={fault_status} addr=0x{fault_addr:x}")
+            return False, (reason, info)
+        # clean completion; a pending MMU line with empty rawstat behind
+        # it is a spurious interrupt — acknowledge and count it
+        if pending & InterruptController.SRC_GPU_MMU:
+            mmu_raw = self._read(regs.MMU_IRQ_RAWSTAT)
+            if not mmu_raw:
+                if self.policy.strict_irq:
+                    raise IRQMismatchError(pending, 0, "spurious")
+                self.spurious_irqs += 1
+            else:
+                self._write(regs.MMU_IRQ_CLEAR, mmu_raw)
+            ack_mask |= InterruptController.SRC_GPU_MMU
         self.irqc.write_reg(IRQC_ACK, ack_mask)
-        del pending
-        return status
+        return True, status
 
     def run_job(self, global_size, local_size, binary_region, binary_size,
                 uniform_region, uniform_count, local_mem_size=0):

@@ -62,5 +62,51 @@ class DriverError(SimError):
     """GPU kernel-driver failure (out of VA space, bad descriptor, ...)."""
 
 
+class IRQMismatchError(DriverError):
+    """The interrupt controller and the GPU's raw IRQ status disagree.
+
+    Raised by the driver's completion poll when the GPU reports work done
+    (or faulted) in ``JOB_IRQ_RAWSTAT`` but the interrupt controller never
+    latched the line (a *lost* IRQ), or the controller shows a pending GPU
+    line with nothing backing it in the raw status (a *spurious* IRQ).
+
+    Attributes:
+        pending: the IRQC pending bitmask observed.
+        rawstat: the GPU ``JOB_IRQ_RAWSTAT`` value observed.
+        kind: ``'lost'`` or ``'spurious'``.
+    """
+
+    def __init__(self, pending, rawstat, kind):
+        super().__init__(
+            f"{kind} IRQ: irqc pending=0x{pending:x} "
+            f"gpu rawstat=0x{rawstat:x}")
+        self.pending = pending
+        self.rawstat = rawstat
+        self.kind = kind
+
+
+class WatchdogTimeout(SimError):
+    """A job exceeded its progress budget (the hardware job-slot timeout).
+
+    Progress is measured in scheduler rounds and executed clauses — never
+    wall-clock time — so identical runs trip the watchdog identically.
+
+    Attributes:
+        flat_group: flat workgroup id that exhausted its budget.
+        consumed: progress units consumed when the watchdog fired.
+    """
+
+    def __init__(self, flat_group, consumed, message=""):
+        super().__init__(
+            message or f"workgroup {flat_group} exceeded progress budget "
+                       f"({consumed} units)")
+        self.flat_group = flat_group
+        self.consumed = consumed
+
+
 class JobFault(SimError):
     """A GPU job terminated with a fault (MMU fault, invalid clause, ...)."""
+
+
+class JobHang(JobFault):
+    """A GPU job was stopped by the progress watchdog (soft/hard stop)."""

@@ -8,7 +8,7 @@ register traffic and interrupt assertions are counted into
 
 from dataclasses import dataclass
 
-from repro.errors import BusError, JobFault
+from repro.errors import BusError, JobFault, JobHang
 from repro.gpu import regs
 from repro.gpu.jobmanager import JobManager
 from repro.gpu.mmu import GPUMMU
@@ -62,11 +62,16 @@ class GPUDevice(MMIODevice):
         self._mmu_irq_rawstat = 0
         self._mmu_irq_mask = 0
         self._job_status = regs.JOB_STATUS_IDLE
+        self._fault_reason = regs.REASON_NONE
         self._job_count = 0
         self._submit_lo = 0
         self._pgd_lo = 0
         self._pgd_hi = 0
         self.last_results = []
+        # recovery-ladder bookkeeping (driver-issued commands)
+        self.soft_resets = 0
+        self.job_soft_stops = 0
+        self.job_hard_stops = 0
 
     # -- IRQ handling -----------------------------------------------------------
 
@@ -110,6 +115,8 @@ class GPUDevice(MMIODevice):
             return self._job_status
         if offset == regs.JOB_COUNT:
             return self._job_count
+        if offset == regs.JOB_FAULT_REASON:
+            return self._fault_reason
         if offset == regs.MMU_IRQ_RAWSTAT:
             return self._mmu_irq_rawstat
         if offset == regs.MMU_IRQ_MASK:
@@ -161,8 +168,49 @@ class GPUDevice(MMIODevice):
             # mapped, so the decode cache survives ("decoded exactly once")
             self.mmu.flush_tlb()
             self.system_stats.tlb_flushes += 1
+        elif offset == regs.GPU_COMMAND:
+            if value & regs.GPU_COMMAND_SOFT_RESET:
+                self._soft_reset()
+        elif offset == regs.JOB_COMMAND:
+            self._job_command(value)
         else:
             raise BusError(f"write of unknown GPU register 0x{offset:x}")
+
+    def _job_command(self, value):
+        """Soft/hard-stop the job slot: acknowledge the watchdog latch.
+
+        The model runs jobs to a stopping point synchronously, so by the
+        time the driver issues the stop the slot has already been parked;
+        the command clears the hang latch so the slot can be resubmitted.
+        """
+        if value == regs.JOB_COMMAND_SOFT_STOP:
+            self.job_soft_stops += 1
+        elif value == regs.JOB_COMMAND_HARD_STOP:
+            self.job_hard_stops += 1
+        else:
+            raise BusError(f"unknown JOB_COMMAND 0x{value:x}")
+        self._job_status = regs.JOB_STATUS_IDLE
+        self._fault_reason = regs.REASON_NONE
+
+    def _soft_reset(self):
+        """GPU_COMMAND soft reset: return the device to its power-on
+        state. The driver must redo the whole bring-up sequence (power,
+        IRQ masks, page-table base) before the next submission; the
+        decode cache is lost with the rest of the device state."""
+        self.soft_resets += 1
+        self._shader_ready = 0
+        self._job_irq_rawstat = 0
+        self._job_irq_mask = 0
+        self._mmu_irq_rawstat = 0
+        self._mmu_irq_mask = 0
+        self._job_status = regs.JOB_STATUS_IDLE
+        self._fault_reason = regs.REASON_NONE
+        self._submit_lo = 0
+        self.mmu.enabled = False
+        self.mmu.flush_tlb()
+        self.mmu.fault_addr = 0
+        self.mmu.fault_status = 0
+        self.job_manager.invalidate_decode_cache()
 
     def _update_pgd(self):
         self.mmu.set_page_table(self._pgd_lo | (self._pgd_hi << 32))
@@ -177,17 +225,28 @@ class GPUDevice(MMIODevice):
             return
         try:
             results = self.job_manager.run_job_chain(descriptor_va)
-        except JobFault:
+        except JobFault as exc:
             self.system_stats.mmu_faults += 1
-            self.mmu.fault_status = self.mmu.fault_status or 1
             self._job_status = regs.JOB_STATUS_FAULT
-            self._raise_mmu_irq(regs.MMU_IRQ_FAULT)
+            if isinstance(exc, JobHang):
+                # the progress watchdog parked the slot: no MMU state to
+                # latch, the driver reads REASON_HANG and runs the
+                # soft-stop -> hard-stop -> reset ladder
+                self._fault_reason = regs.REASON_HANG
+            else:
+                self._fault_reason = (
+                    regs.REASON_MMU
+                    if getattr(exc, "fault_class", "mmu") == "mmu"
+                    else regs.REASON_DESCRIPTOR)
+                self.mmu.fault_status = self.mmu.fault_status or 1
+                self._raise_mmu_irq(regs.MMU_IRQ_FAULT)
             self._raise_job_irq(regs.JOB_IRQ_FAULT)
             return
         self.last_results = results
         self._job_count += len(results)
         self.system_stats.compute_jobs += len(results)
         self._job_status = regs.JOB_STATUS_DONE
+        self._fault_reason = regs.REASON_NONE
         self._raise_job_irq(regs.JOB_IRQ_DONE)
 
     # -- statistics snapshot ------------------------------------------------------------
@@ -217,3 +276,24 @@ class GPUDevice(MMIODevice):
                         desc=desc)
         self.job_manager.register_stats(scope)
         register_mmu_stats(scope.scope("mmu"), self.mmu)
+        faults = scope.scope("faults")
+        faults.probe("mmu_injected", lambda: self.mmu.injected_faults,
+                     desc="MMU faults raised by the fault injector",
+                     golden=False)
+        faults.probe("page_faults_resolved",
+                     lambda: self.mmu.page_faults_resolved,
+                     desc="translation misses resolved by the driver's "
+                          "page-fault worker (grow-on-fault)")
+        faults.probe("watchdog_timeouts",
+                     lambda: self.job_manager.watchdog_timeouts,
+                     desc="jobs parked by the progress watchdog")
+        faults.probe("descriptor_corruptions",
+                     lambda: self.job_manager.descriptor_corruptions,
+                     desc="descriptor reads corrupted by the injector",
+                     golden=False)
+        faults.probe("soft_resets", lambda: self.soft_resets,
+                     desc="GPU_COMMAND soft resets executed")
+        faults.probe("job_soft_stops", lambda: self.job_soft_stops,
+                     desc="JOB_COMMAND soft-stops received")
+        faults.probe("job_hard_stops", lambda: self.job_hard_stops,
+                     desc="JOB_COMMAND hard-stops received")

@@ -14,18 +14,33 @@ many more host threads than shader cores (virtual cores, Fig. 10).
 """
 
 import struct
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import DecodeError, JobFault, MMUFault
+from repro.errors import (
+    DecodeError,
+    JobFault,
+    JobHang,
+    MMUFault,
+    SimError,
+    WatchdogTimeout,
+)
 from repro.gpu.encoding import decode_program
 from repro.gpu.shadercore import ComputeUnit, WorkgroupShape
 from repro.instrument.cfg import DivergenceCFG
 from repro.instrument.stats import JobStats, merge_stats
 
 JOB_TYPE_COMPUTE = 1
+
+# Progress-budget watchdog: scheduler rounds one workgroup may consume
+# before the job is parked as hung. A round retires whole warp batches, so
+# real kernels use a handful of rounds (one per barrier epoch); the budget
+# is generous while still bounding injected clause-budget stalls and
+# barrier livelocks. Progress units, never wall-clock time.
+WATCHDOG_ROUND_BUDGET = 4096
 
 # descriptor field offsets (bytes)
 _OFF_TYPE = 0x00
@@ -72,7 +87,8 @@ class JobManager:
 
     def __init__(self, mmu, num_shader_cores=8, num_host_threads=1,
                  instrument=True, collect_cfg=False, tracer=None,
-                 engine="interpreter", events=None):
+                 engine="interpreter", events=None,
+                 watchdog_budget=WATCHDOG_ROUND_BUDGET):
         self.mmu = mmu
         self.num_shader_cores = num_shader_cores
         self.num_host_threads = num_host_threads
@@ -81,6 +97,10 @@ class JobManager:
         self.tracer = tracer
         self.engine = engine
         self.events = events  # optional EventTracer (job-lifecycle spans)
+        self.injector = None  # optional FaultInjector (repro.inject)
+        self.watchdog_budget = watchdog_budget
+        self.watchdog_timeouts = 0
+        self.descriptor_corruptions = 0
         self.decode_cache_enabled = True  # ablation knob (Section III-B3)
         self._decode_cache = {}
         self.decode_count = 0
@@ -123,6 +143,16 @@ class JobManager:
 
     def parse_descriptor(self, descriptor_va):
         raw = self.mmu.load_block(descriptor_va, DESCRIPTOR_SIZE)
+        if self.injector is not None:
+            params = self.injector.fire("descriptor.read")
+            if params is not None:
+                # transient read corruption: the in-memory descriptor is
+                # intact, so the driver's resubmission re-reads it clean
+                self.descriptor_corruptions += 1
+                offset = params.get("offset", 0) % DESCRIPTOR_SIZE
+                corrupted = bytearray(raw)
+                corrupted[offset] ^= params.get("mask", 0xFF) & 0xFF
+                raw = bytes(corrupted)
 
         def u32(offset):
             return struct.unpack_from("<I", raw, offset)[0]
@@ -198,16 +228,24 @@ class JobManager:
         try:
             descriptor = self.parse_descriptor(descriptor_va)
             if descriptor.job_type != JOB_TYPE_COMPUTE:
-                raise JobFault(f"unsupported job type {descriptor.job_type}")
+                fault = JobFault(
+                    f"unsupported job type {descriptor.job_type}")
+                fault.fault_class = "descriptor"
+                raise fault
             program = self._decode_binary(descriptor)
             uniforms = self._load_uniforms(descriptor)
-        except (MMUFault, DecodeError, struct.error) as exc:
+            shape = WorkgroupShape(descriptor.global_size,
+                                   descriptor.local_size)
+        except JobFault:
+            raise
+        except (MMUFault, DecodeError, struct.error, ValueError) as exc:
             if isinstance(exc, MMUFault):
                 self.mmu.latch_fault(exc)
                 self._fault_instant(exc)
-            raise JobFault(f"job setup failed: {exc}") from exc
-
-        shape = WorkgroupShape(descriptor.global_size, descriptor.local_size)
+            fault = JobFault(f"job setup failed: {exc}")
+            fault.fault_class = ("mmu" if isinstance(exc, MMUFault)
+                                 else "descriptor")
+            raise fault from exc
         num_units = max(1, self.num_host_threads)
         units = [
             ComputeUnit(unit_id=i, virtual=i >= self.num_shader_cores)
@@ -216,7 +254,9 @@ class JobManager:
         for unit in units:
             unit.prepare(descriptor.local_mem_size, self.instrument,
                          self.collect_cfg, tracer=self.tracer,
-                         engine=self.engine, events=events)
+                         engine=self.engine, events=events,
+                         injector=self.injector,
+                         watchdog_budget=self.watchdog_budget)
 
         try:
             if num_units == 1:
@@ -227,7 +267,18 @@ class JobManager:
         except MMUFault as exc:
             self.mmu.latch_fault(exc)
             self._fault_instant(exc)
-            raise JobFault(f"job faulted: {exc}") from exc
+            fault = JobFault(f"job faulted: {exc}")
+            fault.fault_class = "mmu"
+            raise fault from exc
+        except WatchdogTimeout as exc:
+            # the slot is parked; the driver reads REASON_HANG and walks
+            # the soft-stop -> hard-stop -> reset ladder
+            self.watchdog_timeouts += 1
+            if self.events is not None:
+                self.events.instant("watchdog_timeout", "gpu", "jobmanager",
+                                    args={"flat_group": exc.flat_group,
+                                          "consumed": exc.consumed})
+            raise JobHang(f"job hung: {exc}") from exc
 
         stats = merge_stats(unit.stats for unit in units if unit.stats is not None)
         cfg = None
@@ -247,12 +298,32 @@ class JobManager:
         return result
 
     def _run_parallel(self, units, program, uniforms, shape):
-        """Map thread-groups onto host threads (the Fig. 10 optimization)."""
+        """Map thread-groups onto host threads (the Fig. 10 optimization).
+
+        Fault-safe: the first :class:`~repro.errors.SimError` sets a
+        shared stop flag so sibling workers drain promptly (they finish
+        the workgroup in flight and stop picking up new ones), and the
+        fault that is re-raised is chosen by *flat workgroup id* — not by
+        which host thread lost the race — so identical runs latch an
+        identical fault no matter the ``num_host_threads`` setting.
+        """
         groups = list(range(shape.total_groups))
+        stop = threading.Event()
+        faults = []  # (flat_group, exception), guarded by fault_lock
+        fault_lock = threading.Lock()
 
         def worker(unit, chunk):
             for flat_group in chunk:
-                unit.run_workgroup(program, uniforms, self.mmu, shape, flat_group)
+                if stop.is_set():
+                    return
+                try:
+                    unit.run_workgroup(program, uniforms, self.mmu, shape,
+                                       flat_group)
+                except SimError as exc:
+                    with fault_lock:
+                        faults.append((flat_group, exc))
+                    stop.set()
+                    return
 
         chunks = [groups[i::len(units)] for i in range(len(units))]
         with ThreadPoolExecutor(max_workers=len(units)) as pool:
@@ -262,4 +333,8 @@ class JobManager:
                 if chunk
             ]
             for future in futures:
+                # non-SimError exceptions (genuine bugs) propagate raw
                 future.result()
+        if faults:
+            faults.sort(key=lambda pair: pair[0])
+            raise faults[0][1]

@@ -45,6 +45,18 @@ class GPUMMU:
         self.fault_addr = 0
         self.fault_status = 0
         self.translations = 0
+        # fault-recovery hooks, both consulted only on the TLB-miss path
+        # (cold), so the translation hot path pays nothing when unused:
+        # - _fault_handler: driver page-fault worker; returns True when it
+        #   resolved the fault (grow-on-fault region growth) and the walk
+        #   should be retried — the faulting access is *resumed*, exactly
+        #   like a parked bus transaction on real hardware.
+        # - _injector: deterministic fault injection (repro.inject); armed
+        #   pages raise spurious/permission MMUFaults on first touch.
+        self._fault_handler = None
+        self._injector = None
+        self.page_faults_resolved = 0
+        self.injected_faults = 0
         # Software TLB in front of the walker: VA page -> (PA page, PTE
         # flags). The walker keeps its own TLB for the table-walk cache;
         # this one makes a whole quad cost a single dict probe per
@@ -96,6 +108,23 @@ class GPUMMU:
         self._wview = {}
         self._update_fast()
 
+    def set_fault_handler(self, handler):
+        """Install the driver's page-fault worker.
+
+        *handler* is called as ``handler(vaddr, access)`` on a translation
+        miss and returns True when it resolved the fault (mapped the page)
+        so the walk can be retried and the access resumed. Pass None to
+        detach."""
+        self._fault_handler = handler
+
+    def set_injector(self, injector):
+        """Attach a :class:`~repro.inject.FaultInjector` (None detaches).
+
+        Flushes the TLB so pages armed for injection are guaranteed to
+        take the miss path on their next access."""
+        self._injector = injector
+        self.flush_tlb()
+
     def flush_tlb(self):
         self._tlb = {}
         self._rview = {}
@@ -117,15 +146,50 @@ class GPUMMU:
         self.pages_accessed.add(vpage)
         entry = self._tlb.get(vpage)
         if entry is None:
-            entry = self._walker.lookup_page(vaddr)
-            if entry is None:
-                raise MMUFault(vaddr, access)
-            self._tlb[vpage] = entry
+            entry = self._miss(vaddr, vpage, access)
         ppage, flags = entry
         if not flags & _REQUIRED[access]:
             raise MMUFault(vaddr, access,
                            f"permission denied at 0x{vaddr:x} ({access})")
         return ppage | (vaddr & _PAGE_MASK)
+
+    def _miss(self, vaddr, vpage, access):
+        """TLB-miss path: injection hook, table walk, page-fault worker.
+
+        Returns the resolved ``(physical page, flags)`` entry (now cached)
+        or raises :class:`MMUFault`. Only the scalar path resolves misses;
+        the quad tiers return ``None`` on a miss so their scalar replay
+        funnels every fault — injected, grown, or real — through here.
+        """
+        injector = self._injector
+        if injector is not None:
+            params = injector.fire_page(vpage)
+            if params is not None:
+                self.injected_faults += 1
+                kind = params.get("kind", "translation")
+                fault_access = params.get("access", access)
+                raise MMUFault(
+                    vaddr, fault_access,
+                    f"injected {kind} fault at 0x{vaddr:x} ({fault_access})")
+        entry = self._walker.lookup_page(vaddr)
+        if entry is None and self._fault_handler is not None:
+            if self._fault_handler(vaddr, access):
+                self.page_faults_resolved += 1
+                entry = self._walker.lookup_page(vaddr)
+        if entry is None:
+            raise MMUFault(vaddr, access)
+        self._tlb[vpage] = entry
+        return entry
+
+    def _page_armed(self, vpage):
+        """True when *vpage* is armed for fault injection: quad-tier TLB
+        misses on armed pages return ``None`` (defer to the scalar
+        replay) so the injected fault fires exactly once, in
+        :meth:`_miss`, with reference semantics. Unmapped pages already
+        defer (the quad walk returns ``None``), which likewise routes
+        grow-on-fault growth through the scalar path."""
+        return self._injector is not None \
+            and self._injector.page_armed(vpage)
 
     def _translate_list(self, lanes, required):
         """Translate a list of lane addresses; one TLB probe per page.
@@ -143,6 +207,8 @@ class GPUMMU:
             vpage = vaddr >> PAGE_SHIFT
             entry = tlb.get(vpage)
             if entry is None:
+                if self._page_armed(vpage):
+                    return None
                 entry = walker.lookup_page(vaddr)
                 if entry is None:
                     return None
@@ -205,6 +271,8 @@ class GPUMMU:
             offsets.append((vaddr & _PAGE_MASK) >> 2)
         entry = self._tlb.get(vpage)
         if entry is None:
+            if self._page_armed(vpage):
+                return None
             entry = self._walker.lookup_page(lanes[0])
             if entry is None:
                 return None
@@ -220,6 +288,8 @@ class GPUMMU:
         """Slow half of the quad tiers: probe, perm-check, cache the view."""
         entry = self._tlb.get(vpage)
         if entry is None:
+            if self._page_armed(vpage):
+                return None
             entry = self._walker.lookup_page(vaddr)
             if entry is None:
                 return None

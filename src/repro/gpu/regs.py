@@ -20,6 +20,7 @@ JOB_STATUS = 0x02C  # RO: status of the last retired job
 JOB_SUBMIT_LO = 0x030  # WO: descriptor GPU VA, low half
 JOB_SUBMIT_HI = 0x034  # WO: high half; writing rings the doorbell
 JOB_COUNT = 0x038  # RO: total retired jobs
+JOB_FAULT_REASON = 0x03C  # RO: class of the last job fault (REASON_*)
 
 # MMU
 MMU_IRQ_RAWSTAT = 0x040  # RO
@@ -33,6 +34,10 @@ MMU_FAULT_ADDR_LO = 0x05C  # RO
 MMU_FAULT_ADDR_HI = 0x060  # RO
 MMU_FAULT_STATUS = 0x064  # RO: 1=read 2=write 3=execute fault
 
+# commands (the kbase recovery ladder)
+GPU_COMMAND = 0x068  # WO: GPU_COMMAND_SOFT_RESET re-initializes the device
+JOB_COMMAND = 0x06C  # WO: soft/hard-stop the current job slot
+
 GPU_ID_VALUE = 0x6071_0000  # "G-71"-like product id
 
 JOB_IRQ_DONE = 1 << 0
@@ -42,5 +47,15 @@ MMU_IRQ_FAULT = 1 << 0
 JOB_STATUS_IDLE = 0
 JOB_STATUS_DONE = 1
 JOB_STATUS_FAULT = 2
+
+# JOB_FAULT_REASON values: what class of fault ended the last job
+REASON_NONE = 0
+REASON_MMU = 1  # translation/permission fault (MMU fault regs are latched)
+REASON_DESCRIPTOR = 2  # malformed descriptor or shader binary
+REASON_HANG = 3  # progress watchdog fired (job soft/hard-stopped)
+
+GPU_COMMAND_SOFT_RESET = 1
+JOB_COMMAND_SOFT_STOP = 1
+JOB_COMMAND_HARD_STOP = 2
 
 MMIO_WINDOW_SIZE = 0x1000

@@ -15,6 +15,7 @@ accesses are transparently served from it.
 
 import numpy as np
 
+from repro.errors import WatchdogTimeout
 from repro.gpu.isa import (
     REG_GLOBAL_ID,
     REG_GROUP_FLAT,
@@ -75,14 +76,19 @@ class ComputeUnit:
         self.cfg = None
         self.tracer = None
         self.events = None
+        self.injector = None
+        self.watchdog_budget = None
         self._local = None
 
     def prepare(self, local_mem_bytes, instrument, collect_cfg, tracer=None,
-                engine="interpreter", events=None):
+                engine="interpreter", events=None, injector=None,
+                watchdog_budget=None):
         self.stats = JobStats() if instrument else None
         self.tracer = tracer
         self.events = events
         self.engine = engine
+        self.injector = injector
+        self.watchdog_budget = watchdog_budget
         self._jit_cache = {}
         if collect_cfg:
             from repro.instrument.cfg import DivergenceCFG
@@ -148,8 +154,22 @@ class ComputeUnit:
         if events is not None:
             events.begin("workgroup", "gpu", track,
                          args={"group": flat_group, "warps": len(warps)})
+        # progress-budget watchdog: each scheduler round is one progress
+        # unit; a workgroup that burns its budget without finishing is a
+        # hang (injected clause-budget stalls, barrier livelocks)
+        budget = self.watchdog_budget
+        rounds = 0
+        if self.injector is not None:
+            params = self.injector.fire("core.hang", key=flat_group)
+            if params is not None:
+                # the injected stall charges the whole budget up front:
+                # the core spins in place without retiring a warp
+                rounds = params.get("stall_rounds", (budget or 0) + 1)
         try:
             while True:
+                rounds += 1
+                if budget is not None and rounds > budget:
+                    raise WatchdogTimeout(flat_group, rounds)
                 runnable = [w for w in warps
                             if not w.finished and not w.blocked]
                 for index, warp in enumerate(runnable):

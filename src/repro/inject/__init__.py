@@ -1,0 +1,16 @@
+"""Deterministic fault injection and recovery campaigns.
+
+- :mod:`repro.inject.plan` — declarative, seeded fault plans
+  (:class:`FaultSpec` / :class:`FaultPlan`) over the simulator's
+  registered injection sites.
+- :mod:`repro.inject.injector` — the :class:`FaultInjector` the
+  platform components consult (``MobilePlatform.attach_injector``).
+- :mod:`repro.inject.campaign` — seeded campaigns asserting the
+  recovery invariants (bit-exact recovery, clean failure, usable-after,
+  determinism), with corpus-style JSON reproducers.
+"""
+
+from repro.inject.injector import FaultInjector
+from repro.inject.plan import SITES, FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector", "FaultPlan", "FaultSpec", "SITES"]

@@ -1,0 +1,521 @@
+"""Seeded fault campaigns: sweep workloads under fault plans and assert
+the recovery invariants.
+
+For every (workload, scenario, seed) case the campaign:
+
+1. runs the workload **clean** (no injector) and keeps the output bytes
+   plus the clean-run observables (GPU-VA pages touched, workgroup
+   count) that seed the plan generator;
+2. derives a :class:`~repro.inject.plan.FaultPlan` from the case seed;
+3. runs the workload **under the plan** and checks the scenario's
+   invariant:
+
+   - *recoverable* scenarios (transient faults, IRQ mismatches) must
+     complete **bit-exactly** equal to the clean run, with the injected
+     fault actually fired and the recovery counters moved;
+   - *unrecoverable* scenarios (persistent faults) must surface a clean
+     :class:`~repro.errors.SimError` — never a hang, never a raw
+     non-simulation exception — and must leave the platform usable: a
+     follow-up clean run on the *same* platform has to verify;
+   - the *heap-grow* scenario runs a kernel over a grow-on-fault buffer
+     and requires bit-exact results with the page-fault worker having
+     grown the region;
+
+4. optionally re-runs the faulted case and requires identical fault
+   counters, firing logs and outputs (determinism invariant — this is
+   what makes every campaign failure a reproducer).
+
+Failures are written as JSON reproducer files using the conformance
+corpus envelope (``format``/``name``/``expect``/``notes``) with the
+fault plan inline.
+
+Bit-exact recovery relies on jobs being **replayable** (outputs a pure
+function of inputs): the driver re-runs a faulted job from the start,
+exactly as kbase replays jobs, so kernels that read-modify-write their
+outputs are outside the contract. All campaign workloads are replayable.
+"""
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.cl import CommandQueue, Context
+from repro.core.platform import MobilePlatform, PlatformConfig
+from repro.errors import SimError
+from repro.gpu.device import GPUConfig
+from repro.inject.injector import FaultInjector
+from repro.inject.plan import FaultPlan, FaultSpec
+from repro.kernels import Workload, get_workload
+from repro.kernels.parboil import Sgemm
+from repro.mem.physical import PAGE_SIZE
+
+REPRO_FORMAT = "fault-campaign-repro-v1"
+
+#: scenario -> expected outcome class
+SCENARIOS = {
+    "mmu-transient": "recover",
+    "mmu-persistent": "fail-clean",
+    "hang-transient": "recover",
+    "hang-persistent": "fail-clean",
+    "descriptor-transient": "recover",
+    "descriptor-persistent": "fail-clean",
+    "irq-lost": "recover",
+    "irq-spurious": "recover",
+    "alloc-fail": "fail-clean",
+    "heap-grow": "grow",
+}
+
+DEFAULT_WORKLOADS = ("sgemm", "divergent")
+
+_DIVERGENT_SOURCE = """
+__kernel void divergent(__global int* data, __global int* out) {
+    int i = get_global_id(0);
+    int v = data[i];
+    int acc = 0;
+    if (v % 2 == 0) {
+        for (int j = 0; j < (v & 7); j += 1) {
+            acc += j * v;
+        }
+    } else {
+        acc = v * 3 + 1;
+    }
+    out[i] = acc;
+}
+"""
+
+_GROW_SOURCE = """
+__kernel void fillseq(__global int* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        out[i] = i * 1103 + 12345;
+    }
+}
+"""
+
+
+class DivergentWorkload(Workload):
+    """Warp-divergent synthetic workload (replayable variant of
+    ``examples/divergent.cl``: outputs depend only on inputs)."""
+
+    name = "divergent"
+    suite = "synthetic"
+    paper_input = "n=4096"
+    source = _DIVERGENT_SOURCE
+
+    @staticmethod
+    def default_params():
+        return {"n": 4096}
+
+    def prepare(self):
+        n = self.params["n"]
+        return {"data": self.rng.integers(0, 64, size=n).astype(np.int32)}
+
+    def execute(self, context, queue, inputs, version=None):
+        data = inputs["data"]
+        n = data.size
+        buf_data = context.buffer_from_array(data)
+        buf_out = context.alloc_buffer(n * 4)
+        queue.enqueue_fill_buffer(buf_out, 0)
+        program = context.build_program(self.source)
+        kernel = program.kernel("divergent")
+        kernel.set_args(buf_data, buf_out)
+        queue.enqueue_nd_range(kernel, (n,), (64,))
+        return [queue.enqueue_read_buffer(buf_out, dtype=np.int32, count=n)]
+
+    def reference(self, inputs):
+        v = inputs["data"].astype(np.int64)
+        k = v & 7
+        even = v * (k * (k - 1) // 2)
+        odd = v * 3 + 1
+        return [np.where(v % 2 == 0, even, odd).astype(np.int32)]
+
+
+class ReplayableSgemm(Sgemm):
+    """sgemm with ``beta = 0``: C is written, never read, so a replayed
+    job is bit-identical — the registry variant's ``beta = 0.5``
+    read-modify-writes C and is outside the replay contract."""
+
+    def execute(self, context, queue, inputs, version=None):
+        p = self.params
+        buf_a = context.buffer_from_array(inputs["a"])
+        buf_b = context.buffer_from_array(inputs["b"])
+        buf_c = context.buffer_from_array(inputs["c"])
+        kernel = context.build_program(self.source, version=version) \
+            .kernel("sgemm")
+        kernel.set_args(buf_a, buf_b, buf_c, p["m"], p["n"], p["k"],
+                        np.float32(1.0), np.float32(0.0))
+        queue.enqueue_nd_range(kernel, (p["n"], p["m"]), (8, 8))
+        out = queue.enqueue_read_buffer(buf_c, np.float32)
+        return [out.reshape(p["m"], p["n"])]
+
+    def reference(self, inputs):
+        return [(inputs["a"] @ inputs["b"]).astype(np.float32)]
+
+
+def _make_workload(name):
+    """Campaign workloads must be *replayable* (outputs a pure function
+    of inputs): the recovery ladder re-runs faulted jobs from scratch."""
+    if name == "divergent":
+        return DivergentWorkload()
+    if name == "sgemm":
+        return ReplayableSgemm()
+    return get_workload(name)
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one campaign case."""
+
+    workload: str
+    scenario: str
+    seed: int
+    ok: bool
+    detail: str = ""
+    fired: int = 0
+    counters: dict = field(default_factory=dict)
+
+
+@dataclass
+class CampaignReport:
+    """All case results plus the sweep configuration."""
+
+    engine: str
+    num_host_threads: int
+    cases: list = field(default_factory=list)
+
+    @property
+    def failures(self):
+        return [case for case in self.cases if not case.ok]
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def summary(self):
+        lines = [
+            f"fault campaign: engine={self.engine} "
+            f"threads={self.num_host_threads} "
+            f"cases={len(self.cases)} failures={len(self.failures)}"
+        ]
+        for case in self.cases:
+            mark = "ok  " if case.ok else "FAIL"
+            lines.append(
+                f"  {mark} {case.workload:<12} {case.scenario:<22} "
+                f"seed={case.seed} fired={case.fired} {case.detail}")
+        return "\n".join(lines)
+
+
+class _Execution:
+    """One platform run of a workload, clean or under a plan."""
+
+    def __init__(self, platform, context, injector, outputs, verified,
+                 error):
+        self.platform = platform
+        self.context = context
+        self.injector = injector
+        self.outputs = outputs
+        self.verified = verified
+        self.error = error
+
+    @property
+    def output_bytes(self):
+        if self.outputs is None:
+            return None
+        return b"".join(
+            np.ascontiguousarray(np.asarray(out)).tobytes()
+            for out in self.outputs)
+
+    def counters(self):
+        driver = self.platform.driver
+        gpu = self.platform.gpu
+        counts = {
+            "driver.retries": driver.retries,
+            "driver.resets": driver.resets,
+            "driver.soft_stops": driver.soft_stops,
+            "driver.hard_stops": driver.hard_stops,
+            "driver.irq_mismatches": driver.irq_mismatches,
+            "driver.spurious_irqs": driver.spurious_irqs,
+            "driver.backoff_ticks": driver.backoff_ticks,
+            "driver.page_faults": driver.page_faults,
+            "driver.pages_grown": driver.pages_grown,
+            "driver.alloc_failures": driver.alloc_failures,
+            "driver.faults_unrecovered": driver.faults_unrecovered,
+            "gpu.faults.mmu_injected": gpu.mmu.injected_faults,
+            "gpu.faults.page_faults_resolved": gpu.mmu.page_faults_resolved,
+            "gpu.faults.watchdog_timeouts": gpu.job_manager.watchdog_timeouts,
+            "gpu.faults.descriptor_corruptions":
+                gpu.job_manager.descriptor_corruptions,
+            "gpu.faults.soft_resets": gpu.soft_resets,
+        }
+        if self.injector is not None:
+            counts["inject.total"] = self.injector.total_fired
+        return counts
+
+
+def _new_platform(engine, num_host_threads):
+    config = PlatformConfig(gpu=GPUConfig(
+        num_host_threads=num_host_threads, engine=engine))
+    return MobilePlatform(config)
+
+
+def _execute(workload_name, engine, num_host_threads, plan=None):
+    """Run *workload_name* on a fresh platform, optionally under *plan*.
+
+    SimErrors are captured (they are legal outcomes of a fault plan);
+    anything else propagates — a non-SimError escaping is itself a
+    campaign failure, caught and reported by the case runner.
+    """
+    platform = _new_platform(engine, num_host_threads)
+    context = Context(platform)
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(plan)
+        platform.attach_injector(injector)
+    workload = _make_workload(workload_name)
+    outputs = None
+    verified = None
+    error = None
+    try:
+        queue = CommandQueue(context)
+        inputs = workload.prepare()
+        outputs = workload.execute(context, queue, inputs)
+        verified = workload.check(outputs, workload.reference(inputs))
+    except SimError as exc:
+        error = exc
+    return _Execution(platform, context, injector, outputs, verified, error)
+
+
+def _clean_observables(execution):
+    """Plan-generator inputs from a clean run: touched GPU-VA pages and
+    the workgroup count of the (last) job."""
+    pages = sorted(execution.platform.gpu.mmu.pages_accessed)
+    results = execution.platform.last_job_results()
+    groups = max((result.stats.workgroups for result in results
+                  if result.stats is not None), default=1)
+    return pages, max(1, groups)
+
+
+def build_plan(scenario, rng, pages, groups):
+    """Derive the scenario's fault plan from the case RNG and the
+    clean-run observables."""
+    persistent = scenario.endswith("-persistent")
+    count = None if persistent else 1
+    if scenario.startswith("mmu-"):
+        spec = FaultSpec(
+            "mmu.page", key=rng.choice(pages), count=count,
+            params={"kind": rng.choice(["translation", "permission"]),
+                    "access": rng.choice(["r", "w"])})
+    elif scenario.startswith("hang-"):
+        spec = FaultSpec("core.hang", key=rng.randrange(groups),
+                         count=count)
+    elif scenario.startswith("descriptor-"):
+        # corrupt the job-type field: any bit-flip there turns the
+        # descriptor into a guaranteed clean fault (never a silently
+        # wrong job), which is what the recovery invariant needs
+        spec = FaultSpec(
+            "descriptor.read", count=count,
+            params={"offset": rng.randrange(4),
+                    "mask": rng.randrange(1, 256)})
+    elif scenario == "irq-lost":
+        spec = FaultSpec("irq.lost", count=1)
+    elif scenario == "irq-spurious":
+        spec = FaultSpec("irq.spurious", count=1,
+                         params={"line": "mmu"})
+    elif scenario == "alloc-fail":
+        spec = FaultSpec("alloc.phys", occurrence=1 + rng.randrange(2),
+                         count=1)
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}")
+    return FaultPlan([spec], name=scenario)
+
+
+def _usable_after(execution, workload_name):
+    """A follow-up clean run on the *same* platform must verify."""
+    execution.platform.attach_injector(None)
+    workload = _make_workload(workload_name)
+    queue = CommandQueue(execution.context)
+    inputs = workload.prepare()
+    outputs = workload.execute(execution.context, queue, inputs)
+    return workload.check(outputs, workload.reference(inputs))
+
+
+def _run_grow_case(rng, engine, num_host_threads):
+    """heap-grow: a kernel sweeps a grow-on-fault buffer; the page-fault
+    worker must grow the mapping and the result must be exact."""
+    platform = _new_platform(engine, num_host_threads)
+    context = Context(platform)
+    queue = CommandQueue(context)
+    n_pages = 4 + rng.randrange(8)
+    n = n_pages * PAGE_SIZE // 4
+    buffer = context.alloc_buffer(n * 4, grow_on_fault=True)
+    program = context.build_program(_GROW_SOURCE)
+    kernel = program.kernel("fillseq")
+    kernel.set_args(buffer, n)
+    queue.enqueue_nd_range(kernel, (n,), (64,))
+    got = queue.enqueue_read_buffer(buffer, dtype=np.int32, count=n)
+    want = (np.arange(n, dtype=np.int64) * 1103 + 12345).astype(np.int32)
+    driver = platform.driver
+    if not np.array_equal(got, want):
+        return False, "grow-on-fault output mismatch", driver
+    if driver.page_faults == 0 or driver.pages_grown == 0:
+        return False, ("page-fault worker never grew the region "
+                       f"(page_faults={driver.page_faults})"), driver
+    committed = buffer.region.committed
+    if committed < n * 4:
+        return False, (f"region under-committed: {committed} < {n * 4}"), \
+            driver
+    return True, (f"pages_grown={driver.pages_grown} "
+                  f"page_faults={driver.page_faults}"), driver
+
+
+def run_case(workload_name, scenario, seed, engine="interpreter",
+             num_host_threads=1, clean=None, check_determinism=True):
+    """Run one campaign case; returns (CaseResult, FaultPlan or None).
+
+    *clean* is an optional cached clean :class:`_Execution` for this
+    workload/engine/threads combination (clean runs are deterministic,
+    so the cache is exact).
+    """
+    rng = random.Random(f"{workload_name}:{scenario}:{seed}")
+    expect = SCENARIOS[scenario]
+
+    if expect == "grow":
+        ok, detail, driver = _run_grow_case(rng, engine, num_host_threads)
+        counters = {"driver.page_faults": driver.page_faults,
+                    "driver.pages_grown": driver.pages_grown}
+        return CaseResult(workload_name, scenario, seed, ok, detail,
+                          counters=counters), None
+
+    if clean is None:
+        clean = _execute(workload_name, engine, num_host_threads)
+    if clean.error is not None or not clean.verified:
+        return CaseResult(
+            workload_name, scenario, seed, False,
+            f"clean run failed: {clean.error or 'verification'}"), None
+    pages, groups = _clean_observables(clean)
+    plan = build_plan(scenario, rng, pages, groups)
+
+    faulted = _execute(workload_name, engine, num_host_threads, plan=plan)
+    fired = faulted.injector.total_fired
+    counters = faulted.counters()
+    result = CaseResult(workload_name, scenario, seed, True,
+                        fired=fired, counters=counters)
+
+    def fail(detail):
+        result.ok = False
+        result.detail = detail
+        return result, plan
+
+    if fired == 0:
+        return fail("plan never fired")
+    if expect == "recover":
+        if faulted.error is not None:
+            return fail(f"expected recovery, got {faulted.error!r}")
+        if not faulted.verified:
+            return fail("recovered run failed verification")
+        if faulted.output_bytes != clean.output_bytes:
+            return fail("recovered output not bit-exact vs clean run")
+    else:  # fail-clean
+        if faulted.error is None:
+            return fail("expected a clean SimError, run completed")
+        if not _usable_after(faulted, workload_name):
+            return fail("platform unusable after unrecoverable fault")
+
+    if check_determinism:
+        repeat = _execute(workload_name, engine, num_host_threads,
+                          plan=plan)
+        if repeat.counters() != counters:
+            return fail(f"non-deterministic counters: {repeat.counters()} "
+                        f"!= {counters}")
+        if repeat.injector.log != faulted.injector.log:
+            return fail("non-deterministic firing log")
+        if repeat.output_bytes != faulted.output_bytes:
+            return fail("non-deterministic outputs under plan")
+        if str(repeat.error) != str(faulted.error):
+            return fail("non-deterministic error under plan")
+
+    result.detail = " ".join(
+        f"{key.split('.')[-1]}={value}"
+        for key, value in sorted(counters.items()) if value)
+    return result, plan
+
+
+def write_reproducer(out_dir, case, plan, engine, num_host_threads):
+    """Write a failing case as a corpus-style JSON reproducer; returns
+    the file path. Plans are single-spec, i.e. already minimal."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    name = f"{case.workload}--{case.scenario}--s{case.seed}"
+    entry = {
+        "format": REPRO_FORMAT,
+        "name": name,
+        "workload": case.workload,
+        "scenario": case.scenario,
+        "seed": case.seed,
+        "engine": engine,
+        "num_host_threads": num_host_threads,
+        "plan": plan.to_dict() if plan is not None else None,
+        "expect": SCENARIOS[case.scenario],
+        "notes": case.detail,
+        "counters": case.counters,
+    }
+    path = out_dir / f"{name}.json"
+    path.write_text(json.dumps(entry, indent=2) + "\n")
+    return path
+
+
+def replay_reproducer(path, check_determinism=True):
+    """Re-run a reproducer file; returns its CaseResult."""
+    entry = json.loads(Path(path).read_text())
+    if entry.get("format") != REPRO_FORMAT:
+        raise ValueError(f"{path}: not a {REPRO_FORMAT} file")
+    result, _plan = run_case(
+        entry["workload"], entry["scenario"], entry["seed"],
+        engine=entry.get("engine", "interpreter"),
+        num_host_threads=entry.get("num_host_threads", 1),
+        check_determinism=check_determinism)
+    return result
+
+
+def run_campaign(workloads=DEFAULT_WORKLOADS, scenarios=None, seeds=1,
+                 engine="interpreter", num_host_threads=1, out_dir=None,
+                 check_determinism=True, progress=None):
+    """Sweep ``workloads x scenarios x seeds``; returns a CampaignReport.
+
+    Failing cases are written as reproducers under *out_dir* when given.
+    *progress* is an optional callable taking each CaseResult as it
+    lands (the CLI uses it for live output).
+    """
+    scenario_names = list(scenarios or SCENARIOS)
+    report = CampaignReport(engine=engine,
+                            num_host_threads=num_host_threads)
+    clean_cache = {}
+    for workload_name in workloads:
+        for scenario in scenario_names:
+            expect = SCENARIOS[scenario]
+            if expect != "grow" and workload_name not in clean_cache:
+                clean_cache[workload_name] = _execute(
+                    workload_name, engine, num_host_threads)
+            for seed in range(seeds):
+                try:
+                    case, plan = run_case(
+                        workload_name, scenario, seed, engine=engine,
+                        num_host_threads=num_host_threads,
+                        clean=clean_cache.get(workload_name),
+                        check_determinism=check_determinism)
+                except Exception as exc:  # invariant: nothing escapes raw
+                    case = CaseResult(
+                        workload_name, scenario, seed, False,
+                        f"non-SimError escaped: {type(exc).__name__}: "
+                        f"{exc}")
+                    plan = None
+                report.cases.append(case)
+                if not case.ok and out_dir is not None:
+                    write_reproducer(out_dir, case, plan, engine,
+                                     num_host_threads)
+                if progress is not None:
+                    progress(case)
+    return report

@@ -19,6 +19,10 @@ Subcommands:
   https://ui.perfetto.dev).
 - ``overhead``      — self-measure instrumentation overhead on a built-in
   workload against the paper's <5% budget.
+- ``faultcampaign`` — seeded fault-injection sweep asserting the
+  kbase-faithful recovery invariants (bit-exact recovery, clean failure,
+  usable-after, determinism); failing cases become JSON reproducers
+  (``--replay DIR`` re-runs them).
 """
 
 import argparse
@@ -308,6 +312,54 @@ def _cmd_conformance(options):
     return 0 if report.ok else 1
 
 
+def _cmd_faultcampaign(options):
+    from repro.inject.campaign import (
+        SCENARIOS,
+        replay_reproducer,
+        run_campaign,
+    )
+
+    if options.replay:
+        from pathlib import Path
+
+        paths = sorted(Path(options.replay).glob("*.json"))
+        failed = 0
+        for path in paths:
+            case = replay_reproducer(
+                path, check_determinism=not options.no_determinism)
+            status = "ok  " if case.ok else "FAIL"
+            failed += not case.ok
+            print(f"{status} {case.workload} {case.scenario} "
+                  f"seed={case.seed} ({path})")
+        print(f"replayed {len(paths)} reproducers, {failed} failing")
+        return 1 if failed else 0
+
+    scenarios = options.scenarios.split(",") if options.scenarios else None
+    if scenarios:
+        unknown = set(scenarios) - set(SCENARIOS)
+        if unknown:
+            print(f"unknown scenarios: {sorted(unknown)}; "
+                  f"known: {sorted(SCENARIOS)}")
+            return 2
+
+    def progress(case):
+        mark = "ok  " if case.ok else "FAIL"
+        print(f"  {mark} {case.workload} {case.scenario} seed={case.seed} "
+              f"fired={case.fired} {case.detail}", flush=True)
+
+    report = run_campaign(
+        workloads=options.workloads, scenarios=scenarios,
+        seeds=options.seeds, engine=options.engine,
+        num_host_threads=options.threads, out_dir=options.write_repros,
+        check_determinism=not options.no_determinism,
+        progress=progress if options.verbose else None)
+    print(report.summary())
+    if report.failures and options.write_repros:
+        print(f"wrote {len(report.failures)} reproducers to "
+              f"{options.write_repros}")
+    return 0 if report.ok else 1
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -396,6 +448,35 @@ def main(argv=None):
     p_conf.add_argument("--min-coverage", type=float, default=0.0,
                         help="fail below this coverage fraction (0..1)")
     p_conf.set_defaults(func=_cmd_conformance)
+
+    p_fault = sub.add_parser(
+        "faultcampaign",
+        help="seeded fault-injection campaign with recovery invariants")
+    p_fault.add_argument("--workloads", nargs="+",
+                         default=["sgemm", "divergent"],
+                         help="workload names (default: sgemm divergent)")
+    p_fault.add_argument("--scenarios", default=None,
+                         metavar="A,B,...",
+                         help="comma-separated scenario subset "
+                              "(default: all)")
+    p_fault.add_argument("--seeds", type=int, default=1,
+                         help="seeds per (workload, scenario) case")
+    p_fault.add_argument("--engine", default="interpreter",
+                         choices=("interpreter", "jit"))
+    p_fault.add_argument("--threads", type=int, default=1,
+                         help="num_host_threads for the GPU model")
+    p_fault.add_argument("--write-repros", default=None, metavar="DIR",
+                         help="write failing cases here as JSON "
+                              "reproducers")
+    p_fault.add_argument("--replay", default=None, metavar="DIR",
+                         help="replay a reproducer directory instead of "
+                              "sweeping")
+    p_fault.add_argument("--no-determinism", action="store_true",
+                         help="skip the double-run determinism check "
+                              "(halves runtime)")
+    p_fault.add_argument("--verbose", action="store_true",
+                         help="print each case as it lands")
+    p_fault.set_defaults(func=_cmd_faultcampaign)
 
     options = parser.parse_args(argv)
     return options.func(options)

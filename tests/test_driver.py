@@ -128,9 +128,16 @@ class TestJobSubmission:
         assert results[1].stats.threads_launched == 4
 
     def test_bad_descriptor_faults(self, platform):
+        driver = platform.driver
         with pytest.raises(JobFault):
-            platform.driver.submit_and_wait(0xDEAD0000)  # unmapped VA
-        assert platform.system_stats().mmu_faults == 1
+            driver.submit_and_wait(0xDEAD0000)  # unmapped VA
+        # the recovery ladder retried the persistent fault to exhaustion
+        # (ending with a GPU reset) before surfacing it
+        attempts = driver.policy.max_retries + 1
+        assert platform.system_stats().mmu_faults == attempts
+        assert driver.retries == driver.policy.max_retries
+        assert driver.resets == 1
+        assert driver.faults_unrecovered == 1
 
     def test_irq_traffic_counted(self, platform):
         before = platform.system_stats().interrupts_asserted
@@ -152,6 +159,99 @@ class TestJobSubmission:
             driver.run_job((4, 1, 1), (4, 1, 1), binary_region, len(binary),
                            uniform_region, 10)
         assert platform.gpu.job_manager.decode_count == decode_before + 1
+
+
+class TestDriverNegativePaths:
+    def test_submit_before_initialize_raises(self):
+        platform = MobilePlatform()  # not initialized
+        with pytest.raises(DriverError, match="not initialized"):
+            platform.driver.submit_and_wait(0x1000)
+
+    def test_build_descriptor_before_initialize_raises(self):
+        platform = MobilePlatform()
+        with pytest.raises(DriverError, match="not initialized"):
+            platform.driver.build_descriptor(
+                (4, 1, 1), (4, 1, 1), None, 0, None, 0)
+
+    def test_descriptor_slot_out_of_range(self, platform):
+        driver = platform.driver
+        binary = _trivial_binary()
+        binary_region = driver.alloc_region(len(binary), executable=True)
+        platform.memory.write_block(binary_region.phys, binary)
+        uniform_region = driver.alloc_region(64)
+        with pytest.raises(DriverError, match="slot"):
+            driver.build_descriptor((4, 1, 1), (4, 1, 1), binary_region,
+                                    len(binary), uniform_region, 10,
+                                    slot=10_000)
+
+    def test_mmu_fault_registers_readable_over_bus(self, platform):
+        """After a translation fault the driver (or any bus master) can
+        read the latched fault address/status back through MMIO, exactly
+        like kbase's fault worker does."""
+        driver = platform.driver
+        with pytest.raises(JobFault):
+            driver.submit_and_wait(0xDEAD0000)  # unmapped descriptor VA
+        mmu = platform.gpu.mmu
+        lo = platform.bus.read_u32(GPU_BASE + regs.MMU_FAULT_ADDR_LO)
+        hi = platform.bus.read_u32(GPU_BASE + regs.MMU_FAULT_ADDR_HI)
+        status = platform.bus.read_u32(GPU_BASE + regs.MMU_FAULT_STATUS)
+        assert (hi << 32) | lo == mmu.fault_addr == 0xDEAD0000
+        assert status == mmu.fault_status == 1  # read fault
+
+
+class TestPhysFreeList:
+    def test_freed_pages_are_recycled_without_heap_growth(self, platform):
+        driver = platform.driver
+        regions = [driver.alloc_region(4 * PAGE_SIZE) for _ in range(8)]
+        free_before = driver.free_bytes
+        for region in regions:
+            driver.free_region(region)
+        assert driver.free_bytes == free_before + 8 * 4 * PAGE_SIZE
+        # reallocating fewer regions than were freed must come from the
+        # free list (leaving slack for any page-table frames), not from
+        # growing the bump pointer
+        heap_used = driver.heap_used
+        recycled = [driver.alloc_region(4 * PAGE_SIZE) for _ in range(4)]
+        assert driver.heap_used == heap_used
+        assert driver.bytes_recycled >= 4 * 4 * PAGE_SIZE
+        freed_phys = {region.phys for region in regions}
+        assert all(region.phys in freed_phys for region in recycled)
+
+    def test_free_extents_coalesce(self, platform):
+        driver = platform.driver
+        a = platform.driver.alloc_region(PAGE_SIZE)
+        b = platform.driver.alloc_region(PAGE_SIZE)
+        c = platform.driver.alloc_region(PAGE_SIZE)
+        assert b.phys == a.phys + PAGE_SIZE
+        assert c.phys == b.phys + PAGE_SIZE
+        # free out of order; adjacent extents merge into one
+        driver.free_region(a)
+        driver.free_region(c)
+        assert len(driver._free_extents) == 2
+        driver.free_region(b)
+        assert driver._free_extents == [(a.phys, 3 * PAGE_SIZE)]
+        # a single allocation can now span what were three regions
+        big = driver.alloc_region(3 * PAGE_SIZE)
+        assert big.phys == a.phys
+
+    def test_recycled_pages_are_zero_filled(self, platform):
+        driver = platform.driver
+        region = driver.alloc_region(PAGE_SIZE)
+        platform.memory.write_block(region.phys, b"\xa5" * PAGE_SIZE)
+        driver.free_region(region)
+        again = driver.alloc_region(PAGE_SIZE)
+        assert again.phys == region.phys  # first-fit returns the extent
+        data = platform.memory.read_block(again.phys, PAGE_SIZE)
+        assert data == b"\x00" * PAGE_SIZE
+
+    def test_bytes_mapped_returns_to_baseline_after_free(self, platform):
+        driver = platform.driver
+        baseline = driver.bytes_mapped
+        regions = [driver.alloc_region(2 * PAGE_SIZE) for _ in range(16)]
+        assert driver.bytes_mapped == baseline + 16 * 2 * PAGE_SIZE
+        for region in regions:
+            driver.free_region(region)
+        assert driver.bytes_mapped == baseline  # no leak
 
 
 class TestDevices:

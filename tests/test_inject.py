@@ -1,0 +1,312 @@
+"""Unit tests: fault injection, kbase-faithful recovery, fault campaign."""
+
+import numpy as np
+import pytest
+
+from repro.cl import CommandQueue, Context
+from repro.core.platform import MobilePlatform, PlatformConfig
+from repro.driver.kbase import RecoveryPolicy
+from repro.errors import (
+    DriverError,
+    IRQMismatchError,
+    JobFault,
+    SimError,
+)
+from repro.gpu.device import GPUConfig
+from repro.inject import FaultInjector, FaultPlan, FaultSpec
+from repro.inject.campaign import SCENARIOS, replay_reproducer, run_case
+from repro.mem.physical import PAGE_SIZE
+
+_FILL_SOURCE = """
+__kernel void fill(__global int* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        out[i] = i * 7 + 3;
+    }
+}
+"""
+
+
+def _fresh_context(num_host_threads=1, engine="interpreter"):
+    config = PlatformConfig(gpu=GPUConfig(
+        num_host_threads=num_host_threads, engine=engine))
+    return Context(MobilePlatform(config))
+
+
+def _run_fill(context, queue=None, n=256, grow=False):
+    queue = queue or CommandQueue(context)
+    buffer = context.alloc_buffer(n * 4, grow_on_fault=grow)
+    kernel = context.build_program(_FILL_SOURCE).kernel("fill")
+    kernel.set_args(buffer, n)
+    queue.enqueue_nd_range(kernel, (n,), (64,))
+    return queue.enqueue_read_buffer(buffer, dtype=np.int32, count=n)
+
+
+def _expected_fill(n=256):
+    return (np.arange(n, dtype=np.int64) * 7 + 3).astype(np.int32)
+
+
+class TestPlan:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection site"):
+            FaultSpec("mmu.bogus")
+
+    def test_keyed_site_requires_key(self):
+        with pytest.raises(ValueError, match="requires a key"):
+            FaultSpec("mmu.page")
+
+    def test_occurrence_site_rejects_key(self):
+        with pytest.raises(ValueError, match="occurrence-keyed"):
+            FaultSpec("irq.lost", key=3)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            FaultSpec("irq.lost", count=0)
+
+    def test_round_trip(self):
+        plan = FaultPlan(
+            [FaultSpec("mmu.page", key=0x123, count=None,
+                       params={"kind": "permission", "access": "w"}),
+             FaultSpec("descriptor.read", occurrence=2,
+                       params={"offset": 1, "mask": 0x80})],
+            name="mixed", seed=7)
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.name == "mixed" and clone.seed == 7
+        assert [spec.to_dict() for spec in clone] \
+            == [spec.to_dict() for spec in plan]
+
+
+class TestInjector:
+    def test_occurrence_site_fires_on_nth_visit(self):
+        injector = FaultInjector([FaultSpec("irq.lost", occurrence=2)])
+        assert injector.fire("irq.lost") is None
+        assert injector.fire("irq.lost") is not None
+        assert injector.fire("irq.lost") is None  # count=1 consumed
+        assert injector.fired["irq.lost"] == 1
+
+    def test_persistent_spec_fires_every_visit(self):
+        injector = FaultInjector([FaultSpec("alloc.phys", count=None)])
+        for _ in range(5):
+            assert injector.fire("alloc.phys") is not None
+        assert injector.fired["alloc.phys"] == 5
+
+    def test_keyed_site_matches_only_its_key(self):
+        injector = FaultInjector(
+            [FaultSpec("core.hang", key=3, params={"stall_rounds": 9})])
+        assert injector.fire("core.hang", key=2) is None
+        assert injector.fire("core.hang", key=3) == {"stall_rounds": 9}
+        assert injector.fire("core.hang", key=3) is None
+
+    def test_page_armed_is_non_consuming(self):
+        injector = FaultInjector([FaultSpec("mmu.page", key=0x40)])
+        for _ in range(3):
+            assert injector.page_armed(0x40)
+        assert not injector.page_armed(0x41)
+        assert injector.fire_page(0x40) is not None
+        assert not injector.page_armed(0x40)  # consumed
+        assert injector.fire_page(0x40) is None
+
+
+class TestGrowOnFault:
+    def test_growable_region_commits_lazily(self):
+        platform = MobilePlatform().initialize()
+        driver = platform.driver
+        region = driver.alloc_region(8 * PAGE_SIZE, grow_on_fault=True)
+        assert region.growable
+        assert region.committed \
+            == driver.policy.grow_initial_pages * PAGE_SIZE
+        # the committed window translates; the rest faults into the
+        # driver's page-fault worker, which grows the mapping and the
+        # access resumes
+        mmu = platform.gpu.mmu
+        assert mmu.translate(region.gpu_va, "w") == region.phys
+        vaddr = region.gpu_va + 5 * PAGE_SIZE + 8
+        assert mmu.translate(vaddr, "w") == region.phys + 5 * PAGE_SIZE + 8
+        assert driver.page_faults == 1
+        assert driver.pages_grown >= 5
+        assert mmu.page_faults_resolved == 1
+        assert region.committed > 5 * PAGE_SIZE
+
+    def test_growable_cannot_be_executable(self):
+        platform = MobilePlatform().initialize()
+        with pytest.raises(DriverError, match="executable"):
+            platform.driver.alloc_region(PAGE_SIZE, executable=True,
+                                         grow_on_fault=True)
+
+    def test_free_growable_region_balances_bytes_mapped(self):
+        platform = MobilePlatform().initialize()
+        driver = platform.driver
+        before = driver.bytes_mapped
+        region = driver.alloc_region(8 * PAGE_SIZE, grow_on_fault=True)
+        platform.gpu.mmu.translate(region.gpu_va + 6 * PAGE_SIZE, "w")
+        driver.free_region(region)
+        assert driver.bytes_mapped == before
+
+    def test_kernel_over_growable_buffer_is_exact(self):
+        context = _fresh_context()
+        got = _run_fill(context, n=4 * PAGE_SIZE // 4, grow=True)
+        assert np.array_equal(got, _expected_fill(4 * PAGE_SIZE // 4))
+        assert context.platform.driver.page_faults > 0
+
+
+class TestRecoveryLadder:
+    def _faulted_run(self, plan, **context_kwargs):
+        context = _fresh_context(**context_kwargs)
+        injector = context.platform.attach_injector(FaultInjector(plan))
+        got = _run_fill(context)
+        return context, injector, got
+
+    def test_transient_mmu_fault_recovers_bit_exact(self):
+        clean = _run_fill(_fresh_context())
+        probe = _fresh_context()
+        _run_fill(probe)
+        page = max(probe.platform.gpu.mmu.pages_accessed)
+        plan = [FaultSpec("mmu.page", key=page,
+                          params={"kind": "permission", "access": "w"})]
+        context, injector, got = self._faulted_run(plan)
+        assert np.array_equal(got, clean)
+        driver = context.platform.driver
+        assert injector.total_fired == 1
+        assert driver.retries == 1
+        assert context.platform.gpu.mmu.injected_faults == 1
+
+    def test_persistent_fault_exhausts_ladder_and_leaves_gpu_usable(self):
+        plan = [FaultSpec("descriptor.read", count=None)]
+        context = _fresh_context()
+        context.platform.attach_injector(FaultInjector(plan))
+        with pytest.raises(JobFault, match="unrecoverable"):
+            _run_fill(context)
+        driver = context.platform.driver
+        assert driver.faults_unrecovered == 1
+        assert driver.retries == driver.policy.max_retries
+        assert driver.resets == 1
+        assert context.platform.gpu.soft_resets == 1
+        # the reset + re-bring-up leaves the same platform fully usable
+        context.platform.attach_injector(None)
+        assert np.array_equal(_run_fill(context), _expected_fill())
+
+    def test_injected_hang_walks_soft_stop_ladder(self):
+        plan = [FaultSpec("core.hang", key=0)]
+        context, injector, got = self._faulted_run(plan)
+        assert np.array_equal(got, _expected_fill())
+        driver = context.platform.driver
+        jm = context.platform.gpu.job_manager
+        assert jm.watchdog_timeouts == 1
+        assert driver.soft_stops == 1
+        assert driver.retries == 1
+
+    def test_lost_irq_recovered_from_rawstat(self):
+        plan = [FaultSpec("irq.lost")]
+        context, injector, got = self._faulted_run(plan)
+        assert np.array_equal(got, _expected_fill())
+        assert context.platform.driver.irq_mismatches == 1
+
+    def test_spurious_irq_acknowledged(self):
+        plan = [FaultSpec("irq.spurious", params={"line": "mmu"})]
+        context, injector, got = self._faulted_run(plan)
+        assert np.array_equal(got, _expected_fill())
+        assert context.platform.driver.spurious_irqs == 1
+
+    def test_strict_irq_policy_raises_mismatch(self):
+        context = _fresh_context()
+        context.platform.driver.policy = RecoveryPolicy(strict_irq=True)
+        context.platform.attach_injector(
+            FaultInjector([FaultSpec("irq.spurious", params={"line": "mmu"})]))
+        with pytest.raises(IRQMismatchError, match="spurious"):
+            _run_fill(context)
+
+    def test_injected_alloc_failure_is_clean_and_transient(self):
+        context = _fresh_context()
+        context.platform.attach_injector(
+            FaultInjector([FaultSpec("alloc.phys")]))
+        with pytest.raises(DriverError, match="allocation"):
+            _run_fill(context)
+        assert context.platform.driver.alloc_failures == 1
+        # the injected failure was transient; the platform keeps working
+        assert np.array_equal(_run_fill(context), _expected_fill())
+
+    def test_recovery_is_deterministic_across_host_threads(self):
+        def counters(threads):
+            probe = _fresh_context(num_host_threads=threads)
+            _run_fill(probe)
+            page = max(probe.platform.gpu.mmu.pages_accessed)
+            plan = [FaultSpec("mmu.page", key=page,
+                              params={"access": "w"})]
+            context, injector, got = self._faulted_run(
+                plan, num_host_threads=threads)
+            driver = context.platform.driver
+            return (got.tobytes(), injector.log, driver.retries,
+                    driver.backoff_ticks,
+                    context.platform.gpu.mmu.injected_faults)
+
+        assert counters(1) == counters(4)
+
+
+class TestCLRuntimeFaults:
+    def test_unrecoverable_launch_records_errored_event(self):
+        context = _fresh_context()
+        queue = CommandQueue(context, profiling=True)
+        context.platform.attach_injector(
+            FaultInjector([FaultSpec("descriptor.read", count=None)]))
+        with pytest.raises(JobFault):
+            _run_fill(context, queue=queue)
+        assert queue.events[-1].kind == "ndrange"
+        assert queue.events[-1].status == "error"
+        assert context.stat_kernels_failed.value() == 1
+        # same context and queue keep working afterwards
+        context.platform.attach_injector(None)
+        got = _run_fill(context, queue=queue)
+        assert np.array_equal(got, _expected_fill())
+        assert queue.events[-2].status == "complete"  # the clean ndrange
+
+
+class TestCampaign:
+    def test_scenario_table_complete(self):
+        assert set(SCENARIOS.values()) == {"recover", "fail-clean", "grow"}
+
+    def test_transient_case_passes(self):
+        case, plan = run_case("divergent", "mmu-transient", 0,
+                              check_determinism=True)
+        assert case.ok, case.detail
+        assert case.fired == 1
+        assert plan is not None and len(plan) == 1
+
+    def test_persistent_case_passes(self):
+        case, _plan = run_case("divergent", "hang-persistent", 0,
+                               check_determinism=False)
+        assert case.ok, case.detail
+        assert case.counters["driver.faults_unrecovered"] == 1
+        assert case.counters["driver.resets"] == 1
+
+    def test_reproducer_round_trip(self, tmp_path):
+        from repro.inject.campaign import write_reproducer
+
+        case, plan = run_case("divergent", "irq-lost", 0,
+                              check_determinism=False)
+        assert case.ok
+        path = write_reproducer(tmp_path, case, plan, "interpreter", 1)
+        replayed = replay_reproducer(path, check_determinism=False)
+        assert replayed.ok, replayed.detail
+
+
+class TestGoldenStatsUnaffected:
+    def test_detached_injector_costs_nothing_in_golden_stats(self):
+        """With no injector attached, every injection counter reads zero
+        and the golden register/translation counts match a platform that
+        never knew about injection (the zero-hot-path-cost invariant)."""
+        def run():
+            context = _fresh_context()
+            _run_fill(context)
+            registry = context.platform.stats_registry
+            golden = {
+                name: registry.value(name)
+                for name in ("gpu.ctrl_reg_reads", "gpu.ctrl_reg_writes",
+                             "gpu.mmu.translations",
+                             "driver.kbase.jobs_submitted")
+            }
+            inject_total = registry.value("inject.total")
+            return golden, inject_total
+
+        (golden_a, inject_a), (golden_b, inject_b) = run(), run()
+        assert golden_a == golden_b
+        assert inject_a == inject_b == 0
