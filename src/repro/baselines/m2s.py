@@ -62,13 +62,17 @@ def _is_nan_bits(bits):
     return (bits & 0x7F800000) == 0x7F800000 and (bits & 0x007FFFFF) != 0
 
 
-# Two-operand float ops whose NaN *payload* propagation differs between
-# NumPy's scalar and vector code paths (which operand's payload survives,
-# and whether signalling NaNs are quieted). The quad engines compute on
-# vectors, so for NaN inputs the scalar ALU delegates to a 1-element vector
-# computation; NumPy's vector NaN behaviour is width-independent, making the
-# two engines bit-exact by construction.
+# Float ops whose NaN *payload* propagation differs between NumPy's scalar
+# and vector code paths (which operand's payload survives, and whether
+# signalling NaNs are quieted). The quad engines compute on vectors, so for
+# NaN inputs the scalar ALU delegates to a 1-element vector computation.
+# For the arithmetic ops that computation is width-independent (each lane
+# is one hardware add/mul with a fixed NaN rule); fmin/fmax are instead
+# built from compares and blends whose payload choice varies with the SIMD
+# lane position, so their NaN results are canonicalized outright (Arm
+# default-NaN mode) rather than propagated.
 _NAN_PROPAGATING = {Op.FADD, Op.FSUB, Op.FMUL, Op.FMA, Op.FMIN, Op.FMAX}
+_QNAN_BITS = 0x7FC00000  # canonical quiet NaN
 
 
 def _vector_alu_f(op, a, b, c):
@@ -86,8 +90,12 @@ def _vector_alu_f(op, a, b, c):
             result = va * vb + vc
         elif op is Op.FMIN:
             result = np.fmin(va, vb)
+            if np.isnan(result[0]):
+                return _QNAN_BITS
         else:  # FMAX
             result = np.fmax(va, vb)
+            if np.isnan(result[0]):
+                return _QNAN_BITS
     return int(result.astype(np.float32).view(np.uint32)[0])
 
 

@@ -9,6 +9,7 @@ import numpy as np
 from repro.errors import CLError, JobFault
 from repro.clc import compile_source
 from repro.core.platform import MobilePlatform
+from repro.gpu.verify import VerifyContext, verify_binary
 from repro.instrument.stats import JobStats
 
 _WORK_DIM_SLOTS = 10  # uniform slots reserved for NDRange description
@@ -121,12 +122,28 @@ class Context:
 
 
 class Program:
-    """A JIT-compiled program: one binary per kernel, uploaded on demand."""
+    """A JIT-compiled program: one binary per kernel, uploaded on demand.
+
+    Build acts like a driver-side verifier: beyond compiling, every
+    kernel's *binary* is decoded and re-verified independently of the
+    compiler's own gate, and error-severity findings fail the build with
+    :class:`CLError` (the ``CL_BUILD_PROGRAM_FAILURE`` analogue).
+    """
 
     def __init__(self, context, source, version=None, defines=None):
         self.context = context
         self.source = source
         self.compiled = compile_source(source, options=version, defines=defines)
+        self.build_reports = {}
+        for name, kernel in self.compiled.kernels.items():
+            report = verify_binary(
+                kernel.binary, VerifyContext.from_compiled_kernel(kernel))
+            self.build_reports[name] = report
+            if not report.ok:
+                details = "; ".join(str(f) for f in report.errors[:8])
+                raise CLError(
+                    f"program build failed: kernel {name!r} rejected by "
+                    f"the binary verifier: {details}")
         self._uploaded = {}
 
     @property

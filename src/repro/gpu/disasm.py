@@ -71,8 +71,26 @@ def format_instruction(instr):
     return text
 
 
-def format_clause(clause, index=None, base_address=0xAA000000):
-    """Multi-line disassembly of one clause."""
+def format_clause(clause, index=None, base_address=0xAA000000,
+                  annotations=None):
+    """Multi-line disassembly of one clause.
+
+    *annotations* is a list of ``(tuple_index, slot, text)`` triples
+    (e.g. verifier findings): each is rendered as a ``; ^ ...`` line
+    directly under the tuple it anchors to (``tuple_index is None``
+    anchors to the clause header/tail instead). The *slot* tag (``fma``/
+    ``add``/``tail``) is echoed so the reader knows which half of the
+    tuple the annotation points at.
+    """
+    by_tuple = {}
+    header_notes = []
+    for tuple_index, slot, text in annotations or ():
+        tag = f"[{slot}] " if slot else ""
+        if tuple_index is None:
+            header_notes.append(f"  ; ^ {tag}{text}")
+        else:
+            by_tuple.setdefault(tuple_index, []).append(
+                f"    ; ^ {tag}{text}")
     lines = []
     header = f"clause"
     if index is not None:
@@ -83,9 +101,11 @@ def format_clause(clause, index=None, base_address=0xAA000000):
     if clause.tail in (Tail.BRANCH, Tail.BRANCH_Z):
         header += f" if {operand_name(clause.cond_reg)}"
     lines.append(header)
-    for fma, add in clause.tuples:
+    lines.extend(header_notes)
+    for tuple_index, (fma, add) in enumerate(clause.tuples):
         lines.append(f"  {{FMA}} {format_instruction(fma):34s}"
                      f"{{ADD}} {format_instruction(add)}")
+        lines.extend(by_tuple.get(tuple_index, ()))
     if clause.constants:
         pool = ", ".join(f"c{i}=0x{value:08x}"
                          for i, value in enumerate(clause.constants))
@@ -93,13 +113,21 @@ def format_clause(clause, index=None, base_address=0xAA000000):
     return "\n".join(lines)
 
 
-def disassemble(program_or_binary, base_address=0xAA000000):
-    """Disassemble a Program or an encoded binary image to text."""
+def disassemble(program_or_binary, base_address=0xAA000000,
+                annotations=None):
+    """Disassemble a Program or an encoded binary image to text.
+
+    *annotations* maps clause index -> list of ``(tuple_index, slot,
+    text)`` triples (the shape produced by
+    :meth:`repro.gpu.verify.Report.annotations`), inlined under the
+    lines they anchor to.
+    """
     program = program_or_binary
     if isinstance(program_or_binary, (bytes, bytearray)):
         program = decode_program(bytes(program_or_binary))
     blocks = [
-        format_clause(clause, index, base_address)
+        format_clause(clause, index, base_address,
+                      annotations=(annotations or {}).get(index))
         for index, clause in enumerate(program.clauses)
     ]
     return "\n".join(blocks)

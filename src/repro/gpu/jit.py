@@ -59,14 +59,26 @@ def _alu_table():
                 return fn(_f32(a), _f32(b), _f32(c)).astype(np.float32)
         return run
 
+    def wrap_minmax(fn):
+        # Arm default-NaN mode: canonicalize NaN results (NumPy's
+        # fmin/fmax payload choice is SIMD-lane-dependent)
+        def run(a, b, c):
+            with np.errstate(**err):
+                out = fn(_f32(a), _f32(b)).astype(np.float32)
+                nan = np.isnan(out)
+                if nan.any():
+                    out[nan] = np.float32(np.nan)
+                return out
+        return run
+
     table = {
         Op.MOV: lambda a, b, c: a,
         Op.FADD: wrap_f(lambda a, b, c: a + b),
         Op.FSUB: wrap_f(lambda a, b, c: a - b),
         Op.FMUL: wrap_f(lambda a, b, c: a * b),
         Op.FMA: wrap_f(lambda a, b, c: a * b + c),
-        Op.FMIN: wrap_f(lambda a, b, c: np.fmin(a, b)),
-        Op.FMAX: wrap_f(lambda a, b, c: np.fmax(a, b)),
+        Op.FMIN: wrap_minmax(np.fmin),
+        Op.FMAX: wrap_minmax(np.fmax),
         Op.FABS: wrap_f(lambda a, b, c: np.abs(a)),
         Op.FNEG: wrap_f(lambda a, b, c: -a),
         Op.FFLOOR: wrap_f(lambda a, b, c: np.floor(a)),

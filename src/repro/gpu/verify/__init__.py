@@ -1,0 +1,46 @@
+"""Static binary verifier and sanitizer passes for GPU programs.
+
+A pass pipeline over decoded :class:`~repro.gpu.isa.Program` objects that
+makes the Bifrost-like ISA contract explicit and machine-checkable:
+
+- **structural** — encoding and clause-shape invariants (tuple/slot
+  limits, constant-pool references, operand ranges, register-port
+  pressure, branch targets, memory widths);
+- **dataflow** — def-use/liveness over the clause-granularity CFG:
+  uninitialized reads, dead writes, and clause-temporary values that
+  illegally cross a clause boundary;
+- **controlflow** — unreachable clauses, termination (forward-only CFGs
+  are proved terminating; inescapable cycles are rejected), and
+  barrier-under-divergence (the static GPU deadlock lint);
+- **memory** — abstract range analysis of addresses derived from kernel
+  arguments: statically out-of-bounds accesses, must-fault accesses that
+  hit no mapped page, and per-workgroup write/write and read/write races
+  on global or local memory with no intervening barrier.
+
+Every producer of GPU binaries runs the verifier: the clc JIT compiler
+gates its own codegen, ``clBuildProgram`` re-verifies the decoded binary
+like a driver-side verifier, the conformance fuzzer asserts its generated
+programs are verifier-clean, and ``repro-sim lint`` prints findings
+anchored to disassembly lines.
+"""
+
+from repro.gpu.verify.context import BufferInfo, VerifyContext
+from repro.gpu.verify.cfg import ClauseCFG
+from repro.gpu.verify.pipeline import (
+    PASSES,
+    verify_binary,
+    verify_program,
+)
+from repro.gpu.verify.report import Finding, Report, Severity
+
+__all__ = [
+    "BufferInfo",
+    "ClauseCFG",
+    "Finding",
+    "PASSES",
+    "Report",
+    "Severity",
+    "VerifyContext",
+    "verify_binary",
+    "verify_program",
+]

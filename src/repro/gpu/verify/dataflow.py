@@ -1,0 +1,214 @@
+"""Dataflow passes: def-use and liveness over the clause CFG.
+
+Registers are zero-initialized by the dispatcher, so an uninitialized
+read is *defined* behaviour dynamically — but it is almost always a
+program bug, so reads of registers written on **no** path are WARNINGs
+and reads written only on **some** paths are NOTEs.
+
+Clause temporaries are architecturally clause-local (the Fig. 4b
+forwarding registers): a temp read with no earlier write in the *same*
+clause observes whatever a previous clause left behind, which the ISA
+contract forbids even though this simulator's warps happen to preserve
+the value. Those reads are ERRORs.
+"""
+
+from repro.gpu.disasm import operand_name
+from repro.gpu.isa import (
+    NUM_TEMPS,
+    REG_GROUP_ID,
+    TEMP_BASE,
+    Op,
+    Tail,
+    is_grf,
+    is_temp,
+)
+from repro.gpu.verify import model
+from repro.gpu.verify.report import Finding, Severity
+
+PASS_NAME = "dataflow"
+
+# r53..r63: preloaded thread-state registers (ids, lane).
+PRELOADED = frozenset(range(REG_GROUP_ID, 64))
+
+
+def _finding(code, severity, message, **kw):
+    return Finding(code=code, severity=severity, message=message,
+                   pass_name=PASS_NAME, **kw)
+
+
+class ClauseSummary:
+    """Per-clause def/use facts in slot execution order."""
+
+    def __init__(self, clause, index):
+        self.index = index
+        self.defs = set()  # GRFs written anywhere in the clause
+        self.upward_uses = []  # (tuple_index, slot, grf) read before def
+        self.temp_findings = []
+        self.slot_events = []  # (tuple_index, slot, reads, writes) per slot
+        defined = set()
+        temp_defined = set()
+        temp_unread = {}  # temp -> (tuple_index, slot) of last unread write
+        for tuple_index, (fma, add) in enumerate(clause.tuples):
+            for slot_name, instr in (("fma", fma), ("add", add)):
+                if instr.op is Op.NOP:
+                    continue
+                reads = [operand for _f, operand
+                         in model.required_sources(instr)]
+                writes = list(model.written_registers(instr))
+                self.slot_events.append(
+                    (tuple_index, slot_name, reads, writes))
+                seen_reads = set()
+                for operand in reads:
+                    if operand in seen_reads:
+                        continue
+                    seen_reads.add(operand)
+                    if is_grf(operand):
+                        if operand not in defined:
+                            self.upward_uses.append(
+                                (tuple_index, slot_name, operand))
+                    elif is_temp(operand):
+                        temp = operand - TEMP_BASE
+                        temp_unread.pop(operand, None)
+                        if operand not in temp_defined:
+                            self.temp_findings.append(_finding(
+                                "temp-cross-clause", Severity.ERROR,
+                                f"read of t{temp} before any write in this "
+                                f"clause (temporaries are clause-local)",
+                                clause=index, tuple_index=tuple_index,
+                                slot=slot_name, operand=operand))
+                for operand in writes:
+                    if is_grf(operand):
+                        defined.add(operand)
+                    elif is_temp(operand):
+                        if operand in temp_unread:
+                            prev_tuple, prev_slot = temp_unread[operand]
+                            self.temp_findings.append(_finding(
+                                "temp-dead", Severity.NOTE,
+                                f"t{operand - TEMP_BASE} written but never "
+                                f"read before being overwritten",
+                                clause=index, tuple_index=prev_tuple,
+                                slot=prev_slot, operand=operand))
+                        temp_defined.add(operand)
+                        temp_unread[operand] = (tuple_index, slot_name)
+        for operand, (tuple_index, slot_name) in sorted(temp_unread.items()):
+            self.temp_findings.append(_finding(
+                "temp-dead", Severity.NOTE,
+                f"t{operand - TEMP_BASE} written but never read before the "
+                f"clause ends (temporaries die at the clause boundary)",
+                clause=index, tuple_index=tuple_index, slot=slot_name,
+                operand=operand))
+        # The tail condition register is read after every slot executed.
+        if clause.tail in (Tail.BRANCH, Tail.BRANCH_Z):
+            cond = clause.cond_reg
+            if is_grf(cond) and cond not in defined:
+                self.upward_uses.append((None, "tail", cond))
+        self.defs = defined
+
+
+def run(program, cfg, ctx, report):
+    summaries = {i: ClauseSummary(program.clauses[i], i)
+                 for i in cfg.reachable}
+    for summary in summaries.values():
+        report.extend(summary.temp_findings)
+    if not summaries:
+        return summaries
+    _uninit_reads(cfg, summaries, report)
+    _dead_writes(program, cfg, summaries, report)
+    return summaries
+
+
+def _uninit_reads(cfg, summaries, report):
+    all_regs = frozenset(range(64))
+    in_may = {i: set(PRELOADED) if i == 0 else set()
+              for i in cfg.reachable}
+    in_must = {i: set(PRELOADED) if i == 0 else set(all_regs)
+               for i in cfg.reachable}
+    changed = True
+    while changed:
+        changed = False
+        for index in cfg.topo_order():
+            preds = [p for p in cfg.predecessors[index]
+                     if p in cfg.reachable]
+            may = set()
+            must = set(all_regs) if preds else set()
+            for pred in preds:
+                may |= in_may[pred] | summaries[pred].defs
+                must &= in_must[pred] | summaries[pred].defs
+            if index == 0:
+                # Program entry: the dispatch path (exactly the preloaded
+                # registers defined) joins any loop-back edges.
+                may |= PRELOADED
+                must = (must & PRELOADED) if preds else set(PRELOADED)
+            if may != in_may[index] or must != in_must[index]:
+                in_may[index] = may
+                in_must[index] = must
+                changed = True
+    for index in cfg.topo_order():
+        summary = summaries[index]
+        for tuple_index, slot_name, reg in summary.upward_uses:
+            if reg in PRELOADED:
+                continue
+            if reg not in in_may[index]:
+                report.add(_finding(
+                    "uninit-read", Severity.WARNING,
+                    f"uninitialized read of {operand_name(reg)} (no write "
+                    f"on any path; reads the preloaded zero)",
+                    clause=index, tuple_index=tuple_index, slot=slot_name,
+                    operand=reg))
+            elif reg not in in_must[index]:
+                report.add(_finding(
+                    "maybe-uninit-read", Severity.NOTE,
+                    f"{operand_name(reg)} is only written on some paths "
+                    f"to this read", clause=index, tuple_index=tuple_index,
+                    slot=slot_name, operand=reg))
+
+
+def _dead_writes(program, cfg, summaries, report):
+    """Clause-level backward liveness; flags values never read again.
+
+    Final register state is still captured by the differential runner,
+    so dead writes are informational (NOTE), not errors.
+    """
+    live_in = {i: set() for i in cfg.reachable}
+    upward = {i: {reg for _t, _s, reg in summaries[i].upward_uses}
+              for i in cfg.reachable}
+    changed = True
+    while changed:
+        changed = False
+        for index in reversed(cfg.topo_order()):
+            live_out = set()
+            for succ in cfg.successors[index]:
+                if succ in cfg.reachable:
+                    live_out |= live_in[succ]
+            new_in = upward[index] | (live_out - summaries[index].defs)
+            if new_in != live_in[index]:
+                live_in[index] = new_in
+                changed = True
+    for index in cfg.topo_order():
+        clause = program.clauses[index]
+        live = set()
+        for succ in cfg.successors[index]:
+            if succ in cfg.reachable:
+                live |= live_in[succ]
+        if clause.tail in (Tail.BRANCH, Tail.BRANCH_Z):
+            if is_grf(clause.cond_reg):
+                live.add(clause.cond_reg)
+        for tuple_index, slot_name, reads, writes in \
+                reversed(summaries[index].slot_events):
+            grf_writes = [w for w in writes if is_grf(w)]
+            if grf_writes and not any(w in live for w in grf_writes):
+                # Registers at END are still captured/compared by the
+                # differential runner, so skip terminating clauses.
+                if (clause.tail is not Tail.END
+                        and index not in cfg.falls_off_end):
+                    report.add(_finding(
+                        "dead-write", Severity.NOTE,
+                        f"value written to "
+                        f"{operand_name(grf_writes[0])} is never read",
+                        clause=index, tuple_index=tuple_index,
+                        slot=slot_name, operand=grf_writes[0]))
+            for reg in grf_writes:
+                live.discard(reg)
+            for operand in reads:
+                if is_grf(operand):
+                    live.add(operand)

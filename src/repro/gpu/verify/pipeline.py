@@ -1,0 +1,58 @@
+"""The verifier pass pipeline.
+
+``verify_program`` runs the passes in dependency order over a decoded
+program; ``verify_binary`` decodes first and converts decode rejections
+into findings, so callers get a uniform :class:`Report` either way.
+"""
+
+from repro.errors import DecodeError
+from repro.gpu.encoding import decode_program
+from repro.gpu.verify import (
+    absint,
+    controlflow,
+    dataflow,
+    memory,
+    structural,
+)
+from repro.gpu.verify.cfg import ClauseCFG
+from repro.gpu.verify.context import VerifyContext
+from repro.gpu.verify.report import Finding, Report, Severity
+
+PASSES = ("structural", "dataflow", "controlflow", "memory")
+
+# Structural findings after which the CFG/dataflow model is meaningless:
+# run no further passes so later findings never build on broken shape.
+_FATAL_STRUCTURAL = frozenset({
+    "empty-program", "bad-tuple-count", "branch-target-oob",
+})
+
+
+def verify_program(program, context=None):
+    """Run every verifier pass; returns the findings :class:`Report`."""
+    ctx = context if context is not None else VerifyContext()
+    report = Report(program=program)
+    structural.run(program, ctx, report)
+    if any(f.code in _FATAL_STRUCTURAL for f in report.errors):
+        return report
+    cfg = ClauseCFG(program)
+    report.facts["unavoidable"] = sorted(cfg.unavoidable())
+    dataflow.run(program, cfg, ctx, report)
+    absres = absint.run(program, cfg, ctx)
+    controlflow.run(program, cfg, ctx, absres, report)
+    memory.run(program, cfg, ctx, absres, report)
+    report.facts["mem_accesses"] = len(absres.accesses)
+    return report
+
+
+def verify_binary(binary, context=None):
+    """Decode *binary* and verify it; decode rejections become findings."""
+    try:
+        program = decode_program(bytes(binary))
+    except (DecodeError, ValueError) as exc:
+        report = Report(program=None)
+        report.add(Finding(
+            code="decode-error", severity=Severity.ERROR,
+            message=f"binary does not decode: {exc}",
+            pass_name="structural"))
+        return report
+    return verify_program(program, context)

@@ -1,0 +1,198 @@
+"""Structural verifier: encoding and clause-shape invariants.
+
+Every check corresponds to either a hard dynamic failure (GuestError,
+register-array overrun, decode rejection) — reported at ERROR severity —
+or an ISA-contract/efficiency concern reported as WARNING/NOTE.
+"""
+
+from repro.gpu.disasm import format_instruction, operand_name
+from repro.gpu.isa import (
+    MAX_CONSTS,
+    MEM_WIDTH_MASK,
+    NUM_GRF,
+    OPERAND_NONE,
+    CmpMode,
+    Op,
+    Tail,
+    can_use_add_slot,
+    is_const,
+    is_grf,
+    is_memory_op,
+    is_temp,
+)
+from repro.gpu.verify import model
+from repro.gpu.verify.report import Finding, Severity
+
+PASS_NAME = "structural"
+
+# Distinct GRF reads one tuple can stage per issue cycle (two 64-bit read
+# ports on the operand network). Exceeding it is legal in this simulator
+# but would not schedule on the modeled hardware, so it is a lint.
+TUPLE_GRF_READ_PORTS = 4
+
+
+def _finding(code, severity, message, **kw):
+    return Finding(code=code, severity=severity, message=message,
+                   pass_name=PASS_NAME, **kw)
+
+
+def run(program, ctx, report):
+    if not program.clauses:
+        report.add(_finding("empty-program", Severity.ERROR,
+                            "program has no clauses"))
+        return
+    last = len(program.clauses) - 1
+    for index, clause in enumerate(program.clauses):
+        _check_clause_shape(clause, index, report)
+        for tuple_index, (fma, add) in enumerate(clause.tuples):
+            if add.op is not Op.NOP and not can_use_add_slot(add.op):
+                report.add(_finding(
+                    "add-slot-class", Severity.ERROR,
+                    f"{add.op.name} cannot occupy an ADD slot "
+                    f"(FMA-pipe/message-fabric op)",
+                    clause=index, tuple_index=tuple_index, slot="add"))
+            for slot_name, instr in (("fma", fma), ("add", add)):
+                _check_slot(instr, clause, index, tuple_index, slot_name,
+                            ctx, report)
+            _check_read_ports(fma, add, index, tuple_index, report)
+        _check_tail(clause, index, last, len(program.clauses), report)
+
+
+def _check_clause_shape(clause, index, report):
+    if not 1 <= len(clause.tuples) <= 8:
+        report.add(_finding(
+            "bad-tuple-count", Severity.ERROR,
+            f"clause has {len(clause.tuples)} tuples (1-8 allowed)",
+            clause=index))
+    if len(clause.constants) > MAX_CONSTS:
+        report.add(_finding(
+            "bad-const-pool", Severity.ERROR,
+            f"constant pool has {len(clause.constants)} entries "
+            f"(max {MAX_CONSTS})", clause=index))
+
+
+def _check_slot(instr, clause, index, tuple_index, slot_name, ctx, report):
+    op = instr.op
+    if op is Op.NOP:
+        return
+    anchor = dict(clause=index, tuple_index=tuple_index, slot=slot_name)
+
+    for field, operand in model.required_sources(instr):
+        if operand == OPERAND_NONE:
+            report.add(_finding(
+                "missing-operand", Severity.ERROR,
+                f"{op.name} requires {field} (reads fault with GuestError)",
+                operand=operand, **anchor))
+        elif is_const(operand):
+            pool_slot = operand - 128
+            if pool_slot >= len(clause.constants):
+                report.add(_finding(
+                    "const-oob", Severity.ERROR,
+                    f"{field} reads c{pool_slot} but the clause pool has "
+                    f"{len(clause.constants)} constants",
+                    operand=operand, **anchor))
+        elif not (is_grf(operand) or is_temp(operand)):
+            report.add(_finding(
+                "bad-operand", Severity.ERROR,
+                f"{field} operand {operand} is not a register, temporary "
+                f"or constant", operand=operand, **anchor))
+
+    for field, operand in model.ignored_sources(instr):
+        report.add(_finding(
+            "extra-operand", Severity.NOTE,
+            f"{op.name} never reads {field} ({operand_name(operand)})",
+            operand=operand, **anchor))
+
+    if model.requires_dst(op):
+        dst = instr.dst
+        if op is Op.LD:
+            if dst == OPERAND_NONE or not is_grf(dst):
+                report.add(_finding(
+                    "bad-operand", Severity.ERROR,
+                    f"LD destination must be a GRF register "
+                    f"(got {operand_name(dst)})", operand=dst, **anchor))
+            elif model.ld_overflows_grf(instr):
+                report.add(_finding(
+                    "wide-reg-overflow", Severity.ERROR,
+                    f"LD x{instr.mem_width} at {operand_name(dst)} runs "
+                    f"past r{NUM_GRF - 1}", operand=dst, **anchor))
+        elif dst == OPERAND_NONE or not (is_grf(dst) or is_temp(dst)):
+            report.add(_finding(
+                "missing-operand" if dst == OPERAND_NONE else "bad-operand",
+                Severity.ERROR,
+                f"{op.name} destination {operand_name(dst)} is not "
+                f"writable (writes fault with GuestError)",
+                operand=dst, **anchor))
+
+    if op is Op.ST and instr.srcb != OPERAND_NONE:
+        span_end = instr.srcb + instr.mem_width - 1
+        if is_grf(instr.srcb) and not is_grf(span_end):
+            report.add(_finding(
+                "wide-span-crosses-file", Severity.WARNING,
+                f"ST x{instr.mem_width} source span "
+                f"{operand_name(instr.srcb)}..{operand_name(span_end)} "
+                f"crosses out of the GRF file", operand=instr.srcb,
+                **anchor))
+
+    if op in (Op.LD, Op.ST) and (instr.flags & MEM_WIDTH_MASK) == 3:
+        report.add(_finding(
+            "bad-mem-width", Severity.ERROR,
+            "memory width field 3 (x8) exceeds the x4 datapath",
+            **anchor))
+
+    if op is Op.CMP and not 0 <= instr.flags < len(CmpMode):
+        report.add(_finding(
+            "bad-cmp-mode", Severity.ERROR,
+            f"CMP mode {instr.flags} is not a CmpMode", **anchor))
+
+    if op is Op.LDU and ctx.uniform_count is not None:
+        if instr.imm >= ctx.uniform_count:
+            report.add(_finding(
+                "ldu-imm-oob", Severity.ERROR,
+                f"LDU reads uniform u{instr.imm} but the kernel declares "
+                f"{ctx.uniform_count} slots", **anchor))
+
+
+def _check_read_ports(fma, add, index, tuple_index, report):
+    grf_reads = set()
+    for instr in (fma, add):
+        if instr.op is Op.NOP:
+            continue
+        if is_memory_op(instr.op):
+            # Wide element data moves through the load/store staging
+            # registers; only the address (and atomic operand) registers
+            # contend for operand-network ports.
+            candidates = [instr.srca]
+            if instr.op is Op.ATOM:
+                candidates.append(instr.srcb)
+        else:
+            candidates = [operand for _f, operand
+                          in model.required_sources(instr)]
+        grf_reads.update(c for c in candidates if is_grf(c))
+    if len(grf_reads) > TUPLE_GRF_READ_PORTS:
+        report.add(_finding(
+            "register-ports", Severity.WARNING,
+            f"tuple reads {len(grf_reads)} distinct GRF registers "
+            f"(> {TUPLE_GRF_READ_PORTS} operand-network ports)",
+            clause=index, tuple_index=tuple_index))
+
+
+def _check_tail(clause, index, last, num_clauses, report):
+    tail = clause.tail
+    if tail in (Tail.JUMP, Tail.BRANCH, Tail.BRANCH_Z):
+        if not 0 <= clause.target < num_clauses:
+            report.add(_finding(
+                "branch-target-oob", Severity.ERROR,
+                f"tail targets clause {clause.target} "
+                f"(program has {num_clauses})", clause=index, slot="tail"))
+    if tail in (Tail.BRANCH, Tail.BRANCH_Z) and not is_grf(clause.cond_reg):
+        report.add(_finding(
+            "branch-cond-not-grf", Severity.ERROR,
+            f"branch condition {operand_name(clause.cond_reg)} must be a "
+            f"GRF register", clause=index, slot="tail",
+            operand=clause.cond_reg))
+    if index == last and tail in (Tail.FALLTHROUGH, Tail.BARRIER):
+        report.add(_finding(
+            "final-fallthrough", Severity.ERROR,
+            f"final clause tail {tail.name} falls off the end of the "
+            f"program", clause=index, slot="tail"))

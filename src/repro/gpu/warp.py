@@ -47,6 +47,7 @@ WARP_WIDTH = QUAD_WIDTH
 _END_PC = 1 << 30
 
 _SHIFT_MASK = np.uint32(31)
+_F32_QNAN = np.float32(np.nan)  # canonical quiet NaN, bits 0x7FC00000
 
 
 def _as_f32(values):
@@ -506,10 +507,24 @@ class ClauseInterpreter:
             return (a * b + acc).astype(np.float32, copy=False)
 
     def _h_fmin(self, w, c, i, n):
-        return self._binary_f(w, c, i, n, np.fmin)
+        return self._minmax_f(w, c, i, n, np.fmin)
 
     def _h_fmax(self, w, c, i, n):
-        return self._binary_f(w, c, i, n, np.fmax)
+        return self._minmax_f(w, c, i, n, np.fmax)
+
+    def _minmax_f(self, warp, clause, instr, lanes, fn):
+        # Arm default-NaN mode: a NaN result of min/max is the canonical
+        # quiet NaN, never a propagated payload (NumPy's fmin/fmax payload
+        # choice is SIMD-lane-dependent, so propagation cannot be bit-exact
+        # across engine vector widths)
+        a = _as_f32(self._read(warp, clause, instr.srca, lanes))
+        b = _as_f32(self._read(warp, clause, instr.srcb, lanes))
+        with np.errstate(all="ignore"):
+            out = fn(a, b).astype(np.float32, copy=False)
+            nan = np.isnan(out)
+            if nan.any():
+                out[nan] = _F32_QNAN
+        return out
 
     def _h_fabs(self, w, c, i, n):
         return self._unary_f(w, c, i, n, np.abs)

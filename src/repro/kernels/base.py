@@ -64,6 +64,13 @@ class Workload(abc.ABC):
     def seed(self):
         return abs(hash(self.name)) % (2**32)
 
+    @classmethod
+    def compile_defines(cls):
+        """Preprocessor defines needed to compile ``source`` standalone
+        (must mirror what :meth:`execute` passes to build_program, so the
+        lint tooling compiles the same code the workload runs)."""
+        return {}
+
     @staticmethod
     def default_params():
         """Mapping of parameter name -> default (scaled-down) value."""

@@ -40,6 +40,10 @@ class MatrixMul(Workload):
     def default_params():
         return {"n": 32}
 
+    @classmethod
+    def compile_defines(cls):
+        return {"N": cls.default_params()["n"]}
+
     def prepare(self):
         n = self.params["n"]
         if n % 4:

@@ -23,6 +23,9 @@ Subcommands:
   kbase-faithful recovery invariants (bit-exact recovery, clean failure,
   usable-after, determinism); failing cases become JSON reproducers
   (``--replay DIR`` re-runs them).
+- ``lint FILE``     — run the static binary verifier over compiled
+  kernels; findings are inlined into the clause disassembly
+  (``--builtin`` sweeps every shipped workload + SLAM kernel).
 """
 
 import argparse
@@ -312,6 +315,71 @@ def _cmd_conformance(options):
     return 0 if report.ok else 1
 
 
+def _cmd_lint(options):
+    from dataclasses import replace
+
+    from repro.clc import compile_source
+    from repro.clc.compiler import CompilerOptions
+    from repro.clc.versions import DEFAULT_VERSION
+    from repro.gpu.verify import Severity, VerifyContext, verify_program
+
+    # the lint verb owns finding presentation, so the compiler's own
+    # reject-on-error gate is disabled for these builds
+    copts = replace(
+        CompilerOptions.from_version(options.version or DEFAULT_VERSION),
+        verify=False)
+    min_severity = Severity.NOTE if options.notes else Severity.WARNING
+    total = {"kernels": 0, "errors": 0, "warnings": 0, "notes": 0}
+
+    def lint_unit(label, source, defines=None):
+        try:
+            program = compile_source(source, options=copts, defines=defines)
+        except Exception as exc:  # noqa: BLE001 - report, keep linting
+            print(f"FAIL {label}: compile failed: {exc}")
+            total["errors"] += 1
+            return
+        for name in sorted(program.kernels):
+            if options.kernel and name != options.kernel:
+                continue
+            kernel = program.kernels[name]
+            report = verify_program(
+                kernel.program, VerifyContext.from_compiled_kernel(kernel))
+            counts = report.counts()
+            total["kernels"] += 1
+            total["errors"] += counts["errors"]
+            total["warnings"] += counts["warnings"]
+            total["notes"] += counts["notes"]
+            shown = [f for f in report.findings
+                     if f.severity >= min_severity]
+            status = "FAIL" if report.errors else "ok  "
+            print(f"{status} {label}:{name}  ({report.summary()})")
+            if shown:
+                print(report.format(disasm=not options.no_disasm,
+                                    min_severity=min_severity))
+                print()
+
+    if options.builtin:
+        from repro.kernels import WORKLOADS
+        from repro.slam.kernels import ALL_SOURCES
+
+        for wname in sorted(WORKLOADS):
+            cls = WORKLOADS[wname]
+            lint_unit(wname, cls.source, defines=cls.compile_defines())
+        lint_unit("slam", ALL_SOURCES)
+    else:
+        if not options.file:
+            print("lint: need a FILE or --builtin")
+            return 2
+        with open(options.file) as handle:
+            source = handle.read()
+        lint_unit(options.file, source, defines=_defines(options))
+
+    print(f"linted {total['kernels']} kernel(s): {total['errors']} "
+          f"error(s), {total['warnings']} warning(s), "
+          f"{total['notes']} note(s)")
+    return 1 if total["errors"] else 0
+
+
 def _cmd_faultcampaign(options):
     from repro.inject.campaign import (
         SCENARIOS,
@@ -448,6 +516,27 @@ def main(argv=None):
     p_conf.add_argument("--min-coverage", type=float, default=0.0,
                         help="fail below this coverage fraction (0..1)")
     p_conf.set_defaults(func=_cmd_conformance)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static verifier over compiled kernels (annotated disasm)")
+    p_lint.add_argument("file", nargs="?", default=None,
+                        help="kernel-language source file")
+    p_lint.add_argument("--version", default=None,
+                        help="compiler version preset (5.6 .. 6.2)")
+    p_lint.add_argument("-D", "--define", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="preprocessor define (repeatable)")
+    p_lint.add_argument("--kernel", default=None,
+                        help="lint only this kernel")
+    p_lint.add_argument("--builtin", action="store_true",
+                        help="lint every built-in workload + SLAM kernel "
+                             "instead of a file")
+    p_lint.add_argument("--notes", action="store_true",
+                        help="also show note-severity findings")
+    p_lint.add_argument("--no-disasm", action="store_true",
+                        help="plain finding list, no annotated disassembly")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_fault = sub.add_parser(
         "faultcampaign",

@@ -13,13 +13,16 @@ the tier-1 suite calls.
 import os
 from dataclasses import dataclass, field
 
+from repro.gpu.verify import verify_program
 from repro.validate.corpus import case_to_dict, replay_corpus, save_entry
 from repro.validate.minimize import make_predicate, minimize_case
 from repro.validate.progen import CoverageTracker, ProgramGenerator
 from repro.validate.runner import (
     ENGINES,
     DifferentialRunner,
+    Mismatch,
     generated_case_to_diff,
+    verify_context_for_case,
 )
 
 
@@ -75,7 +78,7 @@ class ConformanceReport:
 
 def run_conformance(seed, budget, engines=ENGINES, minimize=True,
                     corpus_out=None, progress=None,
-                    max_minimize_evaluations=300):
+                    max_minimize_evaluations=300, verify=True):
     """Run a *budget*-program campaign; returns a :class:`ConformanceReport`.
 
     Args:
@@ -86,6 +89,10 @@ def run_conformance(seed, budget, engines=ENGINES, minimize=True,
         corpus_out: directory to write full-form reproducer entries into
             (created on first failure; nothing is written on a clean run).
         progress: optional callable ``progress(done, budget, failures)``.
+        verify: also run the static verifier with the full launch context
+            over every case; error-severity findings on generated (clean
+            by construction) programs are campaign failures, with the
+            same seed-replayable reproducers as dynamic mismatches.
     """
     runner = DifferentialRunner(engines)
     generator = ProgramGenerator(seed)
@@ -95,6 +102,19 @@ def run_conformance(seed, budget, engines=ENGINES, minimize=True,
     for _ in range(budget):
         generated = generator.generate()
         case = generated_case_to_diff(generated)
+        if verify:
+            vreport = verify_program(generated.program,
+                                     verify_context_for_case(generated))
+            if vreport.errors:
+                failure = CaseFailure(
+                    name=f"{case.name} [verifier]",
+                    seed=generated.seed, index=generated.index,
+                    mismatches=[Mismatch("verifier", ("static",), str(f))
+                                for f in vreport.errors])
+                if corpus_out:
+                    failure.reproducer_path = _write_reproducer(
+                        corpus_out, failure)
+                report.failures.append(failure)
         _results, mismatches = runner.run_case(case)
         report.cases_run += 1
         if mismatches:

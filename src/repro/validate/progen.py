@@ -20,6 +20,14 @@ construction in three ways that matter for N-way differential execution:
 Coverage is tracked over (op × slot × operand-kind) triples plus clause-
 shape buckets, and the generator biases its choices toward uncovered
 triples (coverage-guided generation).
+
+Every generated program is gated through the shared static verifier
+(:mod:`repro.gpu.verify`) instead of bespoke well-formedness assertions:
+an error-severity finding in a freshly generated program is a generator
+bug and raises immediately. :func:`generate_defect_case` is the inverse
+mode — it deliberately plants exactly one defect from
+:data:`DEFECT_CATEGORIES` so the verifier's detection (and the dynamic
+must-fault contract) can be tested end to end.
 """
 
 import random
@@ -50,6 +58,7 @@ from repro.gpu.isa import (
     is_memory_op,
     is_temp,
 )
+from repro.gpu.verify import VerifyContext, verify_program
 
 # -- memory layout contract shared with the differential runner ---------------
 
@@ -306,7 +315,16 @@ class ProgramGenerator:
         program = Program(clauses=clauses,
                           meta={"generator_seed": self.seed,
                                 "generator_index": index})
-        program.validate()
+        # Correct-by-construction is checked, not assumed: every generated
+        # program must come back clean from the shared static verifier
+        # (which subsumes the old ad-hoc validate()/forward-CFG asserts).
+        report = verify_program(
+            program, generation_context(threads=threads, local=local))
+        if not report.ok:
+            raise AssertionError(
+                f"generator produced a program the verifier rejects "
+                f"(seed={self.seed}, index={index}): "
+                + "; ".join(str(f) for f in report.errors[:4]))
         self.coverage.record_program(program)
         in_words = np.array(
             [self._data_word(rng) for _ in range(IN_BYTES // 4)],
@@ -436,7 +454,16 @@ class ProgramGenerator:
         if kind is None:
             kind = rng.choices(_KINDS, weights=(6, 2, 2))[0]
         if kind == "temp":
-            return TEMP_BASE + rng.randrange(2)
+            # Temporaries are clause-local: only read a temp the current
+            # clause has already written, seeding a definition otherwise.
+            written = sorted({s.dst for s in builder.slots
+                              if is_temp(s.dst)})
+            if not written:
+                temp = TEMP_BASE + rng.randrange(2)
+                builder.slots.append(Instruction(
+                    Op.MOV, dst=temp, srca=rng.randrange(0, 64)))
+                return temp
+            return rng.choice(written)
         if kind == "const":
             value = rng.choice(SPECIAL_BITS) if rng.random() < 0.5 \
                 else rng.getrandbits(32)
@@ -518,3 +545,230 @@ class ProgramGenerator:
         builder.slots.append(Instruction(
             Op.ATOM, dst=self._dst_reg(rng), srca=base, srcb=value_src,
             flags=flags))
+
+
+def generation_context(threads=None, local=None):
+    """Verifier context for the generator's own contract.
+
+    Buffer VAs and the memory map are runner-owned (the generator only
+    knows the uniform slot layout and launch shape), so this context can
+    produce structural/dataflow/race claims but no address claims; the
+    differential suite re-verifies with the runner's full launch context.
+    """
+    return VerifyContext(
+        name="progen",
+        uniform_count=UNIFORM_COUNT,
+        threads=threads,
+        threads_per_group=local,
+    )
+
+
+# -- seeded-defect generation --------------------------------------------------
+
+# category -> what the verifier must report for generate_defect_case:
+#   codes:      acceptable finding codes (any one suffices)
+#   severity:   minimum severity of the expected finding
+#   must_fault: the finding must carry the must-fault claim
+#   dynamic:    "clean" (runs bit-exact on every engine), "fault" (the
+#               must-fault claim: engines raise), "racy"/"hang"/"crash"
+#               (defined to misbehave; excluded from dynamic replay)
+DEFECT_CATEGORIES = {
+    "temp-escape": {
+        "codes": ("temp-cross-clause",), "severity": "error",
+        "must_fault": False, "dynamic": "clean"},
+    "uninit-read": {
+        "codes": ("uninit-read",), "severity": "warning",
+        "must_fault": False, "dynamic": "clean"},
+    "oob-load": {
+        "codes": ("oob-access",), "severity": "error",
+        "must_fault": True, "dynamic": "fault"},
+    "oob-store-mapped": {
+        "codes": ("oob-access",), "severity": "error",
+        "must_fault": False, "dynamic": "clean"},
+    "race-store": {
+        "codes": ("race-ww",), "severity": "error",
+        "must_fault": False, "dynamic": "racy"},
+    "infinite-loop": {
+        "codes": ("no-termination",), "severity": "error",
+        "must_fault": False, "dynamic": "hang"},
+    "const-oob": {
+        "codes": ("const-oob",), "severity": "error",
+        "must_fault": False, "dynamic": "crash"},
+    "ldu-oob": {
+        "codes": ("ldu-imm-oob",), "severity": "error",
+        "must_fault": False, "dynamic": "crash"},
+    "barrier-divergence": {
+        "codes": ("barrier-divergence",), "severity": "warning",
+        "must_fault": False, "dynamic": "clean"},
+    "unreachable": {
+        "codes": ("unreachable-clause",), "severity": "warning",
+        "must_fault": False, "dynamic": "clean"},
+    "local-oob": {
+        "codes": ("local-oob",), "severity": "error",
+        "must_fault": False, "dynamic": "crash"},
+    "dead-write": {
+        "codes": ("dead-write",), "severity": "note",
+        "must_fault": False, "dynamic": "clean"},
+}
+
+# The standard prologue occupies clauses 0-1, so planted bodies start at
+# clause index 2 (branch/jump targets below are absolute clause indices).
+_DEFECT_BODY_BASE = 2
+
+
+def _defect_temp_escape(rng):
+    a = _ClauseBuilder(rng)
+    a.slots = [Instruction(Op.MOV, dst=TEMP_BASE, srca=8)]
+    b = _ClauseBuilder(rng)
+    b.slots = [Instruction(Op.IADD, dst=0, srca=TEMP_BASE, srcb=9)]
+    return [a.pack(), b.pack(tail=Tail.END)]
+
+
+def _defect_uninit_read(rng):
+    a = _ClauseBuilder(rng)
+    a.slots = [Instruction(Op.IADD, dst=0, srca=33, srcb=34)]
+    return [a.pack(tail=Tail.END)]
+
+
+def _defect_oob_load(rng):
+    # 0x40 is below every mapped region: the whole interval misses the
+    # memory map, so the claim is must-fault (engines must raise).
+    a = _ClauseBuilder(rng)
+    a.slots = [
+        Instruction(Op.MOV, dst=20, srca=a.const(0x40)),
+        Instruction(Op.LD, dst=0, srca=20, flags=0),
+    ]
+    return [a.pack(tail=Tail.END)]
+
+
+def _defect_oob_store_mapped(rng):
+    # Escapes the output slice into the (mapped) atomics region: no fault
+    # dynamically, every engine corrupts the same words — exactly the
+    # silent-corruption class only the static bounds check can see.
+    a = _ClauseBuilder(rng)
+    a.slots = [
+        Instruction(Op.IADD, dst=20, srca=REG_OUT_BASE,
+                    srcb=a.const(0x1400)),
+        Instruction(Op.ST, srca=20, srcb=8, flags=0),
+    ]
+    return [a.pack(tail=Tail.END)]
+
+
+def _defect_race_store(rng):
+    # Non-atomic store through the *raw* atomics base (group-uniform
+    # address): every thread of the group hits the same word.
+    a = _ClauseBuilder(rng)
+    a.slots = [
+        Instruction(Op.LDU, dst=20, imm=UNIFORM_ARG_BASE + 2),
+        Instruction(Op.ST, srca=20, srcb=8, flags=0),
+    ]
+    return [a.pack(tail=Tail.END)]
+
+
+def _defect_infinite_loop(rng):
+    a = _ClauseBuilder(rng)
+    a.slots = [Instruction(Op.IADD, dst=0, srca=0, srcb=8)]
+    return [a.pack(tail=Tail.JUMP, target=_DEFECT_BODY_BASE)]
+
+
+def _defect_const_oob(rng):
+    a = _ClauseBuilder(rng)
+    a.slots = [Instruction(Op.IADD, dst=0, srca=128 + 5, srcb=8)]
+    return [a.pack(tail=Tail.END)]  # empty pool: c5 is out of range
+
+
+def _defect_ldu_oob(rng):
+    a = _ClauseBuilder(rng)
+    a.slots = [Instruction(Op.LDU, dst=0, imm=UNIFORM_COUNT + 9)]
+    return [a.pack(tail=Tail.END)]
+
+
+def _defect_barrier_divergence(rng):
+    a = _ClauseBuilder(rng)
+    a.slots = [Instruction(Op.MOV, dst=0, srca=8)]
+    barrier = _ClauseBuilder(rng)
+    c = _ClauseBuilder(rng)
+    c.slots = [Instruction(Op.MOV, dst=1, srca=9)]
+    return [
+        a.pack(tail=Tail.BRANCH, cond_reg=REG_LANE,
+               target=_DEFECT_BODY_BASE + 2),
+        barrier.pack(tail=Tail.BARRIER),
+        c.pack(tail=Tail.END),
+    ]
+
+
+def _defect_unreachable(rng):
+    a = _ClauseBuilder(rng)
+    a.slots = [Instruction(Op.MOV, dst=0, srca=8)]
+    orphan = _ClauseBuilder(rng)
+    orphan.slots = [Instruction(Op.MOV, dst=1, srca=9)]
+    return [a.pack(tail=Tail.END), orphan.pack(tail=Tail.END)]
+
+
+def _defect_local_oob(rng):
+    a = _ClauseBuilder(rng)
+    a.slots = [
+        Instruction(Op.IAND, dst=20, srca=8, srcb=a.const(0x7FFC)),
+        Instruction(Op.IADD, dst=20, srca=20, srcb=REG_LOCAL_BASE),
+        Instruction(Op.LD, dst=0, srca=20, flags=MEM_SPACE_LOCAL),
+    ]
+    return [a.pack(tail=Tail.END)]
+
+
+def _defect_dead_write(rng):
+    a = _ClauseBuilder(rng)
+    a.slots = [
+        Instruction(Op.MOV, dst=5, srca=8),
+        Instruction(Op.MOV, dst=5, srca=9),
+    ]
+    b = _ClauseBuilder(rng)
+    b.slots = [Instruction(Op.IADD, dst=6, srca=5, srcb=9)]
+    return [a.pack(), b.pack(tail=Tail.END)]
+
+
+_DEFECT_BUILDERS = {
+    "temp-escape": _defect_temp_escape,
+    "uninit-read": _defect_uninit_read,
+    "oob-load": _defect_oob_load,
+    "oob-store-mapped": _defect_oob_store_mapped,
+    "race-store": _defect_race_store,
+    "infinite-loop": _defect_infinite_loop,
+    "const-oob": _defect_const_oob,
+    "ldu-oob": _defect_ldu_oob,
+    "barrier-divergence": _defect_barrier_divergence,
+    "unreachable": _defect_unreachable,
+    "local-oob": _defect_local_oob,
+    "dead-write": _defect_dead_write,
+}
+
+
+def generate_defect_case(seed, category):
+    """A launch-ready case with exactly one planted defect.
+
+    The planted body rides on the standard prologue, so the runner's
+    memory contract applies unchanged; ``DEFECT_CATEGORIES[category]``
+    records what the verifier must report and how the program behaves
+    dynamically.
+    """
+    if category not in _DEFECT_BUILDERS:
+        raise ValueError(f"unknown defect category {category!r}")
+    gen = ProgramGenerator(seed)
+    rng = gen.rng
+    local, groups = 8, 2
+    clauses = list(gen._prologue(rng))
+    assert len(clauses) == _DEFECT_BODY_BASE
+    clauses.extend(_DEFECT_BUILDERS[category](rng))
+    program = Program(clauses=clauses,
+                      meta={"generator_seed": seed, "defect": category})
+    in_words = np.array(
+        [gen._data_word(rng) for _ in range(IN_BYTES // 4)],
+        dtype=np.uint32)
+    return GeneratedCase(
+        program=program,
+        global_size=(local * groups, 1, 1),
+        local_size=(local, 1, 1),
+        in_words=in_words,
+        extra_uniforms=(rng.getrandbits(32), rng.getrandbits(32)),
+        seed=seed,
+        label=f"defect[{category},seed={seed}]",
+    )

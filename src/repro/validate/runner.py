@@ -106,6 +106,47 @@ def generated_case_to_diff(case):
     )
 
 
+def verify_context_for_case(case):
+    """Full launch-time verifier context for a generated case.
+
+    Mirrors :func:`generated_case_to_diff` exactly — same VAs, region
+    sizes and NDRange — so must-fault/race claims made against this
+    context are checkable by actually running the case.
+    """
+    from repro.validate.progen import IN_BYTES, UNIFORM_COUNT
+    from repro.gpu.verify import BufferInfo, VerifyContext
+
+    g, l = case.global_size, case.local_size
+    out_size = VA_OUT + 0x2000 - OUT_SLICE_BASE
+    ctx = VerifyContext(
+        name=case.label or "gen",
+        uniform_count=UNIFORM_COUNT,
+        buffers={
+            10: BufferInfo(slot=10, size=IN_BYTES, va=VA_IN, name="in"),
+            11: BufferInfo(slot=11, size=out_size, va=OUT_SLICE_BASE,
+                           name="out"),
+            12: BufferInfo(slot=12, size=PAGE_SIZE, va=VA_ATOM,
+                           name="atom"),
+        },
+        scalar_slots={13, 14},
+        uniform_values={
+            0: g[0], 1: g[1], 2: g[2],
+            3: l[0], 4: l[1], 5: l[2],
+            6: g[0] // l[0], 7: g[1] // l[1], 8: g[2] // l[2],
+            13: case.extra_uniforms[0], 14: case.extra_uniforms[1],
+        },
+        local_bytes=4096,
+        mapped_ranges=[
+            (VA_IN, VA_IN + IN_BYTES),
+            (VA_OUT, VA_OUT + 0x2000),
+            (VA_ATOM, VA_ATOM + PAGE_SIZE),
+        ],
+        threads=g[0] * g[1] * g[2],
+        threads_per_group=l[0] * l[1] * l[2],
+    )
+    return ctx
+
+
 def make_kernel_case(source, kernel_name, global_size, local_size, buffers,
                      scalars=(), local_args=(), version=None, name=None):
     """Build a :class:`DiffCase` from kernel-language source (compiled once,

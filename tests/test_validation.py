@@ -54,6 +54,65 @@ def test_fuzz_every_compare_mode(mode, a, b):
     assert quad == scalar
 
 
+_SNAN = 0x7F800001
+_QNAN = 0x7FC00000
+
+
+class TestMinMaxDefaultNaN:
+    """fmin/fmax NaN results are the canonical quiet NaN on every engine.
+
+    NumPy's fmin/fmax NaN payload choice varies with the SIMD lane
+    position (the same 4-wide call can return different payloads in
+    different lanes), so payload propagation can never be bit-exact
+    across engine vector widths. The engines therefore canonicalize NaN
+    results outright, matching Arm's default-NaN mode.
+    """
+
+    _NAN_PAIRS = [(_SNAN, _QNAN), (_QNAN, _SNAN), (_SNAN, _SNAN),
+                  (0x7FC00001, 0x7FC00002)]
+
+    @pytest.mark.parametrize("op", [Op.FMIN, Op.FMAX])
+    @pytest.mark.parametrize("a,b", _NAN_PAIRS)
+    def test_nan_result_is_canonical_on_both_engines(self, op, a, b):
+        quad, scalar = execute_instruction_both(op, a, b, 0)
+        assert quad == scalar == _QNAN, (
+            f"{op.name}(0x{a:08x}, 0x{b:08x}) -> "
+            f"quad=0x{quad:08x} scalar=0x{scalar:08x}")
+
+    @pytest.mark.parametrize("op", [Op.FMIN, Op.FMAX])
+    def test_canonical_in_every_lane(self, op):
+        # the payload choice differs per lane, so lane 0 agreeing is not
+        # enough — the whole quad must come back canonical
+        from repro.gpu.isa import Clause, Instruction, Program, Tail
+        from repro.gpu.warp import ClauseInterpreter, QuadWarp
+
+        instr = Instruction(op, dst=0, srca=1, srcb=2)
+        program = Program(clauses=[
+            Clause(tuples=[(instr, Instruction(Op.NOP))], tail=Tail.END)])
+        interp = ClauseInterpreter(program, np.zeros(1, dtype=np.uint32),
+                                   mem=None)
+        warp = QuadWarp()
+        warp.regs[:, 1] = np.uint32(_QNAN)
+        warp.regs[:, 2] = np.uint32(_SNAN)
+        interp.run_warp(warp)
+        assert [int(x) for x in warp.regs[:, 0]] == [_QNAN] * 4
+
+    @pytest.mark.parametrize("op", [Op.FMIN, Op.FMAX])
+    def test_jit_table_is_canonical(self, op):
+        from repro.gpu.jit import _alu_table
+
+        fn = _alu_table()[op]
+        out = fn(np.full(4, _QNAN, np.uint32), np.full(4, _SNAN, np.uint32),
+                 np.zeros(4, np.uint32))
+        assert list(out.view(np.uint32)) == [_QNAN] * 4
+
+    def test_quiet_nan_still_loses_to_numbers(self):
+        # default-NaN mode only applies to NaN *results*: fmax(x, qNaN)
+        # is still x
+        quad, scalar = execute_instruction_both(Op.FMAX, 0x3F800000, _QNAN, 0)
+        assert quad == scalar == 0x3F800000
+
+
 class TestTraceComparison:
     def test_identical_traces_have_no_mismatch(self):
         a, b = InstructionTracer(), InstructionTracer()
