@@ -10,7 +10,10 @@ trajectory to regress against:
   the seed's four ``load_u32`` calls, same machine, same run;
 - **kernels**: end-to-end sgemm / SobelFilter wall-clock with the fast
   path disabled (``GPUMMU.fast_path_enabled = False``, the scalar seed
-  path) and enabled, plus interpreter clauses/sec and loads/sec.
+  path) and enabled, plus interpreter clauses/sec and loads/sec;
+- **mega**: end-to-end sgemm across the engine tiers — the scalar seed
+  baseline against the JIT and the workgroup-wide megakernel engine —
+  asserting all tiers report bit-identical JobStats.
 
 Run directly: ``python benchmarks/bench_hotpath.py [--quick]``.
 """
@@ -112,6 +115,7 @@ def kernel_end_to_end(workload, sizes, repeats=3):
         "fast path diverged from scalar statistics"
     return {
         "sizes": sizes,
+        "repeats": repeats,
         "scalar_seconds": scalar_seconds,
         "fast_seconds": fast_seconds,
         "speedup": scalar_seconds / fast_seconds,
@@ -120,10 +124,58 @@ def kernel_end_to_end(workload, sizes, repeats=3):
     }
 
 
+def engine_end_to_end(workload, sizes, repeats=3):
+    """End-to-end wall-clock per engine tier on one workload.
+
+    The scalar seed baseline (interpreter, fast path off) against the
+    JIT and the workgroup-wide megakernel engine. Every tier must report
+    bit-identical JobStats — the same guarantee the conformance harness
+    fuzzes — so the speedups are measured on provably equivalent runs.
+    """
+
+    def timed(engine, fast_path):
+        best = float("inf")
+        stats = None
+        for _ in range(repeats):
+            config = PlatformConfig(
+                gpu=GPUConfig(engine=engine, instrument=True)
+            )
+            context = Context(MobilePlatform(config))
+            context.platform.gpu.mmu.fast_path_enabled = fast_path
+            start = time.perf_counter()
+            result = get_workload(workload, **sizes).run(context=context,
+                                                         verify=True)
+            elapsed = time.perf_counter() - start
+            assert result.verified
+            best = min(best, elapsed)
+            stats = result.stats
+        return best, stats
+
+    scalar_seconds, scalar_stats = timed("interpreter", False)
+    jit_seconds, jit_stats = timed("jit", True)
+    mega_seconds, mega_stats = timed("mega", True)
+    assert vars(scalar_stats) == vars(jit_stats) == vars(mega_stats), \
+        "engine tiers diverged on JobStats"
+    return {
+        "sizes": sizes,
+        "repeats": repeats,
+        "scalar_seconds": scalar_seconds,
+        "jit_seconds": jit_seconds,
+        "mega_seconds": mega_seconds,
+        "jit_speedup": scalar_seconds / jit_seconds,
+        "mega_speedup": scalar_seconds / mega_seconds,
+        "mega_clauses_per_sec": mega_stats.clauses_executed / mega_seconds,
+        "mega_loads_per_sec": mega_stats.main_mem_accesses / mega_seconds,
+    }
+
+
 def run(quick=False):
     micro_repeats = 3 if quick else 7
     kernel_repeats = 1 if quick else 3
-    sgemm_sizes = {"m": 16, "k": 8, "n": 24} if quick else {}
+    # explicit dims (not {}) so the report records what actually ran;
+    # the non-quick sgemm sizes are the workload's defaults
+    sgemm_sizes = {"m": 16, "k": 8, "n": 24} if quick else \
+        {"m": 32, "k": 24, "n": 40}
     sobel_sizes = {"width": 32, "height": 24} if quick else \
         {"width": 48, "height": 32}
     report = {
@@ -134,6 +186,10 @@ def run(quick=False):
                                        repeats=kernel_repeats),
             "SobelFilter": kernel_end_to_end("SobelFilter", sobel_sizes,
                                              repeats=kernel_repeats),
+        },
+        "mega": {
+            "sgemm": engine_end_to_end("sgemm", sgemm_sizes,
+                                       repeats=kernel_repeats),
         },
     }
     _OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
@@ -156,11 +212,24 @@ def main(argv=None):
               f"speedup {row['speedup']:.2f}x, "
               f"{row['clauses_per_sec']:,.0f} clauses/s, "
               f"{row['loads_per_sec']:,.0f} loads/s")
+    for name, row in report["mega"].items():
+        print(f"{name} engines: scalar "
+              f"{row['scalar_seconds'] * 1000:.1f} ms, "
+              f"jit {row['jit_seconds'] * 1000:.1f} ms "
+              f"({row['jit_speedup']:.2f}x), "
+              f"mega {row['mega_seconds'] * 1000:.1f} ms "
+              f"({row['mega_speedup']:.2f}x)")
     print(f"wrote {_OUTPUT}")
+    failed = False
     if micro["speedup"] < 3.0:
         print("WARNING: micro speedup below the 3x floor", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if not report["quick"] \
+            and report["mega"]["sgemm"]["mega_speedup"] < 10.0:
+        print("WARNING: mega sgemm speedup below the 10x floor",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -36,7 +36,7 @@ class GPUConfig:
     instrument: bool = True
     collect_cfg: bool = False
     tracer: object = None
-    engine: str = "interpreter"  # or "jit" (clause-translating engine)
+    engine: str = "interpreter"  # or "jit" / "mega" (translating engines)
 
 
 class GPUDevice(MMIODevice):

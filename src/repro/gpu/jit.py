@@ -35,7 +35,18 @@ from repro.gpu.isa import (
     is_grf,
     is_temp,
 )
-from repro.gpu.warp import WARP_WIDTH, _CMP_FNS
+from repro.gpu.warp import (
+    WARP_WIDTH,
+    _CMP_FNS,
+    vec_f2i,
+    vec_f2u,
+    vec_i2f,
+    vec_idiv,
+    vec_irem,
+    vec_u2f,
+    vec_udiv,
+    vec_urem,
+)
 
 _END_PC = 1 << 30
 _SHIFT = np.uint32(31)
@@ -109,6 +120,17 @@ def _alu_table():
         Op.UMAX: lambda a, b, c: np.maximum(a, b),
         Op.IABS: lambda a, b, c: np.abs(a.view(np.int32)).view(np.uint32),
         Op.SELECT: lambda a, b, c: np.where(c != 0, a, b),
+        # long-tail semantics shared with the interpreter (repro.gpu.warp
+        # pure vector functions), so every engine is bit-identical on the
+        # divide-by-zero / saturating-conversion corner cases
+        Op.IDIV: lambda a, b, c: vec_idiv(a, b),
+        Op.IREM: lambda a, b, c: vec_irem(a, b),
+        Op.UDIV: lambda a, b, c: vec_udiv(a, b),
+        Op.UREM: lambda a, b, c: vec_urem(a, b),
+        Op.F2I: lambda a, b, c: vec_f2i(a),
+        Op.F2U: lambda a, b, c: vec_f2u(a),
+        Op.I2F: lambda a, b, c: vec_i2f(a),
+        Op.U2F: lambda a, b, c: vec_u2f(a),
     }
     return table
 
@@ -217,10 +239,6 @@ class ClauseJIT:
                     result = compare(view(read_a(warp)), view(read_b(warp)))
                 write(warp, mask, result.astype(np.uint32))
             return run_cmp
-        # signed/unsigned division needs the interpreter-grade handling
-        if op in (Op.IDIV, Op.IREM, Op.UDIV, Op.UREM, Op.F2I, Op.F2U,
-                  Op.I2F, Op.U2F):
-            return self._translate_via_semantics(clause, instr)
         fn = _ALU[op]
         read_a = self._reader(clause, instr.srca)
         read_b = self._reader(clause, instr.srcb)
@@ -229,21 +247,6 @@ class ClauseJIT:
 
         def run(warp, mask, lanes):
             write(warp, mask, fn(read_a(warp), read_b(warp), read_c(warp)))
-        return run
-
-    def _translate_via_semantics(self, clause, instr):
-        """Bind the interpreter's handler for the long-tail ops so the JIT
-        stays semantically identical without duplicating tricky code."""
-        from repro.gpu.warp import _DISPATCH, ClauseInterpreter
-
-        handler = _DISPATCH[instr.op]
-        write = self._writer(instr.dst)
-        shim = ClauseInterpreter(self.program, self.uniforms, self.mem,
-                                 local=self.local)
-
-        def run(warp, mask, lanes):
-            result = handler(shim, warp, clause, instr, lanes)
-            write(warp, mask, result)
         return run
 
     def _translate_atomic(self, clause, instr):

@@ -71,6 +71,8 @@ class GPUMMU:
         self._fast_path_enabled = True
         self.quad_accesses = 0
         self.quad_fallbacks = 0
+        self.wide_accesses = 0
+        self.wide_fallbacks = 0
         self._gather = getattr(memory, "gather_u32", None)
         self._scatter = getattr(memory, "scatter_u32", None)
         self._page_view = getattr(memory, "page_u32_view", None)
@@ -402,6 +404,88 @@ class GPUMMU:
             return None
         self.quad_accesses += 1
         self._scatter(paddrs, values)
+        return True
+
+    # -- workgroup-wide (megakernel) gather/scatter ---------------------------
+
+    def _wide_views(self, vaddrs, required, cache):
+        """Resolve every page touched by *vaddrs* (int64 ndarray of
+        word-aligned lane addresses) to its u32 page view.
+
+        Returns ``(vpages, unique_pages, views)`` or ``None`` when any
+        page cannot be served (unmapped, armed for injection, permission
+        failure) — recording *nothing*, so the caller's per-lane scalar
+        replay reproduces the reference fault semantics and statistics.
+        All views are resolved before any counter moves, keeping the
+        whole call side-effect-free on failure.
+        """
+        vpages = vaddrs >> PAGE_SHIFT
+        unique_pages = np.unique(vpages)
+        views = []
+        for vpage in unique_pages.tolist():
+            view = cache.get(vpage)
+            if view is None:
+                view = self._resolve_view(vpage << PAGE_SHIFT, vpage,
+                                          required, cache)
+                if view is None:
+                    return None
+            views.append(view)
+        return vpages, unique_pages, views
+
+    def load_wide_u32(self, vaddrs):
+        """Gather one u32 per lane address for a whole workgroup.
+
+        ``vaddrs`` is an int64 ndarray (any length) of byte addresses.
+        Returns the gathered uint32 vector, or ``None`` for per-lane
+        scalar replay — with *no* state recorded in that case, exactly
+        like the quad tiers. Unaligned lanes always defer to the scalar
+        path (the reference path defines sub-word semantics).
+        """
+        if not self._fast or (vaddrs & 3).any():
+            self.wide_fallbacks += 1
+            return None
+        resolved = self._wide_views(vaddrs, PTE_READ, self._rview)
+        if resolved is None:
+            self.wide_fallbacks += 1
+            return None
+        vpages, unique_pages, views = resolved
+        self.translations += len(vaddrs)
+        self.pages_accessed.update(unique_pages.tolist())
+        self.wide_accesses += 1
+        offsets = (vaddrs & _PAGE_MASK) >> 2
+        if len(unique_pages) == 1:
+            return views[0][offsets]
+        out = np.empty(len(vaddrs), dtype=np.uint32)
+        for vpage, view in zip(unique_pages, views):
+            lanes = vpages == vpage
+            out[lanes] = view[offsets[lanes]]
+        return out
+
+    def store_wide_u32(self, vaddrs, values):
+        """Scatter one u32 per lane address; ``None`` -> scalar replay.
+
+        Lane order is preserved within each page group, so duplicate
+        addresses resolve last-lane-wins exactly as the per-lane
+        reference path does (duplicates always share a page).
+        """
+        if not self._fast or (vaddrs & 3).any():
+            self.wide_fallbacks += 1
+            return None
+        resolved = self._wide_views(vaddrs, PTE_WRITE, self._wview)
+        if resolved is None:
+            self.wide_fallbacks += 1
+            return None
+        vpages, unique_pages, views = resolved
+        self.translations += len(vaddrs)
+        self.pages_accessed.update(unique_pages.tolist())
+        self.wide_accesses += 1
+        offsets = (vaddrs & _PAGE_MASK) >> 2
+        if len(unique_pages) == 1:
+            views[0][offsets] = values
+            return True
+        for vpage, view in zip(unique_pages, views):
+            lanes = vpages == vpage
+            view[offsets[lanes]] = values[lanes]
         return True
 
     def load_u64(self, vaddr):

@@ -90,6 +90,7 @@ class ComputeUnit:
         self.injector = injector
         self.watchdog_budget = watchdog_budget
         self._jit_cache = {}
+        self._mega_cache = {}
         if collect_cfg:
             from repro.instrument.cfg import DivergenceCFG
 
@@ -110,7 +111,7 @@ class ComputeUnit:
         closures deliberately avoid). Translated clauses are cached per
         (program, uniforms).
         """
-        use_jit = (self.engine == "jit"
+        use_jit = (self.engine in ("jit", "mega")
                    and self.cfg is None and self.tracer is None)
         if not use_jit:
             return ClauseInterpreter(
@@ -136,6 +137,35 @@ class ComputeUnit:
         self._jit_cache[key] = (program, cached)
         return cached
 
+    def _mega_executor(self, program, uniforms, mem, shape):
+        """Workgroup-wide (megakernel) engine for this job, or None.
+
+        Eligibility is static per program: every op must have an SoA
+        translation (ATOM does not — the interpreter serializes atomics
+        warp by warp, an ordering the workgroup-wide schedule cannot
+        reproduce bit-exactly) and the memory port must expose the wide
+        vector API. CFG collection and memory tracing need per-issue /
+        per-word visibility, so they fall back like the JIT does.
+        Translations are cached per (program, uniforms, width).
+        """
+        if self.engine != "mega" or self.cfg is not None \
+                or self.tracer is not None:
+            return None
+        from repro.gpu.megakernel import MegaKernel, mega_supported
+
+        if not mega_supported(program, mem):
+            return None
+        width = shape.warps_per_group * WARP_WIDTH
+        key = (id(program), uniforms.tobytes(), width)
+        entry = self._mega_cache.get(key)
+        if entry is not None:
+            cached_program, cached = entry
+            if cached_program is program and cached.local is self._local:
+                return cached
+        cached = MegaKernel(program, uniforms, mem, self._local, width)
+        self._mega_cache[key] = (program, cached)
+        return cached
+
     def run_workgroup(self, program, uniforms, mem, shape, flat_group):
         """Execute one thread-group to completion (including barriers).
 
@@ -143,6 +173,16 @@ class ComputeUnit:
         inspect the retired architectural state.
         """
         self._local[:] = 0
+        # the hang injection is consumed before picking the tier: an
+        # injected stall must spin in the generic loop so the watchdog's
+        # round accounting matches the reference engines exactly
+        hang = None
+        if self.injector is not None:
+            hang = self.injector.fire("core.hang", key=flat_group)
+        if hang is None:
+            mega = self._mega_executor(program, uniforms, mem, shape)
+            if mega is not None:
+                return self._run_workgroup_mega(mega, shape, flat_group)
         interp = self._executor(program, uniforms, mem)
         warps = self._spawn_warps(shape, flat_group)
         if self.stats is not None:
@@ -159,12 +199,10 @@ class ComputeUnit:
         # hang (injected clause-budget stalls, barrier livelocks)
         budget = self.watchdog_budget
         rounds = 0
-        if self.injector is not None:
-            params = self.injector.fire("core.hang", key=flat_group)
-            if params is not None:
-                # the injected stall charges the whole budget up front:
-                # the core spins in place without retiring a warp
-                rounds = params.get("stall_rounds", (budget or 0) + 1)
+        if hang is not None:
+            # the injected stall charges the whole budget up front:
+            # the core spins in place without retiring a warp
+            rounds = hang.get("stall_rounds", (budget or 0) + 1)
         try:
             while True:
                 rounds += 1
@@ -188,6 +226,31 @@ class ComputeUnit:
                     # every live warp reached the barrier: release together
                     for warp in warps:
                         warp.release_barrier()
+        finally:
+            if events is not None:
+                events.end("workgroup", "gpu", track)
+
+    def _run_workgroup_mega(self, kernel, shape, flat_group):
+        """Dispatch one thread-group on the workgroup-wide engine.
+
+        The kernel owns scheduling (including barrier releases and the
+        watchdog's round accounting); this wrapper keeps the unit-level
+        bookkeeping — launch counters and the workgroup event span —
+        identical to the generic loop's.
+        """
+        if self.stats is not None:
+            self.stats.workgroups += 1
+            self.stats.warps_launched += shape.warps_per_group
+            self.stats.threads_launched += shape.threads_per_group
+        events = self.events
+        track = f"core{self.unit_id}"
+        if events is not None:
+            events.begin("workgroup", "gpu", track,
+                         args={"group": flat_group,
+                               "warps": shape.warps_per_group})
+        try:
+            return kernel.run_workgroup(shape, flat_group, self.stats,
+                                        self.watchdog_budget)
         finally:
             if events is not None:
                 events.end("workgroup", "gpu", track)

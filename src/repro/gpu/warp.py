@@ -54,6 +54,75 @@ def _as_f32(values):
     return values.view(np.float32)
 
 
+# -- shared vector semantics ---------------------------------------------------
+#
+# The long-tail ops (division, remainder, float<->int conversion) have
+# corner-case behaviour (divide-by-zero yields zero, saturating float
+# conversion, NaN converts to zero) that must be bit-identical in every
+# engine. These pure functions on uint32 lane vectors of any length are
+# the single definition: the interpreter handlers, the JIT's ALU table
+# and the megakernel engine all delegate here.
+
+def vec_idiv(a_u32, b_u32):
+    """Signed 32-bit division: truncate toward zero, x/0 == 0."""
+    a = a_u32.view(np.int32).astype(np.int64)
+    b = b_u32.view(np.int32).astype(np.int64)
+    safe = np.where(b == 0, 1, b)
+    quotient = np.where(b == 0, 0, np.trunc(a / safe))
+    return quotient.astype(np.int64).astype(np.int32).view(np.uint32)
+
+
+def vec_irem(a_u32, b_u32):
+    """Signed 32-bit remainder (C semantics), x%0 == 0."""
+    a = a_u32.view(np.int32).astype(np.int64)
+    b = b_u32.view(np.int32).astype(np.int64)
+    safe = np.where(b == 0, 1, b)
+    quotient = np.trunc(a / safe).astype(np.int64)
+    remainder = a - quotient * safe
+    remainder = np.where(b == 0, 0, remainder)
+    return remainder.astype(np.int32).view(np.uint32)
+
+
+def vec_udiv(a_u32, b_u32):
+    a = a_u32.astype(np.uint64)
+    b = b_u32.astype(np.uint64)
+    safe = np.where(b == 0, 1, b)
+    return np.where(b == 0, 0, a // safe).astype(np.uint32)
+
+
+def vec_urem(a_u32, b_u32):
+    a = a_u32.astype(np.uint64)
+    b = b_u32.astype(np.uint64)
+    safe = np.where(b == 0, 1, b)
+    return np.where(b == 0, 0, a % safe).astype(np.uint32)
+
+
+def vec_f2i(a_u32):
+    """Saturating float->int32 (the architecture's defined out-of-range
+    behaviour; NaN converts to 0)."""
+    a = _as_f32(a_u32)
+    with np.errstate(all="ignore"):
+        safe = np.nan_to_num(a.astype(np.float64), nan=0.0)
+        clipped = np.clip(safe, -2147483648.0, 2147483647.0)
+        return clipped.astype(np.int64).astype(np.int32).view(np.uint32)
+
+
+def vec_f2u(a_u32):
+    a = _as_f32(a_u32)
+    with np.errstate(all="ignore"):
+        safe = np.nan_to_num(a.astype(np.float64), nan=0.0)
+        clipped = np.clip(safe, 0.0, 4294967295.0)
+        return clipped.astype(np.int64).astype(np.uint32)
+
+
+def vec_i2f(a_u32):
+    return a_u32.view(np.int32).astype(np.float32)
+
+
+def vec_u2f(a_u32):
+    return a_u32.astype(np.float32)
+
+
 class QuadWarp:
     """Architectural state of one quad: registers, temps, per-lane PCs."""
 
@@ -557,28 +626,16 @@ class ClauseInterpreter:
         return self._unary_f(w, c, i, n, np.cos)
 
     def _h_f2i(self, w, c, i, n):
-        # saturating conversion (the architecture's defined out-of-range
-        # behaviour; NaN converts to 0)
-        a = _as_f32(self._read(w, c, i.srca, n))
-        with np.errstate(all="ignore"):
-            safe = np.nan_to_num(a.astype(np.float64), nan=0.0)
-            clipped = np.clip(safe, -2147483648.0, 2147483647.0)
-            return clipped.astype(np.int64).astype(np.int32).view(np.uint32)
+        return vec_f2i(self._read(w, c, i.srca, n))
 
     def _h_f2u(self, w, c, i, n):
-        a = _as_f32(self._read(w, c, i.srca, n))
-        with np.errstate(all="ignore"):
-            safe = np.nan_to_num(a.astype(np.float64), nan=0.0)
-            clipped = np.clip(safe, 0.0, 4294967295.0)
-            return clipped.astype(np.int64).astype(np.uint32)
+        return vec_f2u(self._read(w, c, i.srca, n))
 
     def _h_i2f(self, w, c, i, n):
-        a = self._read(w, c, i.srca, n).view(np.int32)
-        return a.astype(np.float32)
+        return vec_i2f(self._read(w, c, i.srca, n))
 
     def _h_u2f(self, w, c, i, n):
-        a = self._read(w, c, i.srca, n)
-        return a.astype(np.float32)
+        return vec_u2f(self._read(w, c, i.srca, n))
 
     def _binary_u(self, warp, clause, instr, lanes, fn):
         a = self._read(warp, clause, instr.srca, lanes)
@@ -637,33 +694,20 @@ class ClauseInterpreter:
         return np.abs(a).view(np.uint32)
 
     def _h_idiv(self, w, c, i, n):
-        a = self._read(w, c, i.srca, n).view(np.int32).astype(np.int64)
-        b = self._read(w, c, i.srcb, n).view(np.int32).astype(np.int64)
-        safe = np.where(b == 0, 1, b)
-        # C semantics: truncate toward zero; division by zero yields zero
-        quotient = np.where(b == 0, 0, np.trunc(a / safe))
-        return quotient.astype(np.int64).astype(np.int32).view(np.uint32)
+        return vec_idiv(self._read(w, c, i.srca, n),
+                        self._read(w, c, i.srcb, n))
 
     def _h_irem(self, w, c, i, n):
-        a = self._read(w, c, i.srca, n).view(np.int32).astype(np.int64)
-        b = self._read(w, c, i.srcb, n).view(np.int32).astype(np.int64)
-        safe = np.where(b == 0, 1, b)
-        quotient = np.trunc(a / safe).astype(np.int64)
-        remainder = a - quotient * safe
-        remainder = np.where(b == 0, 0, remainder)
-        return remainder.astype(np.int32).view(np.uint32)
+        return vec_irem(self._read(w, c, i.srca, n),
+                        self._read(w, c, i.srcb, n))
 
     def _h_udiv(self, w, c, i, n):
-        a = self._read(w, c, i.srca, n).astype(np.uint64)
-        b = self._read(w, c, i.srcb, n).astype(np.uint64)
-        safe = np.where(b == 0, 1, b)
-        return np.where(b == 0, 0, a // safe).astype(np.uint32)
+        return vec_udiv(self._read(w, c, i.srca, n),
+                        self._read(w, c, i.srcb, n))
 
     def _h_urem(self, w, c, i, n):
-        a = self._read(w, c, i.srca, n).astype(np.uint64)
-        b = self._read(w, c, i.srcb, n).astype(np.uint64)
-        safe = np.where(b == 0, 1, b)
-        return np.where(b == 0, 0, a % safe).astype(np.uint32)
+        return vec_urem(self._read(w, c, i.srca, n),
+                        self._read(w, c, i.srcb, n))
 
     def _h_cmp(self, w, c, i, n):
         mode = CmpMode(i.flags)

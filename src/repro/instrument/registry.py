@@ -355,3 +355,9 @@ def register_mmu_stats(scope, mmu):
     scope.probe("quad_fallbacks", lambda: mmu.quad_fallbacks,
                 desc="quad accesses replayed on the scalar path",
                 golden=False)
+    scope.probe("wide_accesses", lambda: mmu.wide_accesses,
+                desc="workgroup-wide accesses served by the mega tier",
+                golden=False)
+    scope.probe("wide_fallbacks", lambda: mmu.wide_fallbacks,
+                desc="workgroup-wide accesses replayed per lane",
+                golden=False)

@@ -505,8 +505,8 @@ def main(argv=None):
     p_conf.add_argument("--budget", type=int, default=200,
                         help="number of programs to generate and run")
     p_conf.add_argument("--engines", default=None, metavar="A+B+...",
-                        help="engine subset, e.g. interp+fast+m2s "
-                             "(default: all four)")
+                        help="engine subset, e.g. interp+fast+mega+m2s "
+                             "(default: all five)")
     p_conf.add_argument("--replay", default=None, metavar="DIR",
                         help="replay a corpus directory instead of fuzzing")
     p_conf.add_argument("--write-corpus", default=None, metavar="DIR",
@@ -551,7 +551,7 @@ def main(argv=None):
     p_fault.add_argument("--seeds", type=int, default=1,
                          help="seeds per (workload, scenario) case")
     p_fault.add_argument("--engine", default="interpreter",
-                         choices=("interpreter", "jit"))
+                         choices=("interpreter", "jit", "mega"))
     p_fault.add_argument("--threads", type=int, default=1,
                          help="num_host_threads for the GPU model")
     p_fault.add_argument("--write-repros", default=None, metavar="DIR",

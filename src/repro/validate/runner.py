@@ -1,6 +1,6 @@
 """N-way differential execution of GPU programs (conformance harness).
 
-Runs one :class:`DiffCase` through up to four independent execution engines
+Runs one :class:`DiffCase` through up to five independent execution engines
 and compares every observable outcome:
 
 - ``interp`` — the quad-warp clause interpreter with the MMU quad fast path
@@ -10,6 +10,10 @@ and compares every observable outcome:
   enabled (PR 1's vectorized pipeline), fully instrumented.
 - ``jit``    — the closure-translation JIT engine, instrumented (it must
   report the same unified counters as the interpreter).
+- ``mega``   — the workgroup-wide megakernel engine: one structure-of-arrays
+  register file per thread-group, lane-mask divergence, wide MMU
+  gather/scatter; instrumented (programs it cannot specialize — atomics —
+  fall back to the JIT tier inside the compute unit).
 - ``m2s``    — the scalar Multi2Sim-style baseline: thread-at-a-time, flat
   memory, per-visit re-decode from the encoded binary.
 
@@ -40,7 +44,10 @@ from repro.mem import PAGE_SIZE, PTE_READ, PTE_WRITE, PageTableBuilder, \
     PhysicalMemory
 from repro.validate.trace import InstructionTracer, compare_traces
 
-ENGINES = ("interp", "fast", "jit", "m2s")
+ENGINES = ("interp", "fast", "jit", "mega", "m2s")
+
+# quad-engine name -> GPUConfig/ComputeUnit engine selector
+_UNIT_ENGINE = {"jit": "jit", "mega": "mega"}
 
 # virtual layout for generated cases (shared with repro.validate.progen)
 VA_IN = 0x0010_0000
@@ -309,14 +316,15 @@ class DifferentialRunner:
         mmu.enabled = True
         mmu.fast_path_enabled = engine != "interp"
 
-        instrumented = engine in ("interp", "fast", "jit")
-        # CFG collection needs per-issue visibility the JIT's translated
-        # closures avoid, so only the interpreter engines build it
+        instrumented = engine in ("interp", "fast", "jit", "mega")
+        # CFG collection needs per-issue visibility the JIT's and the
+        # megakernel's translated closures avoid, so only the interpreter
+        # engines build it
         collect_cfg = engine in ("interp", "fast")
         unit = ComputeUnit(0)
         unit.prepare(case.local_bytes, instrument=instrumented,
                      collect_cfg=collect_cfg, tracer=tracer,
-                     engine="jit" if engine == "jit" else "interpreter")
+                     engine=_UNIT_ENGINE.get(engine, "interpreter"))
         shape = WorkgroupShape(case.global_size, case.local_size)
         uniforms = build_uniforms(case)
         registers = {}

@@ -1,0 +1,309 @@
+"""Tests: the workgroup-wide megakernel execution engine.
+
+The mega tier executes each clause once over every lane of a thread-group
+(structure-of-arrays register file, lane-mask divergence, wide MMU
+gather/scatter). It must be bit-for-bit identical to the quad tiers on
+architectural state *and* golden statistics, punt to per-lane scalar
+replay on anything the wide path cannot serve whole (armed injection
+pages, unmapped grow-on-fault pages), and fall back to the quad tiers
+entirely for programs it cannot specialize (atomics) or injected hangs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cl import CommandQueue, Context, LocalMemory
+from repro.core.platform import MobilePlatform, PlatformConfig
+from repro.gpu.device import GPUConfig
+from repro.kernels import get_workload
+from repro.validate.runner import DifferentialRunner, make_kernel_case
+
+
+def _context(engine, instrument=False):
+    config = PlatformConfig(
+        gpu=GPUConfig(engine=engine, instrument=instrument)
+    )
+    return Context(MobilePlatform(config))
+
+
+# three-way per-lane divergence that reconverges at a workgroup barrier:
+# the barrier is reached from *diverged* paths, so the mega scheduler's
+# global min-PC order and barrier-release protocol both get exercised
+DIVERGE_KERNEL = """
+__kernel void diverge(__global int* data, __global float* out,
+                      __local float* tile) {
+    int i = get_global_id(0);
+    int lid = get_local_id(0);
+    int v = data[i];
+    float acc = 0.0f;
+    if (v % 3 == 0) {
+        for (int j = 0; j < (v & 15); j += 1) {
+            acc += (float)j * 0.5f;
+        }
+    } else if (v % 3 == 1) {
+        acc = (float)(v * 7 % 13);
+    } else {
+        for (int j = 0; j < 4; j += 1) {
+            acc -= (float)(v % (j + 2));
+        }
+    }
+    tile[lid] = acc;
+    barrier(1);
+    out[i] = acc + tile[(lid + 1) % 16];
+}
+"""
+
+
+def _run_diverge(engine):
+    context = _context(engine)
+    queue = CommandQueue(context)
+    n = 64
+    rng = np.random.default_rng(29)
+    data = rng.integers(0, 64, n).astype(np.int32)
+    buf_data = context.buffer_from_array(data)
+    buf_out = context.alloc_buffer(4 * n)
+    kernel = context.build_program(DIVERGE_KERNEL).kernel("diverge")
+    kernel.set_args(buf_data, buf_out, LocalMemory(4 * 16))
+    queue.enqueue_nd_range(kernel, (n,), (16,))
+    return queue.enqueue_read_buffer(buf_out, np.float32)
+
+
+def test_mega_bit_identical_on_divergent_barrier_kernel():
+    interp = _run_diverge("interpreter")
+    mega = _run_diverge("mega")
+    np.testing.assert_array_equal(interp.view(np.uint32),
+                                  mega.view(np.uint32))
+
+
+def test_mega_divergence_reconvergence_matches_quad_tiers():
+    """Lane-mask divergence and min-PC reconvergence, compared through
+    the differential harness: registers, temps, memory, golden stats and
+    MMU behaviour must all match the quad tiers (the runner maps data
+    pages to non-adjacent physical frames, so the wide gather/scatter
+    multi-page tiers cannot pass by accident)."""
+    rng = np.random.default_rng(17)
+    data = rng.integers(0, 64, 64).astype(np.int32)
+    case = make_kernel_case(
+        DIVERGE_KERNEL, "diverge", (64,), (16,),
+        buffers=[data, np.zeros(64, dtype=np.float32)],
+        local_args=[4 * 16], name="mega-diverge")
+    runner = DifferentialRunner(engines=("interp", "fast", "jit", "mega"),
+                                trace=False)
+    _results, mismatches = runner.run_case(case)
+    assert not mismatches, "\n".join(str(m) for m in mismatches)
+
+
+@pytest.mark.parametrize("name", ["SobelFilter", "BitonicSort", "sgemm",
+                                  "Reduction", "URNG"])
+def test_mega_verifies_on_workloads(name):
+    context = _context("mega")
+    sizes = {"SobelFilter": {"width": 32, "height": 24},
+             "BitonicSort": {"n": 128},
+             "sgemm": {"m": 16, "k": 16, "n": 16},
+             "Reduction": {"n": 512},
+             "URNG": {"n": 256}}
+    result = get_workload(name, **sizes.get(name, {})).run(context=context)
+    assert result.verified, name
+
+
+def test_mega_stats_identical_to_interpreter():
+    """The deferred (issues, lanes) accounting over the global min-PC
+    schedule must reproduce the interpreter's JobStats bit-for-bit."""
+    mega_result = get_workload("sgemm", m=16, k=16, n=16).run(
+        context=_context("mega", instrument=True))
+    assert mega_result.verified
+    assert mega_result.stats.total_instrs > 0
+    interp_result = get_workload("sgemm", m=16, k=16, n=16).run(
+        context=_context("interpreter", instrument=True))
+    assert mega_result.stats == interp_result.stats
+
+
+def test_mega_armed_page_punts_to_scalar_replay():
+    """An injected (armed) fault page defers the wide access with nothing
+    recorded; the per-lane replay funnels the fault through the reference
+    _miss path, the driver retries the job, and recovery must be
+    bit-exact against the clean run (asserted inside run_case), with
+    deterministic counters across a repeat."""
+    from repro.inject.campaign import run_case
+
+    for workload in ("sgemm", "divergent"):
+        result, _plan = run_case(workload, "mmu-transient", seed=0,
+                                 engine="mega")
+        assert result.ok, result.detail
+        assert result.fired >= 1
+        assert result.counters["gpu.faults.mmu_injected"] >= 1
+
+
+def test_mega_persistent_fault_fails_clean():
+    from repro.inject.campaign import run_case
+
+    result, _plan = run_case("sgemm", "mmu-persistent", seed=0,
+                             engine="mega")
+    assert result.ok, result.detail
+
+
+def test_mega_hang_injection_falls_back_to_generic_loop():
+    """core.hang must reproduce the watchdog's stall accounting exactly,
+    so a fired hang routes the workgroup onto the generic warp loop."""
+    from repro.inject.campaign import run_case
+
+    result, _plan = run_case("sgemm", "hang-transient", seed=0,
+                             engine="mega")
+    assert result.ok, result.detail
+    assert result.counters["gpu.faults.watchdog_timeouts"] >= 1
+
+
+def test_mega_mid_workgroup_tier_switch_on_grow_fault():
+    """Grow-on-fault: wide accesses succeed on committed pages, then the
+    first touch of an uncommitted page defers to the per-lane replay,
+    whose _miss path runs the driver's page-fault worker and resumes —
+    a mid-workgroup wide->scalar->wide switch with exact results."""
+    from repro.mem.physical import PAGE_SIZE
+
+    context = _context("mega")
+    queue = CommandQueue(context)
+    n = 6 * PAGE_SIZE // 4
+    buffer = context.alloc_buffer(n * 4, grow_on_fault=True)
+    source = """
+    __kernel void fillseq(__global int* out, int n) {
+        int i = get_global_id(0);
+        if (i < n) {
+            out[i] = i * 1103 + 12345;
+        }
+    }
+    """
+    kernel = context.build_program(source).kernel("fillseq")
+    kernel.set_args(buffer, n)
+    queue.enqueue_nd_range(kernel, (n,), (64,))
+    got = queue.enqueue_read_buffer(buffer, dtype=np.int32, count=n)
+    want = (np.arange(n, dtype=np.int64) * 1103 + 12345).astype(np.int32)
+    np.testing.assert_array_equal(got, want)
+    mmu = context.platform.gpu.mmu
+    driver = context.platform.driver
+    assert driver.pages_grown > 0
+    assert mmu.wide_accesses > 0, "wide tier never engaged"
+    assert mmu.wide_fallbacks > 0, "no mid-workgroup punt happened"
+
+
+def test_mega_tier_switch_stats_equivalence():
+    """With the MMU fast path disabled every wide access replays per
+    lane; golden stats and results must still equal the scalar reference
+    run (the replay is the reference path, access for access)."""
+
+    def run(engine, fast_path):
+        context = _context(engine, instrument=True)
+        context.platform.gpu.mmu.fast_path_enabled = fast_path
+        result = get_workload("sgemm", m=16, k=8, n=16).run(context=context)
+        assert result.verified
+        return result.stats, context.platform.gpu.mmu
+
+    interp_stats, _ = run("interpreter", False)
+    mega_stats, mega_mmu = run("mega", False)
+    assert mega_stats == interp_stats
+    assert mega_mmu.wide_fallbacks > 0
+    assert mega_mmu.wide_accesses == 0
+
+
+def test_mega_atomics_fall_back_to_quad_tiers():
+    """ATOM has no workgroup-wide translation (the interpreter
+    serializes atomics warp by warp); programs using it must run on the
+    quad tiers with identical results and stats."""
+    from repro.clc import compile_source
+    from repro.gpu.megakernel import mega_supported
+
+    source = """
+    __kernel void count(__global int* data, __global int* total) {
+        int i = get_global_id(0);
+        if (data[i] % 2 == 0) {
+            atomic_add(&total[0], data[i]);
+        }
+    }
+    """
+    rng = np.random.default_rng(5)
+    data = rng.integers(0, 100, 64).astype(np.int32)
+
+    def run(engine):
+        context = _context(engine, instrument=True)
+        queue = CommandQueue(context)
+        buf_data = context.buffer_from_array(data)
+        buf_total = context.alloc_buffer(4)
+        queue.enqueue_fill_buffer(buf_total, 0)
+        kernel = context.build_program(source).kernel("count")
+        kernel.set_args(buf_data, buf_total)
+        queue.enqueue_nd_range(kernel, (64,), (16,))
+        total = queue.enqueue_read_buffer(buf_total, np.int32)
+        return int(total[0]), context
+
+    mega_total, mega_ctx = run("mega")
+    interp_total, _ic = run("interpreter")
+    program = compile_source(source).kernel("count").program
+    assert mega_total == interp_total
+    assert mega_total == int(data[data % 2 == 0].sum())
+    assert not mega_supported(program, mega_ctx.platform.gpu.mmu)
+
+
+def test_mega_cache_validates_program_identity():
+    """The per-unit mega cache keys on id(program) and must hold and
+    identity-check the keyed program, so a recycled id can never serve
+    another program's translation."""
+    from repro.gpu.isa import CONST_BASE, Clause, Instruction, Op, Program, \
+        Tail
+    from repro.gpu.shadercore import ComputeUnit, WorkgroupShape
+
+    def make_program(constant):
+        clause = Clause(
+            tuples=[(Instruction(Op.MOV, dst=0, srca=CONST_BASE),
+                     Instruction(Op.NOP))],
+            constants=[constant],
+            tail=Tail.END,
+        )
+        program = Program(clauses=[clause])
+        program.validate()
+        return program
+
+    class WideStub:
+        """Minimal wide-capable memory port (never actually accessed)."""
+
+        def load_wide_u32(self, vaddrs):
+            return None
+
+        def store_wide_u32(self, vaddrs, values):
+            return None
+
+    unit = ComputeUnit(0)
+    unit.prepare(64, instrument=False, collect_cfg=False, engine="mega")
+    shape = WorkgroupShape((4, 1, 1), (4, 1, 1))
+    uniforms = np.zeros(1, dtype=np.uint32)
+    mem = WideStub()
+    prog_a = make_program(1)
+    prog_b = make_program(2)
+    mega_a = unit._mega_executor(prog_a, uniforms, mem, shape)
+    assert mega_a is not None
+    assert unit._mega_executor(prog_a, uniforms, mem, shape) is mega_a
+    width = shape.warps_per_group * 4
+    unit._mega_cache[(id(prog_b), uniforms.tobytes(), width)] = \
+        (prog_a, mega_a)
+    mega_b = unit._mega_executor(prog_b, uniforms, mem, shape)
+    assert mega_b is not mega_a
+    assert mega_b.program is prog_b
+
+
+def test_mega_partial_quads_use_masked_path():
+    """A local size that is not a multiple of the quad width leaves dead
+    lanes; the mega engine must run masked and retire the same per-thread
+    state as the interpreter."""
+    source = """
+    __kernel void triple(__global int* data, __global int* out) {
+        int i = get_global_id(0);
+        out[i] = data[i] * 3 + 1;
+    }
+    """
+    rng = np.random.default_rng(11)
+    data = rng.integers(0, 1000, 18).astype(np.int32)
+    case = make_kernel_case(
+        source, "triple", (18,), (6,),
+        buffers=[data, np.zeros(18, dtype=np.int32)],
+        name="mega-partial-quads")
+    runner = DifferentialRunner(engines=("interp", "mega"), trace=False)
+    _results, mismatches = runner.run_case(case)
+    assert not mismatches, "\n".join(str(m) for m in mismatches)
