@@ -1,0 +1,92 @@
+"""Simulation-farm scaling benchmark: cases/sec vs worker count.
+
+Runs one fixed mixed sweep config (conformance + fault + lint + bench
+cases) through ``repro.validate.farm.run_farm`` at increasing worker
+counts and writes ``BENCH_farm.json`` (repo root) with throughput per
+point, so farm-layer changes have a perf trajectory to regress against.
+Along the way it re-asserts the determinism contract on real hardware:
+every point's aggregate report must be byte-identical to the 1-worker
+reference.
+
+Run directly: ``python benchmarks/bench_farm.py [--quick]``.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.validate.farm import load_config, run_farm  # noqa: E402
+
+_OUTPUT = _REPO_ROOT / "BENCH_farm.json"
+
+
+def sweep_config(quick):
+    scale = 1 if quick else 4
+    return {
+        "name": "bench-farm",
+        "shard_size": 2,
+        "sweeps": [
+            {"kind": "selftest", "behaviors": ["ok"], "count": 4 * scale},
+            {"kind": "conformance", "engines": ["interp", "fast"],
+             "seeds": 2 * scale, "budget": 3},
+            {"kind": "fault", "workloads": ["sgemm"],
+             "scenarios": ["irq-lost", "mmu-transient"],
+             "seeds": list(range(scale))},
+            {"kind": "lint", "targets": ["builtin:sgemm", "slam"]},
+        ],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller grid, fewer worker points")
+    options = parser.parse_args(argv)
+
+    config = load_config(sweep_config(options.quick))
+    worker_points = (1, 2) if options.quick else (1, 2, 4, 8)
+    points = []
+    reference = None
+    for workers in worker_points:
+        start = time.perf_counter()
+        run = run_farm(config, workers=workers)
+        elapsed = time.perf_counter() - start
+        if not run.ok:
+            print(run.summary())
+            raise SystemExit(f"farm benchmark sweep failed at "
+                             f"{workers} workers")
+        if reference is None:
+            reference = run.report_bytes
+        elif run.report_bytes != reference:
+            raise SystemExit(
+                f"determinism violation: {workers}-worker report "
+                f"differs from the 1-worker reference")
+        cases = run.report["totals"]["cases"]
+        points.append({
+            "workers": workers,
+            "cases": cases,
+            "seconds": round(elapsed, 3),
+            "cases_per_sec": round(cases / elapsed, 2),
+        })
+        print(f"workers={workers}: {cases} cases in {elapsed:.2f}s "
+              f"({cases / elapsed:.1f} cases/sec)")
+
+    base = points[0]["cases_per_sec"]
+    for point in points:
+        point["speedup"] = round(point["cases_per_sec"] / base, 2)
+    _OUTPUT.write_text(json.dumps({
+        "benchmark": "farm-scaling",
+        "quick": options.quick,
+        "config_hash": config.config_hash,
+        "points": points,
+    }, indent=2) + "\n")
+    print(f"wrote {_OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,15 +32,27 @@ from repro.gpu.verify.pipeline import (
     verify_program,
 )
 from repro.gpu.verify.report import Finding, Report, Severity
+from repro.gpu.verify.lint import (
+    LintUnit,
+    builtin_targets,
+    format_unit,
+    lint_source,
+    lint_target,
+)
 
 __all__ = [
     "BufferInfo",
     "ClauseCFG",
     "Finding",
+    "LintUnit",
     "PASSES",
     "Report",
     "Severity",
     "VerifyContext",
+    "builtin_targets",
+    "format_unit",
+    "lint_source",
+    "lint_target",
     "verify_binary",
     "verify_program",
 ]

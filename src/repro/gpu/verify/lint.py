@@ -1,0 +1,121 @@
+"""Library form of the static-verifier lint sweep.
+
+``repro-sim lint`` and the simulation farm's lint provider share this
+module: one compile-and-verify path per target, returning structured
+:class:`LintUnit` results instead of printing, so callers own both
+presentation (CLI annotated disassembly) and aggregation (farm verdicts
+and counters).
+
+A *target* is addressed by a stable string:
+
+- ``builtin:<workload>`` — one entry of :data:`repro.kernels.WORKLOADS`,
+  compiled with the workload's own ``compile_defines()``;
+- ``slam`` — the concatenated SLAM pipeline kernels;
+- anything else — a kernel-language source file path.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.gpu.verify.context import VerifyContext
+from repro.gpu.verify.pipeline import verify_program
+from repro.gpu.verify.report import Severity
+
+
+@dataclass
+class LintUnit:
+    """Verifier outcome for one kernel of one target (or one failed
+    compile, in which case *kernel* is empty and *error* is set)."""
+
+    label: str
+    kernel: str = ""
+    counts: dict = field(default_factory=lambda: {
+        "errors": 0, "warnings": 0, "notes": 0})
+    report: object = None
+    error: str = ""
+
+    @property
+    def ok(self):
+        return not self.error and not self.counts["errors"]
+
+    def summary(self):
+        if self.error:
+            return f"compile failed: {self.error}"
+        return self.report.summary()
+
+
+def builtin_targets():
+    """The stable target list the ``--builtin`` sweep covers: every
+    registered workload plus the SLAM pipeline."""
+    from repro.kernels import WORKLOADS
+
+    return [f"builtin:{name}" for name in sorted(WORKLOADS)] + ["slam"]
+
+
+def _target_source(target):
+    """Resolve a target string to (label, source, defines)."""
+    if target.startswith("builtin:"):
+        from repro.kernels import WORKLOADS
+
+        name = target[len("builtin:"):]
+        if name not in WORKLOADS:
+            raise KeyError(f"unknown builtin workload {name!r}")
+        cls = WORKLOADS[name]
+        return name, cls.source, cls.compile_defines()
+    if target == "slam":
+        from repro.slam.kernels import ALL_SOURCES
+
+        return "slam", ALL_SOURCES, None
+    with open(target) as handle:
+        return target, handle.read(), None
+
+
+def lint_source(label, source, defines=None, version=None, kernel=None):
+    """Compile *source* and verify every kernel; returns [LintUnit].
+
+    The caller owns finding presentation, so the compiler's own
+    reject-on-error verify gate is disabled for these builds.
+    """
+    from repro.clc import compile_source
+    from repro.clc.compiler import CompilerOptions
+    from repro.clc.versions import DEFAULT_VERSION
+
+    copts = replace(CompilerOptions.from_version(version or DEFAULT_VERSION),
+                    verify=False)
+    try:
+        program = compile_source(source, options=copts, defines=defines)
+    except Exception as exc:  # noqa: BLE001 - a failed compile is a result
+        return [LintUnit(label=label, error=f"{type(exc).__name__}: {exc}")]
+    units = []
+    for name in sorted(program.kernels):
+        if kernel and name != kernel:
+            continue
+        compiled = program.kernels[name]
+        report = verify_program(
+            compiled.program, VerifyContext.from_compiled_kernel(compiled))
+        units.append(LintUnit(label=label, kernel=name,
+                              counts=report.counts(), report=report))
+    return units
+
+
+def lint_target(target, version=None, kernel=None):
+    """Lint one target string (``builtin:<name>``, ``slam`` or a file
+    path); returns [LintUnit]."""
+    label, source, defines = _target_source(target)
+    return lint_source(label, source, defines=defines, version=version,
+                       kernel=kernel)
+
+
+def format_unit(unit, disasm=True, min_severity=Severity.WARNING):
+    """CLI presentation of one unit: status line plus (optionally) the
+    findings inlined into the clause disassembly."""
+    status = "ok  " if unit.ok else "FAIL"
+    name = f"{unit.label}:{unit.kernel}" if unit.kernel else unit.label
+    lines = [f"{status} {name}  ({unit.summary()})"]
+    if unit.report is not None:
+        shown = [f for f in unit.report.findings
+                 if f.severity >= min_severity]
+        if shown:
+            lines.append(unit.report.format(disasm=disasm,
+                                            min_severity=min_severity))
+            lines.append("")
+    return "\n".join(lines)

@@ -36,6 +36,7 @@ outputs are outside the contract. All campaign workloads are replayable.
 """
 
 import json
+import os
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -478,6 +479,65 @@ def replay_reproducer(path, check_determinism=True):
         num_host_threads=entry.get("num_host_threads", 1),
         check_determinism=check_determinism)
     return result
+
+
+def farm_case_specs(workloads=DEFAULT_WORKLOADS, scenarios=None, seeds=1,
+                    engines=("interpreter",), threads=(1,),
+                    check_determinism=False):
+    """Case-provider interface for the simulation farm: the full
+    ``workloads × scenarios × seeds × engines × threads`` grid, one spec
+    per case, each independently executable by :func:`run_farm_case` on
+    any worker (fresh platform per case, no shared state). *seeds* is a
+    count (``3`` means seeds 0..2) or an explicit list of seed values."""
+    scenario_names = list(scenarios or SCENARIOS)
+    for scenario in scenario_names:
+        if scenario not in SCENARIOS:
+            raise ValueError(f"unknown scenario {scenario!r}")
+    seed_values = range(seeds) if isinstance(seeds, int) else list(seeds)
+    for workload in workloads:
+        for scenario in scenario_names:
+            for seed in seed_values:
+                for engine in engines:
+                    for num_threads in threads:
+                        yield {
+                            "workload": workload,
+                            "scenario": scenario,
+                            "seed": int(seed),
+                            "engine": engine,
+                            "num_host_threads": int(num_threads),
+                            "check_determinism": bool(check_determinism),
+                        }
+
+
+def run_farm_case(spec, artifact_dir=None):
+    """Execute one fault-campaign spec (inside a farm worker); returns
+    ``(ok, detail, counters, artifacts)``.
+
+    Failures are written as standard fault-campaign reproducers under
+    *artifact_dir*, so a farm report's failing case is replayable with
+    ``repro.tools faultcampaign --replay``.
+    """
+    engine = spec.get("engine", "interpreter")
+    num_host_threads = spec.get("num_host_threads", 1)
+    try:
+        case, plan = run_case(
+            spec["workload"], spec["scenario"], spec["seed"],
+            engine=engine, num_host_threads=num_host_threads,
+            check_determinism=spec.get("check_determinism", False))
+    except Exception as exc:  # invariant: nothing escapes raw
+        case = CaseResult(
+            spec["workload"], spec["scenario"], spec["seed"], False,
+            f"non-SimError escaped: {type(exc).__name__}: {exc}")
+        plan = None
+    artifacts = []
+    if not case.ok and artifact_dir is not None:
+        path = write_reproducer(artifact_dir, case, plan, engine,
+                                num_host_threads)
+        artifacts.append(os.path.basename(str(path)))
+    counters = {key: int(value) for key, value in
+                sorted(case.counters.items())}
+    counters["fired"] = int(case.fired)
+    return case.ok, case.detail, counters, artifacts
 
 
 def run_campaign(workloads=DEFAULT_WORKLOADS, scenarios=None, seeds=1,

@@ -222,6 +222,22 @@ class StatsRegistry:
     def to_json(self, golden_only=False, indent=2):
         return json.dumps(self.dump(golden_only), indent=indent, default=str)
 
+    def snapshot(self, golden_only=False):
+        """A transport-safe copy of :meth:`dump` for crossing process
+        boundaries (the simulation farm pickles per-case snapshots back
+        to the campaign manager and writes them into the aggregate
+        report).
+
+        Unlike the raw dump, every value is a plain ``int``/``float``/
+        ``str`` and distribution buckets become string keys, so the
+        snapshot round-trips through both pickle and JSON without the
+        int-vs-str key ambiguity ``json.loads(json.dumps(...))``
+        introduces, and never drags live Probe callables (and the
+        component graph behind them) across the boundary.
+        """
+        return {name: snapshot_value(value)
+                for name, value in self.dump(golden_only).items()}
+
     def reset(self):
         for stat in self._stats.values():
             stat.reset()
@@ -251,6 +267,31 @@ class Scope:
 
     def scope(self, prefix):
         return Scope(self.registry, self._name(prefix))
+
+
+def snapshot_value(value):
+    """Normalize one stat value into the snapshot transport form."""
+    if isinstance(value, dict):
+        return {str(key): snapshot_value(sample)
+                for key, sample in sorted(value.items())}
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, (frozenset, set, tuple, list)):
+        return [snapshot_value(item) for item in sorted(value)]
+    return str(value)
+
+
+def diff_snapshots(reference, other):
+    """Names whose values differ between two snapshots (including names
+    present on only one side), sorted — the farm's bit-exactness check."""
+    names = set(reference) | set(other)
+    missing = object()
+    return sorted(name for name in names
+                  if reference.get(name, missing) != other.get(name, missing))
 
 
 def format_registry(registry, golden_only=False, show_desc=True):

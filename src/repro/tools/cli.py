@@ -26,12 +26,35 @@ Subcommands:
 - ``lint FILE``     — run the static binary verifier over compiled
   kernels; findings are inlined into the clause disassembly
   (``--builtin`` sweeps every shipped workload + SLAM kernel).
+- ``farm``          — the config-driven simulation farm: ``farm run
+  CONFIG`` executes a declarative mixed sweep (conformance + faults +
+  lint + bench) on a multiprocess worker pool with a deterministic
+  aggregate report; ``farm plan`` prints the case/shard expansion;
+  ``farm example`` prints a copy-pasteable config.
+
+The campaign verbs (``conformance``, ``faultcampaign``, ``lint``,
+``farm``) exit non-zero on any failing case and end their output with a
+stable machine-parsable summary line::
+
+    RESULT <verb> status=<ok|fail> key=value ...
+
+so wrapping automation (CI, the farm itself) never has to scrape
+human-oriented output.
 """
 
 import argparse
 import sys
 
 import numpy as np
+
+
+def _result_line(verb, ok, **fields):
+    """The one-line machine-parsable campaign summary (stable format:
+    ``RESULT <verb> status=<ok|fail> k=v ...``, space-separated, values
+    free of spaces)."""
+    parts = [f"RESULT {verb}", f"status={'ok' if ok else 'fail'}"]
+    parts.extend(f"{key}={value}" for key, value in fields.items())
+    print(" ".join(parts))
 
 
 def _add_compile_args(parser):
@@ -290,12 +313,16 @@ def _cmd_conformance(options):
         else ENGINES
     if options.replay:
         outcomes, failed = replay_directory(options.replay, engines=engines)
+        if not outcomes:
+            print(f"conformance: no corpus entries under {options.replay}")
+            return 2
         for path, name, mismatches in outcomes:
             status = "FAIL" if mismatches else "ok"
             print(f"{status:4s} {name} ({path})")
             for mismatch in mismatches:
                 print(f"     {mismatch}")
-        print(f"replayed {len(outcomes)} entries, {len(failed)} failing")
+        _result_line("conformance", not failed, mode="replay",
+                     entries=len(outcomes), failures=len(failed))
         return 1 if failed else 0
 
     def progress(done, budget, failures):
@@ -308,75 +335,64 @@ def _cmd_conformance(options):
         minimize=not options.no_minimize, corpus_out=options.write_corpus,
         progress=progress if options.budget >= 50 else None)
     print("\n".join(report.lines()))
-    if report.coverage.fraction < options.min_coverage:
+    short = report.coverage.fraction < options.min_coverage
+    if short:
         print(f"coverage {100 * report.coverage.fraction:.1f}% below "
               f"required {100 * options.min_coverage:.1f}%")
-        return 1
-    return 0 if report.ok else 1
+    ok = report.ok and not short
+    _result_line("conformance", ok, mode="fuzz", seed=options.seed,
+                 programs=report.cases_run, failures=len(report.failures),
+                 coverage=f"{report.coverage.fraction:.4f}")
+    return 0 if ok else 1
 
 
 def _cmd_lint(options):
-    from dataclasses import replace
+    from repro.gpu.verify import Severity
+    from repro.gpu.verify.lint import (
+        builtin_targets,
+        format_unit,
+        lint_source,
+        lint_target,
+    )
 
-    from repro.clc import compile_source
-    from repro.clc.compiler import CompilerOptions
-    from repro.clc.versions import DEFAULT_VERSION
-    from repro.gpu.verify import Severity, VerifyContext, verify_program
-
-    # the lint verb owns finding presentation, so the compiler's own
-    # reject-on-error gate is disabled for these builds
-    copts = replace(
-        CompilerOptions.from_version(options.version or DEFAULT_VERSION),
-        verify=False)
     min_severity = Severity.NOTE if options.notes else Severity.WARNING
     total = {"kernels": 0, "errors": 0, "warnings": 0, "notes": 0}
 
-    def lint_unit(label, source, defines=None):
-        try:
-            program = compile_source(source, options=copts, defines=defines)
-        except Exception as exc:  # noqa: BLE001 - report, keep linting
-            print(f"FAIL {label}: compile failed: {exc}")
-            total["errors"] += 1
-            return
-        for name in sorted(program.kernels):
-            if options.kernel and name != options.kernel:
+    def show(units):
+        for unit in units:
+            if unit.error:
+                print(f"FAIL {unit.label}: {unit.summary()}")
+                total["errors"] += 1
                 continue
-            kernel = program.kernels[name]
-            report = verify_program(
-                kernel.program, VerifyContext.from_compiled_kernel(kernel))
-            counts = report.counts()
             total["kernels"] += 1
-            total["errors"] += counts["errors"]
-            total["warnings"] += counts["warnings"]
-            total["notes"] += counts["notes"]
-            shown = [f for f in report.findings
-                     if f.severity >= min_severity]
-            status = "FAIL" if report.errors else "ok  "
-            print(f"{status} {label}:{name}  ({report.summary()})")
-            if shown:
-                print(report.format(disasm=not options.no_disasm,
-                                    min_severity=min_severity))
-                print()
+            for key in ("errors", "warnings", "notes"):
+                total[key] += unit.counts[key]
+            print(format_unit(unit, disasm=not options.no_disasm,
+                              min_severity=min_severity))
 
     if options.builtin:
-        from repro.kernels import WORKLOADS
-        from repro.slam.kernels import ALL_SOURCES
-
-        for wname in sorted(WORKLOADS):
-            cls = WORKLOADS[wname]
-            lint_unit(wname, cls.source, defines=cls.compile_defines())
-        lint_unit("slam", ALL_SOURCES)
+        for target in builtin_targets():
+            show(lint_target(target, version=options.version,
+                             kernel=options.kernel))
     else:
         if not options.file:
             print("lint: need a FILE or --builtin")
             return 2
-        with open(options.file) as handle:
-            source = handle.read()
-        lint_unit(options.file, source, defines=_defines(options))
+        try:
+            with open(options.file) as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"lint: cannot read {options.file}: {exc}")
+            return 2
+        show(lint_source(options.file, source, defines=_defines(options),
+                         version=options.version, kernel=options.kernel))
 
     print(f"linted {total['kernels']} kernel(s): {total['errors']} "
           f"error(s), {total['warnings']} warning(s), "
           f"{total['notes']} note(s)")
+    _result_line("lint", not total["errors"], kernels=total["kernels"],
+                 errors=total["errors"], warnings=total["warnings"],
+                 notes=total["notes"])
     return 1 if total["errors"] else 0
 
 
@@ -391,6 +407,9 @@ def _cmd_faultcampaign(options):
         from pathlib import Path
 
         paths = sorted(Path(options.replay).glob("*.json"))
+        if not paths:
+            print(f"faultcampaign: no reproducers under {options.replay}")
+            return 2
         failed = 0
         for path in paths:
             case = replay_reproducer(
@@ -400,6 +419,8 @@ def _cmd_faultcampaign(options):
             print(f"{status} {case.workload} {case.scenario} "
                   f"seed={case.seed} ({path})")
         print(f"replayed {len(paths)} reproducers, {failed} failing")
+        _result_line("faultcampaign", not failed, mode="replay",
+                     cases=len(paths), failures=failed)
         return 1 if failed else 0
 
     scenarios = options.scenarios.split(",") if options.scenarios else None
@@ -425,7 +446,79 @@ def _cmd_faultcampaign(options):
     if report.failures and options.write_repros:
         print(f"wrote {len(report.failures)} reproducers to "
               f"{options.write_repros}")
+    _result_line("faultcampaign", report.ok, mode="sweep",
+                 engine=options.engine, cases=len(report.cases),
+                 failures=len(report.failures))
     return 0 if report.ok else 1
+
+
+_FARM_EXAMPLE = """\
+{
+ "name": "example-sweep",
+ "shard_size": 2,
+ "timeout_s": 120,
+ "max_attempts": 2,
+ "sweeps": [
+  {"kind": "conformance", "engines": ["interp", "fast"],
+   "seeds": 2, "budget": 5},
+  {"kind": "fault", "workloads": ["sgemm"],
+   "scenarios": ["irq-lost", "mmu-transient"], "seeds": [0],
+   "engines": ["interpreter"]},
+  {"kind": "lint", "targets": ["builtin:sgemm", "slam"]},
+  {"kind": "bench", "engines": ["interpreter"],
+   "workloads": [{"name": "nn", "params": {"records": 128}}]}
+ ]
+}"""
+
+
+def _cmd_farm(options):
+    from repro.validate.farm import (
+        FarmConfigError,
+        FarmError,
+        expand_cases,
+        load_config,
+        plan_shards,
+        run_farm,
+    )
+
+    if options.farm_action == "example":
+        print(_FARM_EXAMPLE)
+        return 0
+
+    try:
+        config = load_config(options.config)
+        if options.farm_action == "plan":
+            cases = expand_cases(config)
+            shards = plan_shards([case["id"] for case in cases],
+                                 config.shard_size)
+            print(f"farm '{config.name}' "
+                  f"(config {config.config_hash[:12]}): "
+                  f"{len(cases)} cases in {len(shards)} shards")
+            for shard in shards:
+                print(f"{shard.shard_id}:")
+                for case_id in shard.case_ids:
+                    print(f"  {case_id}")
+            return 0
+        run = run_farm(config, workers=options.workers,
+                       outdir=options.out,
+                       progress=print if options.verbose else None)
+    except FarmConfigError as exc:
+        print(f"farm: bad config: {exc}")
+        return 2
+    except FarmError as exc:
+        print(f"farm: {exc}")
+        return 2
+
+    print(run.summary())
+    if run.report_path:
+        print(f"report: {run.report_path}")
+    totals = run.report["totals"]
+    _result_line("farm", run.ok, config=config.config_hash[:12],
+                 cases=totals["cases"],
+                 **{verdict: totals[verdict]
+                    for verdict in ("pass", "fail", "error",
+                                    "timeout", "crash")})
+    return 0 if run.ok else 1
 
 
 def main(argv=None):
@@ -566,6 +659,29 @@ def main(argv=None):
     p_fault.add_argument("--verbose", action="store_true",
                          help="print each case as it lands")
     p_fault.set_defaults(func=_cmd_faultcampaign)
+
+    p_farm = sub.add_parser(
+        "farm",
+        help="config-driven parallel simulation farm (mixed sweeps)")
+    farm_sub = p_farm.add_subparsers(dest="farm_action", required=True)
+    pf_run = farm_sub.add_parser(
+        "run", help="execute a sweep config on a worker pool")
+    pf_run.add_argument("config", help="JSON sweep config path")
+    pf_run.add_argument("--workers", type=int, default=2,
+                        help="worker process count (report-invariant)")
+    pf_run.add_argument("--out", default=None, metavar="DIR",
+                        help="write report.json, run.log and per-case "
+                             "artifacts here")
+    pf_run.add_argument("--verbose", action="store_true",
+                        help="stream per-case results as they land")
+    pf_run.set_defaults(func=_cmd_farm)
+    pf_plan = farm_sub.add_parser(
+        "plan", help="print the deterministic case/shard expansion")
+    pf_plan.add_argument("config", help="JSON sweep config path")
+    pf_plan.set_defaults(func=_cmd_farm)
+    pf_example = farm_sub.add_parser(
+        "example", help="print a copy-pasteable sweep config")
+    pf_example.set_defaults(func=_cmd_farm)
 
     options = parser.parse_args(argv)
     return options.func(options)

@@ -119,6 +119,45 @@ def load_entries(directory):
     return entries
 
 
+def farm_case_specs(directory, engines=None):
+    """Case-provider interface for the simulation farm: one replay case
+    per corpus entry, addressed by filename so the sweep is stable across
+    re-expansion.
+
+    Entries are *not* loaded here (expansion runs in the manager; the
+    worker re-reads the file), only enumerated and tagged with their
+    ``expect`` field.
+    """
+    for path, entry in load_entries(directory):
+        yield {
+            "path": path,
+            "name": entry.get("name", os.path.basename(path)),
+            "expect": entry.get("expect", "match"),
+            "engines": list(engines) if engines else None,
+        }
+
+
+def run_farm_case(spec):
+    """Replay one corpus entry (inside a farm worker); returns
+    ``(ok, detail, counters)``."""
+    from repro.validate.runner import (
+        ENGINES,
+        DifferentialRunner,
+        run_case_outcome,
+    )
+
+    with open(spec["path"]) as handle:
+        entry = json.load(handle)
+    case = dict_to_case(entry)
+    runner = DifferentialRunner(tuple(spec.get("engines") or ENGINES))
+    ok, detail, counters = run_case_outcome(runner, case)
+    if spec.get("expect", "match") == "mismatch":
+        # an open reproducer of a known bug *must* still mismatch
+        ok, detail = (not ok), ("expected a mismatch, case now matches"
+                                if ok else "")
+    return ok, detail, counters
+
+
 def replay_corpus(directory, runner, expect="match"):
     """Replay every entry in *directory* with the given *expect* value.
 

@@ -1,0 +1,425 @@
+"""Case providers: each sweep kind's expansion and per-case execution.
+
+A provider contributes two pure pieces:
+
+- ``normalize(sweep)`` — validate one sweep dict and expand shorthand
+  into the canonical form that enters the config hash (runs at load
+  time, in the manager);
+- ``expand(sweep, config)`` — enumerate ``(case_id, spec)`` pairs in a
+  deterministic order (manager side; ids must be globally unique);
+- ``execute(spec, artifact_dir)`` — run one case to completion inside a
+  **worker process** on a fresh platform, returning
+  ``(ok, detail, counters, artifacts)`` of plain picklable values.
+
+The actual campaign logic lives with the subsystems being swept:
+``repro.validate.conformance``, ``repro.validate.corpus``,
+``repro.inject.campaign`` and ``repro.gpu.verify.lint`` each export a
+farm case-provider interface this module adapts; ``bench`` runs
+registered workloads; ``selftest`` exercises the farm itself (a case
+that passes, a case that raises, a case that genuinely hangs) and is
+what the isolation and kill-recovery tests sweep.
+"""
+
+import os
+import re
+
+from repro.validate.farm.config import FarmConfigError
+
+
+def _sorted_unique(values, what):
+    out = sorted(set(values))
+    if not out:
+        raise FarmConfigError(f"{what} must not be empty")
+    return out
+
+
+def _seed_list(value, what="seeds"):
+    """``3`` -> [0, 1, 2]; an explicit list passes through sorted."""
+    if isinstance(value, bool):
+        raise FarmConfigError(f"{what} must be an int or list of ints")
+    if isinstance(value, int):
+        if value < 1:
+            raise FarmConfigError(f"{what} must be >= 1")
+        return list(range(value))
+    if isinstance(value, list) and all(
+            isinstance(v, int) and not isinstance(v, bool) for v in value):
+        return _sorted_unique(value, what)
+    raise FarmConfigError(f"{what} must be an int or list of ints")
+
+
+def sanitize_case_id(case_id):
+    """A case id folded to a filesystem-safe artifact directory name."""
+    return re.sub(r"[^A-Za-z0-9.+=,:-]", "_", case_id)
+
+
+class ConformanceProvider:
+    """Coverage-guided differential fuzzing chunks, one per seed."""
+
+    kind = "conformance"
+
+    def normalize(self, sweep):
+        from repro.validate.runner import ENGINES
+
+        engines = sweep.get("engines") or list(ENGINES)
+        for engine in engines:
+            if engine not in ENGINES:
+                raise FarmConfigError(f"unknown engine {engine!r}")
+        budget = sweep.get("budget", 25)
+        if not isinstance(budget, int) or budget < 1:
+            raise FarmConfigError("'budget' must be a positive integer")
+        return {
+            "kind": self.kind,
+            "seeds": _seed_list(sweep.get("seeds", 1)),
+            "budget": budget,
+            "engines": list(engines),
+            "minimize": bool(sweep.get("minimize", False)),
+            "verify": bool(sweep.get("verify", True)),
+        }
+
+    def expand(self, sweep, config):
+        from repro.validate.conformance import farm_case_specs
+
+        engines = "+".join(sweep["engines"])
+        for spec in farm_case_specs(
+                sweep["seeds"], sweep["budget"], engines=sweep["engines"],
+                minimize=sweep["minimize"], verify=sweep["verify"]):
+            yield f"conformance/{engines}/seed{spec['seed']}", spec
+
+    def execute(self, spec, artifact_dir):
+        from repro.validate.conformance import run_farm_case
+
+        return run_farm_case(spec, artifact_dir=artifact_dir)
+
+
+class CorpusProvider:
+    """Replay of a reproducer corpus directory, one case per entry."""
+
+    kind = "corpus"
+
+    def normalize(self, sweep):
+        directory = sweep.get("dir")
+        if not isinstance(directory, str) or not directory:
+            raise FarmConfigError("corpus sweep needs a 'dir'")
+        engines = sweep.get("engines")
+        if engines is not None:
+            from repro.validate.runner import ENGINES
+
+            for engine in engines:
+                if engine not in ENGINES:
+                    raise FarmConfigError(f"unknown engine {engine!r}")
+        return {"kind": self.kind, "dir": directory,
+                "engines": list(engines) if engines else None}
+
+    def expand(self, sweep, config):
+        from repro.validate.corpus import farm_case_specs
+
+        found = False
+        for spec in farm_case_specs(sweep["dir"], engines=sweep["engines"]):
+            found = True
+            yield f"corpus/{os.path.basename(spec['path'])}", spec
+        if not found:
+            raise FarmConfigError(
+                f"corpus sweep: no entries under {sweep['dir']!r}")
+
+    def execute(self, spec, artifact_dir):
+        from repro.validate.corpus import run_farm_case
+
+        ok, detail, counters = run_farm_case(spec)
+        return ok, detail, counters, []
+
+
+class FaultProvider:
+    """Seeded fault-injection cases over the recovery invariants."""
+
+    kind = "fault"
+
+    def normalize(self, sweep):
+        from repro.inject.campaign import DEFAULT_WORKLOADS, SCENARIOS
+
+        scenarios = sweep.get("scenarios") or sorted(SCENARIOS)
+        for scenario in scenarios:
+            if scenario not in SCENARIOS:
+                raise FarmConfigError(f"unknown scenario {scenario!r}")
+        engines = sweep.get("engines") or ["interpreter"]
+        for engine in engines:
+            if engine not in ("interpreter", "jit", "mega"):
+                raise FarmConfigError(f"unknown fault engine {engine!r}")
+        return {
+            "kind": self.kind,
+            "workloads": list(sweep.get("workloads")
+                              or DEFAULT_WORKLOADS),
+            "scenarios": sorted(scenarios),
+            "seeds": _seed_list(sweep.get("seeds", 1)),
+            "engines": list(engines),
+            "threads": _seed_list(sweep.get("threads", [1]), "threads"),
+            "check_determinism": bool(sweep.get("check_determinism",
+                                                False)),
+        }
+
+    def expand(self, sweep, config):
+        from repro.inject.campaign import farm_case_specs
+
+        for spec in farm_case_specs(
+                workloads=sweep["workloads"], scenarios=sweep["scenarios"],
+                seeds=sweep["seeds"], engines=sweep["engines"],
+                threads=sweep["threads"],
+                check_determinism=sweep["check_determinism"]):
+            yield (f"fault/{spec['workload']}/{spec['scenario']}"
+                   f"/s{spec['seed']}/{spec['engine']}"
+                   f"/t{spec['num_host_threads']}"), spec
+
+    def execute(self, spec, artifact_dir):
+        from repro.inject.campaign import run_farm_case
+
+        return run_farm_case(spec, artifact_dir=artifact_dir)
+
+
+class LintProvider:
+    """Static-verifier sweeps, one case per lint target."""
+
+    kind = "lint"
+
+    def normalize(self, sweep):
+        targets = sweep.get("targets", "builtin")
+        if targets == "builtin":
+            from repro.gpu.verify.lint import builtin_targets
+
+            targets = builtin_targets()
+        if not isinstance(targets, list) or not targets:
+            raise FarmConfigError(
+                "lint sweep needs 'targets' (list or \"builtin\")")
+        return {"kind": self.kind, "targets": sorted(targets),
+                "version": sweep.get("version")}
+
+    def expand(self, sweep, config):
+        for target in sweep["targets"]:
+            yield f"lint/{target}", {"target": target,
+                                     "version": sweep["version"]}
+
+    def execute(self, spec, artifact_dir):
+        from repro.gpu.verify.lint import format_unit, lint_target
+
+        units = lint_target(spec["target"], version=spec["version"])
+        counters = {"kernels": 0, "errors": 0, "warnings": 0, "notes": 0}
+        failing = []
+        for unit in units:
+            if unit.error:
+                counters["errors"] += 1
+                failing.append(unit)
+                continue
+            counters["kernels"] += 1
+            for key in ("errors", "warnings", "notes"):
+                counters[key] += unit.counts[key]
+            if not unit.ok:
+                failing.append(unit)
+        artifacts = []
+        if failing and artifact_dir is not None:
+            os.makedirs(artifact_dir, exist_ok=True)
+            path = os.path.join(artifact_dir, "findings.txt")
+            with open(path, "w") as handle:
+                for unit in failing:
+                    handle.write(format_unit(unit) + "\n")
+            artifacts.append("findings.txt")
+        detail = "; ".join(
+            f"{u.label}:{u.kernel or '<compile>'} {u.summary()}"
+            for u in failing[:3])
+        return not failing, detail, counters, artifacts
+
+
+class BenchProvider:
+    """Workload runs with verification plus a golden-stats snapshot."""
+
+    kind = "bench"
+
+    def normalize(self, sweep):
+        from repro.kernels import WORKLOADS
+
+        workloads = sweep.get("workloads")
+        if not isinstance(workloads, list) or not workloads:
+            raise FarmConfigError("bench sweep needs a 'workloads' list")
+        normalized = []
+        for item in workloads:
+            if isinstance(item, str):
+                item = {"name": item}
+            name = item.get("name")
+            if name not in WORKLOADS:
+                raise FarmConfigError(f"unknown workload {name!r}")
+            params = item.get("params", {})
+            if not all(isinstance(v, int) for v in params.values()):
+                raise FarmConfigError(
+                    f"bench params for {name!r} must be integers")
+            normalized.append({"name": name,
+                               "params": dict(sorted(params.items()))})
+        engines = sweep.get("engines") or ["interpreter"]
+        for engine in engines:
+            if engine not in ("interpreter", "jit", "mega"):
+                raise FarmConfigError(f"unknown bench engine {engine!r}")
+        return {"kind": self.kind, "workloads": normalized,
+                "engines": list(engines)}
+
+    def expand(self, sweep, config):
+        for item in sweep["workloads"]:
+            suffix = ",".join(f"{k}={v}"
+                              for k, v in item["params"].items())
+            point = item["name"] + (f"[{suffix}]" if suffix else "")
+            for engine in sweep["engines"]:
+                yield f"bench/{point}/{engine}", {
+                    "name": item["name"], "params": item["params"],
+                    "engine": engine}
+
+    def execute(self, spec, artifact_dir):
+        import json
+
+        from repro.cl import Context
+        from repro.core.platform import MobilePlatform, PlatformConfig
+        from repro.gpu.device import GPUConfig
+        from repro.kernels import get_workload
+
+        config = PlatformConfig(gpu=GPUConfig(engine=spec["engine"]))
+        context = Context(MobilePlatform(config))
+        workload = get_workload(spec["name"], **spec["params"])
+        result = workload.run(context=context)
+        # the deterministic face of the run is the golden registry
+        # snapshot (identical across engines and schedules); wall-clock
+        # timings are real measurements and go to the artifact instead
+        counters = context.platform.stats_registry.snapshot(
+            golden_only=True)
+        counters["jobs"] = int(result.jobs)
+        artifacts = []
+        if artifact_dir is not None:
+            os.makedirs(artifact_dir, exist_ok=True)
+            with open(os.path.join(artifact_dir, "bench.json"), "w") \
+                    as handle:
+                json.dump({
+                    "workload": spec["name"], "engine": spec["engine"],
+                    "params": spec["params"],
+                    "verified": bool(result.verified),
+                    "total_seconds": result.total_seconds,
+                    "gpu_seconds": result.gpu_seconds,
+                    "cpu_seconds": result.cpu_seconds,
+                }, handle, indent=1)
+            artifacts.append("bench.json")
+        detail = "" if result.verified else "verification failed"
+        return bool(result.verified), detail, counters, artifacts
+
+
+class SelftestProvider:
+    """The farm's own fault-injection surface.
+
+    Behaviors: ``ok`` runs a tiny real differential case; ``raise``
+    raises inside the worker; ``hang`` executes the verifier corpus's
+    ``infinite-loop`` defect program on an un-watchdogged interpreter —
+    a genuine in-engine hang only the farm-level timeout can end (the
+    platform's own ``core.hang`` injection is always recovered by the
+    watchdog ladder, so it cannot exercise the farm's kill path).
+    """
+
+    kind = "selftest"
+
+    BEHAVIORS = ("ok", "raise", "hang")
+
+    def normalize(self, sweep):
+        behaviors = sweep.get("behaviors", ["ok"])
+        for behavior in behaviors:
+            if behavior not in self.BEHAVIORS:
+                raise FarmConfigError(
+                    f"unknown selftest behavior {behavior!r}")
+        count = sweep.get("count", 1)
+        if not isinstance(count, int) or count < 1:
+            raise FarmConfigError("'count' must be a positive integer")
+        return {"kind": self.kind, "behaviors": list(behaviors),
+                "count": count}
+
+    def expand(self, sweep, config):
+        for behavior in sweep["behaviors"]:
+            for index in range(sweep["count"]):
+                case_id = f"selftest/{behavior}/{index}"
+                yield case_id, {"behavior": behavior,
+                                "seed": config.case_seed(case_id) % 1000}
+
+    def execute(self, spec, artifact_dir):
+        from repro.validate.progen import (
+            ProgramGenerator,
+            generate_defect_case,
+        )
+        from repro.validate.runner import (
+            DifferentialRunner,
+            generated_case_to_diff,
+            run_case_outcome,
+        )
+
+        behavior = spec["behavior"]
+        if behavior == "raise":
+            raise RuntimeError("selftest: injected worker exception")
+        if behavior == "hang":
+            case = generate_defect_case(spec["seed"], "infinite-loop")
+            runner = DifferentialRunner(("interp",), trace=False)
+            runner.run_case(generated_case_to_diff(case))  # never returns
+            return False, "hang case unexpectedly completed", {}, []
+        generated = ProgramGenerator(spec["seed"]).generate()
+        runner = DifferentialRunner(("interp", "fast"), trace=False)
+        ok, detail, counters = run_case_outcome(
+            runner, generated_case_to_diff(generated))
+        return ok, detail, counters, []
+
+
+PROVIDERS = {provider.kind: provider for provider in (
+    ConformanceProvider(),
+    CorpusProvider(),
+    FaultProvider(),
+    LintProvider(),
+    BenchProvider(),
+    SelftestProvider(),
+)}
+
+
+def normalize_sweep(sweep):
+    """Validate one sweep dict into its canonical (hash-entering) form."""
+    kind = sweep.get("kind")
+    provider = PROVIDERS.get(kind)
+    if provider is None:
+        raise FarmConfigError(
+            f"unknown sweep kind {kind!r}; known: {sorted(PROVIDERS)}")
+    known = set(provider.normalize({"kind": kind,
+                                    **_minimal_sweep(kind)}))
+    unknown = set(sweep) - known
+    if unknown:
+        raise FarmConfigError(
+            f"{kind} sweep: unknown keys {sorted(unknown)}")
+    return provider.normalize(sweep)
+
+
+def _minimal_sweep(kind):
+    """A minimal valid sweep per kind, used to discover the canonical
+    key set for unknown-key validation."""
+    return {
+        "conformance": {},
+        "corpus": {"dir": "."},
+        "fault": {},
+        "lint": {"targets": ["slam"]},
+        "bench": {"workloads": ["nn"]},
+        "selftest": {},
+    }[kind]
+
+
+def expand_cases(config):
+    """Expand a config into the full deterministic case list.
+
+    Returns ``[case dict]`` where each case is
+    ``{"id", "kind", "spec", "seed"}``; ids are validated unique.
+    """
+    cases = []
+    seen = set()
+    for sweep in config.sweeps:
+        provider = PROVIDERS[sweep["kind"]]
+        for case_id, spec in provider.expand(sweep, config):
+            if case_id in seen:
+                raise FarmConfigError(f"duplicate case id {case_id!r}")
+            seen.add(case_id)
+            cases.append({
+                "id": case_id,
+                "kind": sweep["kind"],
+                "spec": spec,
+                "seed": config.case_seed(case_id),
+            })
+    return cases

@@ -1,0 +1,88 @@
+"""Aggregate farm reports.
+
+The **aggregate report** is the farm's one machine-readable output: the
+canonical config (and its hash), the shard plan, every case outcome
+(sorted by case id) and the totals. It is deliberately free of anything
+schedule- or host-dependent — no wall-clock times, worker ids, attempt
+counts or hostnames — so the serialized report is **byte-identical**
+across worker counts, across runs, and across kill-and-retry runs of the
+same config. Run telemetry (elapsed time, retries, kills, worker count)
+lives in the separate human summary instead.
+"""
+
+import json
+
+#: verdicts in severity order (pass last so `totals` reads naturally)
+VERDICTS = ("fail", "error", "timeout", "crash", "pass")
+
+REPORT_VERSION = 1
+
+
+def build_report(config, outcomes, shards):
+    """Assemble the deterministic aggregate report dict.
+
+    *outcomes* maps case id -> outcome dict (as produced by the workers
+    or adjudicated by the manager); *shards* is the original plan.
+    """
+    from repro.validate.farm.shard import plan_as_dict
+
+    cases = [outcomes[case_id] for case_id in sorted(outcomes)]
+    totals = {verdict: 0 for verdict in VERDICTS}
+    by_kind = {}
+    for case in cases:
+        totals[case["verdict"]] = totals.get(case["verdict"], 0) + 1
+        kind = by_kind.setdefault(
+            case["kind"], {verdict: 0 for verdict in VERDICTS})
+        kind[case["verdict"]] = kind.get(case["verdict"], 0) + 1
+    ok = all(case["verdict"] == "pass" for case in cases)
+    return {
+        "farm_report_version": REPORT_VERSION,
+        "name": config.name,
+        "config_hash": config.config_hash,
+        "config": config.canonical,
+        "shard_plan": plan_as_dict(shards),
+        "cases": cases,
+        "totals": {"cases": len(cases), **totals, "by_kind": by_kind},
+        "ok": ok,
+    }
+
+
+def report_to_bytes(report):
+    """The canonical serialized form the determinism contract is stated
+    over: sorted keys, fixed indentation, trailing newline."""
+    return (json.dumps(report, sort_keys=True, indent=1) + "\n").encode()
+
+
+def summary_lines(report, run_info=None):
+    """Human summary: totals per kind plus failing cases, then (when
+    given) the schedule-dependent run telemetry the report itself must
+    not contain."""
+    totals = report["totals"]
+    lines = [
+        f"farm '{report['name']}' "
+        f"(config {report['config_hash'][:12]}): "
+        f"{totals['cases']} cases in {len(report['shard_plan'])} shards "
+        f"-> {totals['pass']} pass, {totals['fail']} fail, "
+        f"{totals['error']} error, {totals['timeout']} timeout, "
+        f"{totals['crash']} crash",
+    ]
+    for kind in sorted(totals["by_kind"]):
+        counts = totals["by_kind"][kind]
+        bad = sum(counts[v] for v in VERDICTS if v != "pass")
+        lines.append(f"  {kind:<12} {counts['pass']:4d} pass"
+                     + (f", {bad} failing" if bad else ""))
+    for case in report["cases"]:
+        if case["verdict"] != "pass":
+            detail = f" -- {case['detail']}" if case["detail"] else ""
+            lines.append(
+                f"  {case['verdict'].upper():<7} {case['id']}{detail}")
+            for artifact in case["artifacts"]:
+                lines.append(f"          artifact: {artifact}")
+    if run_info:
+        lines.append(
+            f"run: workers={run_info.get('workers')} "
+            f"elapsed={run_info.get('elapsed', 0.0):.1f}s "
+            f"retries={run_info.get('retries', 0)} "
+            f"kills={run_info.get('kills', 0)} "
+            f"respawns={run_info.get('respawns', 0)}")
+    return lines

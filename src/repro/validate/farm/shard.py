@@ -1,0 +1,55 @@
+"""Deterministic shard planning.
+
+The expanded case list is partitioned into shards of at most
+``shard_size`` consecutive cases, **independently of worker count**:
+workers pull whole shards from a queue, so adding workers changes only
+who runs a shard, never what the shards are. The plan is therefore a
+pure function of the canonical config (cases expand in config order) and
+is embedded verbatim in the aggregate report — the first thing the
+byte-identity determinism tests pin down.
+
+Retries re-shard deterministically too: when a worker dies or is killed
+on timeout, the victim shard's *unfinished* cases become a new shard
+whose id extends the original's (``shard-003.r1``). Retry shards are
+bounded by the config's ``max_attempts`` and never appear in the
+report's shard plan (which schedule-independent consumers diff), only in
+the human run log.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of worker dispatch: an ordered slice of case ids."""
+
+    shard_id: str
+    case_ids: tuple
+    attempt: int = 0
+
+
+def plan_shards(case_ids, shard_size):
+    """Partition *case_ids* (already in canonical order) into the
+    deterministic shard plan."""
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    shards = []
+    for start in range(0, len(case_ids), shard_size):
+        chunk = tuple(case_ids[start:start + shard_size])
+        shards.append(Shard(shard_id=f"shard-{len(shards):03d}",
+                            case_ids=chunk))
+    return shards
+
+
+def retry_shard(shard, remaining_case_ids):
+    """The deterministic re-shard of a failed shard's unfinished cases."""
+    base = shard.shard_id.split(".r")[0]
+    attempt = shard.attempt + 1
+    return Shard(shard_id=f"{base}.r{attempt}",
+                 case_ids=tuple(remaining_case_ids), attempt=attempt)
+
+
+def plan_as_dict(shards):
+    """The shard plan in report form."""
+    return [{"id": shard.shard_id, "cases": list(shard.case_ids)}
+            for shard in shards]

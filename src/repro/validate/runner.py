@@ -485,6 +485,28 @@ class DifferentialRunner:
         return []
 
 
+def run_case_outcome(runner, case):
+    """Run *case* and normalize the result into the farm's case-outcome
+    shape: ``(ok, detail, counters)``.
+
+    *counters* holds each engine's normalized instruction categories under
+    ``<engine>.<category>`` names (plain ints, deterministic order), so
+    aggregated farm reports stay byte-identical however the case was
+    scheduled; *detail* carries the first few mismatches on failure.
+    """
+    results, mismatches = runner.run_case(case)
+    counters = {}
+    for engine in sorted(results):
+        result = results[engine]
+        if result.error is not None:
+            counters[f"{engine}.crash"] = 1
+        elif result.counters:
+            for key in sorted(result.counters):
+                counters[f"{engine}.{key}"] = int(result.counters[key])
+    detail = "; ".join(str(m) for m in mismatches[:3])
+    return not mismatches, detail, counters
+
+
 def _unified_dump(stats, mmu):
     """The golden StatsRegistry dump for one engine's run.
 

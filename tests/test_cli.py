@@ -80,3 +80,76 @@ def test_bench_command(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# ---------------------------------------------------------------------------
+# campaign verbs: exit codes + stable RESULT line
+
+
+def _result(out, verb):
+    """Extract the one machine-parsable summary line as a dict."""
+    lines = [line for line in out.splitlines()
+             if line.startswith(f"RESULT {verb} ")]
+    assert len(lines) == 1, out
+    fields = dict(part.split("=", 1)
+                  for part in lines[0].split()[2:])
+    return fields
+
+
+def test_conformance_result_line(capsys):
+    code = main(["conformance", "--seed", "7", "--budget", "3",
+                 "--engines", "interp+fast"])
+    fields = _result(capsys.readouterr().out, "conformance")
+    assert code == 0
+    assert fields["status"] == "ok"
+    assert fields["mode"] == "fuzz"
+    assert fields["programs"] == "3"
+    assert fields["failures"] == "0"
+    assert 0.0 <= float(fields["coverage"]) <= 1.0
+
+
+def test_conformance_empty_replay_dir_exits_two(tmp_path, capsys):
+    assert main(["conformance", "--replay", str(tmp_path)]) == 2
+    assert "no corpus entries" in capsys.readouterr().out
+
+
+def test_conformance_coverage_shortfall_fails(capsys):
+    code = main(["conformance", "--seed", "7", "--budget", "2",
+                 "--engines", "interp+fast", "--min-coverage", "1.0"])
+    fields = _result(capsys.readouterr().out, "conformance")
+    assert code == 1
+    assert fields["status"] == "fail"
+
+
+def test_faultcampaign_result_line(capsys):
+    code = main(["faultcampaign", "--workloads", "sgemm",
+                 "--scenarios", "irq-lost", "--seeds", "1",
+                 "--no-determinism"])
+    fields = _result(capsys.readouterr().out, "faultcampaign")
+    assert code == 0
+    assert fields["status"] == "ok"
+    assert fields["mode"] == "sweep"
+    assert fields["cases"] == "1"
+    assert fields["failures"] == "0"
+
+
+def test_faultcampaign_empty_replay_dir_exits_two(tmp_path, capsys):
+    assert main(["faultcampaign", "--replay", str(tmp_path)]) == 2
+    assert "no reproducers" in capsys.readouterr().out
+
+
+def test_lint_result_line(kernel_file, capsys):
+    code = main(["lint", kernel_file])
+    fields = _result(capsys.readouterr().out, "lint")
+    assert code == 0
+    assert fields["status"] == "ok"
+    assert fields["kernels"] == "1"
+    assert fields["errors"] == "0"
+
+
+def test_lint_missing_file_exits_two(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nope.cl")]) == 2
+
+
+def test_lint_without_target_exits_two(capsys):
+    assert main(["lint"]) == 2
