@@ -58,7 +58,7 @@ class Buffer:
             raise CLError("buffer size must be positive")
         self.context = context
         self.nbytes = int(nbytes)
-        self.region = context.platform.driver.alloc_region(
+        self.region = context._driver.alloc_region(
             self.nbytes, grow_on_fault=grow_on_fault)
         context.stat_buffers_allocated.increment()
 
@@ -68,15 +68,33 @@ class Buffer:
 
 
 class Context:
-    """Owns the simulated platform and tracks runtime-level statistics."""
+    """Owns the simulated platform and tracks runtime-level statistics.
 
-    def __init__(self, platform=None):
+    With *tenant* (a :class:`~repro.driver.kbase.TenantContext` of the
+    platform's driver) every allocation, binary upload and launch this
+    context performs goes through that tenant — its private VA space,
+    heap carve-out and statistics — instead of the platform's global
+    driver surface. Contexts on different tenants share nothing but the
+    GPU itself: separate build uploads, separate uniform regions,
+    separate runtime counters (``tenant{i}.cl.runtime.*``).
+    """
+
+    def __init__(self, platform=None, tenant=None):
+        if platform is None and tenant is not None:
+            raise CLError("a tenant context needs its platform passed too")
         self.platform = platform or MobilePlatform()
         self.platform.initialize()
+        self.tenant = tenant
+        if tenant is not None and tenant.driver is not self.platform.driver:
+            raise CLError("tenant belongs to a different platform's driver")
         self.cpu_seconds = 0.0  # host wall time spent simulating guest CPU
         # runtime-level counters in the platform's unified registry
-        # (get-or-create: several contexts may share one platform)
-        scope = self.platform.stats_registry.scope("cl.runtime")
+        # (get-or-create: several contexts may share one platform; each
+        # tenant gets its own subtree so build/launch failures of one
+        # client never show up in another's counters)
+        scope_name = ("cl.runtime" if tenant is None
+                      else f"tenant{tenant.tenant_id}.cl.runtime")
+        scope = self.platform.stats_registry.scope(scope_name)
         self.stat_kernels_launched = scope.counter(
             "kernels_launched", "clEnqueueNDRangeKernel commands")
         self.stat_buffers_allocated = scope.counter(
@@ -92,6 +110,15 @@ class Context:
         self.stat_kernels_failed = scope.counter(
             "kernels_failed",
             "launches surfacing an unrecoverable JobFault", golden=False)
+
+    @property
+    def _driver(self):
+        """The driver surface this context allocates and submits through
+        (the bound tenant when set, else the platform's global driver —
+        both expose the same region/descriptor/submit API)."""
+        if self.tenant is not None:
+            return self.tenant
+        return self.platform.driver
 
     def alloc_buffer(self, nbytes, grow_on_fault=False):
         """Create a device buffer. With ``grow_on_fault`` the region is
@@ -158,7 +185,7 @@ class Program:
         region = self._uploaded.get(compiled_kernel.name)
         if region is None:
             platform = self.context.platform
-            driver = platform.driver
+            driver = self.context._driver
             binary = compiled_kernel.binary
             region = driver.alloc_region(len(binary), executable=True)
             staging = platform.stage_bytes(binary)
@@ -336,7 +363,7 @@ class CommandQueue:
         global_size, local_size = self._normalize_sizes(global_size, local_size)
         context = self.context
         platform = context.platform
-        driver = platform.driver
+        driver = context._driver
 
         binary_region = kernel.program._binary_region(kernel.compiled)
         uniforms, local_mem_size = kernel._build_uniforms(global_size, local_size)
@@ -346,10 +373,12 @@ class CommandQueue:
         staging = platform.stage_bytes(uniforms.tobytes())
         context.guest_memcpy(kernel._uniform_region.phys, staging, uniforms.nbytes)
 
-        with self._span("clEnqueueNDRangeKernel",
-                        args={"kernel": kernel.name,
-                              "global": list(global_size),
-                              "local": list(local_size)}):
+        span_args = {"kernel": kernel.name,
+                     "global": list(global_size),
+                     "local": list(local_size)}
+        if context.tenant is not None:
+            span_args["tenant"] = context.tenant.tenant_id
+        with self._span("clEnqueueNDRangeKernel", args=span_args):
             try:
                 driver.run_job(
                     global_size=global_size,
@@ -379,6 +408,45 @@ class CommandQueue:
         self._record_event("ndrange", kernel.name, event_start,
                            stats=result.stats)
         return result.stats
+
+    def enqueue_nd_range_async(self, kernel, global_size, local_size=None):
+        """Queue *kernel* with the driver's job-slot arbiter; returns the
+        :class:`~repro.driver.kbase.PendingJob`.
+
+        Unlike :meth:`enqueue_nd_range` nothing executes here — the job
+        waits its scheduling turn until ``platform.driver.drain()`` runs
+        the queue (several tenants' jobs interleave there under the QoS
+        arbiter, with soft-stop preemption). Each async launch gets a
+        fresh uniform region, so multiple in-flight launches of the same
+        kernel never alias their arguments.
+        """
+        global_size, local_size = self._normalize_sizes(global_size, local_size)
+        context = self.context
+        platform = context.platform
+        driver = context._driver
+        tenant = (context.tenant if context.tenant is not None
+                  else platform.driver._default_tenant)
+
+        binary_region = kernel.program._binary_region(kernel.compiled)
+        uniforms, local_mem_size = kernel._build_uniforms(global_size, local_size)
+
+        uniform_region = driver.alloc_region(uniforms.nbytes)
+        staging = platform.stage_bytes(uniforms.tobytes())
+        context.guest_memcpy(uniform_region.phys, staging, uniforms.nbytes)
+
+        job = tenant.submit_job_async(
+            global_size=global_size,
+            local_size=local_size,
+            binary_region=binary_region,
+            binary_size=len(kernel.compiled.binary),
+            uniform_region=uniform_region,
+            uniform_count=len(uniforms),
+            local_mem_size=local_mem_size,
+            label=kernel.name,
+        )
+        self.kernels_launched += 1
+        context.stat_kernels_launched.increment()
+        return job
 
     def finish(self):
         """All work is synchronous; provided for API familiarity."""

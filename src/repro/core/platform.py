@@ -50,11 +50,17 @@ class PlatformConfig:
         gpu: GPU configuration (cores, host threads, instrumentation).
         cpu_engine: "dbt" (our simulator) or "interpretive" (baseline mode).
         memory_size: physical memory size in bytes.
+        tenancy: optional :class:`~repro.driver.kbase.TenancyConfig`;
+            the driver then hosts one :class:`TenantContext` per entry
+            (private VA space + heap carve-out each) and the platform
+            registers a ``tenant{i}.*`` stats subtree per tenant. None
+            keeps the single-client driver.
     """
 
     gpu: GPUConfig = field(default_factory=GPUConfig)
     cpu_engine: str = "dbt"
     memory_size: int = 1 << 32
+    tenancy: object = None
 
 
 class MobilePlatform:
@@ -85,8 +91,12 @@ class MobilePlatform:
             self.bus, code_base=GUEST_CODE_BASE, engine=self.config.cpu_engine
         )
         self.driver = KBaseDriver(
-            self.bus, self.irqc, GPU_BASE, heap_base=HEAP_BASE, heap_size=HEAP_SIZE
+            self.bus, self.irqc, GPU_BASE, heap_base=HEAP_BASE,
+            heap_size=HEAP_SIZE, tenancy=self.config.tenancy
         )
+        # direct GPU handle for statistics capture only (per-tenant
+        # JobStats merging, MMU translation deltas); control stays MMIO
+        self.driver.attach_gpu(self.gpu)
         # the driver's page-fault worker resolves translation misses in
         # grow-on-fault regions synchronously, so the faulting GPU access
         # resumes (kbase's parked-transaction page-fault handling)
@@ -112,6 +122,12 @@ class MobilePlatform:
                            desc="GPU resets issued by the recovery ladder")
         driver_scope.probe("retries", lambda: self.driver.retries,
                            desc="job resubmissions by the recovery ladder")
+        # per-tenant subtrees exist only when tenancy is configured, so
+        # single-client golden snapshots are unchanged
+        if self.config.tenancy is not None:
+            for tenant in self.driver.tenants:
+                tenant.register_stats(
+                    registry.scope(f"tenant{tenant.tenant_id}"))
         # injection counters bind through self._injector so attaching or
         # swapping injectors never re-registers (probes are get-or-create)
         from repro.inject.plan import SITES

@@ -3,8 +3,33 @@
 Owns GPU virtual address space, builds page tables in guest physical
 memory, constructs job descriptors, rings the GPU doorbell, and services
 interrupts — the low-level CPU-GPU interaction layer of Fig. 2(a)/(b).
+Hosts N client :class:`TenantContext` instances over the one GPU, each
+with a private VA space and physical carve-out, scheduled by a
+QoS-class :class:`JobSlotArbiter` with soft-stop preemption.
 """
 
-from repro.driver.kbase import KBaseDriver, Region
+from repro.driver.kbase import (
+    ArbiterPolicy,
+    JobSlotArbiter,
+    KBaseDriver,
+    PendingJob,
+    PhysAllocator,
+    QoSClass,
+    Region,
+    TenancyConfig,
+    TenantContext,
+    TenantSpec,
+)
 
-__all__ = ["KBaseDriver", "Region"]
+__all__ = [
+    "ArbiterPolicy",
+    "JobSlotArbiter",
+    "KBaseDriver",
+    "PendingJob",
+    "PhysAllocator",
+    "QoSClass",
+    "Region",
+    "TenancyConfig",
+    "TenantContext",
+    "TenantSpec",
+]

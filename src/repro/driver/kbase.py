@@ -27,6 +27,23 @@ actually structured:
   distinct :class:`~repro.errors.IRQMismatchError` when they disagree
   (lost or spurious IRQs), recovering unless ``strict_irq`` is set.
 
+Multi-tenancy (kbase's per-process GPU contexts): the driver can host N
+client :class:`TenantContext` instances over the one GPU. Each tenant
+owns a private GPU VA space (its own page tables, installed via the
+``MMU_AS`` address-space register on dispatch), a private physical
+carve-out of the driver heap (a :class:`PhysAllocator` over a
+registered :class:`~repro.mem.physical.PhysicalMemory` carve-out, so a
+tenant physically *cannot* allocate into a neighbour's pages), and its
+own descriptor page, counters and completed-job statistics. Submission
+goes through a :class:`JobSlotArbiter` — per-QoS-class priority with
+round-robin across tenants inside a class, a starvation promotion
+bound, and soft-stop preemption of long jobs via the GPU's ``JOB_SLICE``
+workgroup budget (preempted jobs requeue at the tail and replay from
+scratch, so completed-job statistics stay preemption-invariant for
+replayable kernels). A driver constructed without a
+:class:`TenancyConfig` hosts a single default tenant spanning the whole
+heap and behaves bit-identically to the pre-tenancy driver.
+
 Every register access the driver makes lands in the GPU's
 :class:`~repro.instrument.stats.SystemStats` — these are the Table III
 "Ctrl. Reg Reads/Writes".
@@ -34,21 +51,28 @@ Every register access the driver makes lands in the GPU's
 
 import struct
 import threading
+from collections import deque
 from dataclasses import dataclass
 
-from repro.errors import DriverError, IRQMismatchError, JobFault
+from repro.errors import DriverError, IRQMismatchError, JobFault, SimError
 from repro.cpu.devices import IRQC_ACK, IRQC_PENDING, InterruptController
 from repro.gpu import regs
 from repro.gpu.jobmanager import (
     DESCRIPTOR_SIZE,
     JOB_TYPE_COMPUTE,
 )
+from repro.instrument.stats import JobStats
 from repro.mem.pagetable import PTE_EXEC, PTE_READ, PTE_WRITE, PageTableBuilder
 from repro.mem.physical import PAGE_SIZE
 
 
 def _round_up(value, alignment):
     return (value + alignment - 1) & ~(alignment - 1)
+
+
+#: sentinel returned by the submission path when the GPU parked a sliced
+#: job with ``REASON_SOFT_STOPPED`` (arbiter preemption, not a fault)
+PREEMPTED = object()
 
 
 @dataclass
@@ -107,6 +131,623 @@ class RecoveryPolicy:
     strict_irq: bool = False
 
 
+# -- multi-tenancy configuration ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class QoSClass:
+    """One quality-of-service class the arbiter schedules by.
+
+    Attributes:
+        name: class label ("rt"/"fg"/"bg").
+        priority: higher dispatches first (strict across classes).
+        slice_workgroups: ``JOB_SLICE`` workgroup budget applied when
+            other tenants are waiting; 0 runs jobs to completion
+            (real-time jobs are never soft-stopped).
+    """
+
+    name: str
+    priority: int
+    slice_workgroups: int
+
+
+#: default QoS classes: real-time (never sliced), foreground, background
+DEFAULT_QOS_CLASSES = {
+    "rt": QoSClass("rt", priority=3, slice_workgroups=0),
+    "fg": QoSClass("fg", priority=2, slice_workgroups=64),
+    "bg": QoSClass("bg", priority=1, slice_workgroups=16),
+}
+
+
+@dataclass
+class ArbiterPolicy:
+    """Scheduling knobs, all in deterministic dispatch ticks/counts.
+
+    Attributes:
+        starvation_bound: a queued job that has waited more than this
+            many dispatch ticks is promoted over every class (oldest
+            first), bounding cross-class starvation.
+        max_preemptions: soft-stop preemptions per job before its slice
+            budget is lifted (the effective budget doubles per preemption
+            up to this count, then the job runs to completion —
+            guaranteed termination).
+    """
+
+    starvation_bound: int = 8
+    max_preemptions: int = 2
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Configuration for one tenant: a name and a QoS class key."""
+
+    name: str
+    qos: str = "fg"
+
+
+@dataclass
+class TenancyConfig:
+    """Multi-tenant driver configuration.
+
+    Attributes:
+        tenants: one :class:`TenantSpec` per client context; tenant ids
+            (== MMU address-space ids) are assigned in list order.
+        arbiter: an :class:`ArbiterPolicy` (defaults when None).
+        qos_classes: name -> :class:`QoSClass` map
+            (:data:`DEFAULT_QOS_CLASSES` when None).
+    """
+
+    tenants: list
+    arbiter: ArbiterPolicy = None
+    qos_classes: dict = None
+
+    def __post_init__(self):
+        if not self.tenants:
+            raise DriverError("tenancy config needs at least one tenant")
+        names = [spec.name for spec in self.tenants]
+        if len(set(names)) != len(names):
+            raise DriverError(f"duplicate tenant names: {names}")
+        classes = self.qos_classes or DEFAULT_QOS_CLASSES
+        for spec in self.tenants:
+            if spec.qos not in classes:
+                raise DriverError(
+                    f"tenant {spec.name!r}: unknown QoS class {spec.qos!r}; "
+                    f"known: {sorted(classes)}")
+
+    @classmethod
+    def symmetric(cls, count, qos="fg", arbiter=None):
+        """*count* identical tenants named ``tenant0..tenantN-1``."""
+        return cls([TenantSpec(f"tenant{i}", qos=qos) for i in range(count)],
+                   arbiter=arbiter)
+
+
+# -- physical allocator --------------------------------------------------------
+
+
+class PhysAllocator:
+    """First-fit physical allocator over one contiguous extent.
+
+    Frees coalesce onto a sorted free list that the allocator prefers
+    over the bump pointer, so long fault campaigns and reset/retry loops
+    never leak the heap. Recycled frames are handed out zeroed, like a
+    real allocator. One instance per tenant carve-out.
+    """
+
+    def __init__(self, memory, base, size):
+        self.memory = memory
+        self.base = base
+        self._next = base
+        self._end = base + size
+        self.size = size
+        self.bytes_recycled = 0
+        # sorted, coalesced [base, size] extents returned by free()
+        self._free_extents = []
+
+    def alloc(self, size):
+        size = _round_up(size, PAGE_SIZE)
+        # first fit from the free list (lowest base first — deterministic)
+        for index, (base, extent) in enumerate(self._free_extents):
+            if extent >= size:
+                if extent == size:
+                    del self._free_extents[index]
+                else:
+                    self._free_extents[index] = (base + size, extent - size)
+                self.memory.fill(base, size, 0)
+                self.bytes_recycled += size
+                return base
+        if self._next + size > self._end:
+            raise DriverError("driver heap exhausted")
+        base = self._next
+        self._next += size
+        return base
+
+    def free(self, base, size):
+        """Return a physical extent to the free list, coalescing."""
+        extents = self._free_extents
+        extents.append((base, size))
+        extents.sort()
+        merged = [extents[0]]
+        for nbase, nsize in extents[1:]:
+            pbase, psize = merged[-1]
+            if pbase + psize == nbase:
+                merged[-1] = (pbase, psize + nsize)
+            else:
+                merged.append((nbase, nsize))
+        self._free_extents = merged
+
+    @property
+    def free_bytes(self):
+        return sum(size for _base, size in self._free_extents)
+
+    @property
+    def used(self):
+        """Bytes claimed from the bump pointer (recycling excluded)."""
+        return self._next - self.base
+
+
+# -- job-slot arbiter ----------------------------------------------------------
+
+
+class JobSlotArbiter:
+    """Deterministic job-slot scheduler.
+
+    Queues are keyed (priority, tenant): strict priority across QoS
+    classes, round-robin across tenants inside a class, FIFO per
+    (class, tenant). A job whose head-of-queue wait exceeds
+    ``ArbiterPolicy.starvation_bound`` dispatch ticks is promoted over
+    everything, oldest first (ties broken by global submission order),
+    bounding starvation of background classes.
+
+    The arbiter is self-contained — jobs only need ``tenant_id`` and
+    ``priority`` attributes plus the bookkeeping fields of
+    :class:`PendingJob` — so scheduling properties are testable without
+    a driver or GPU behind it. Time is the dispatch tick (one per
+    :meth:`next_job` call); nothing reads a wall clock.
+    """
+
+    def __init__(self, policy=None):
+        self.policy = policy or ArbiterPolicy()
+        self.tick = 0
+        self.submitted = 0
+        self.dispatched = 0
+        self.promotions = 0
+        self._queues = {}  # priority -> {tenant_id: deque}
+        self._order = {}  # priority -> [tenant_id, first-seen order]
+        self._cursor = {}  # priority -> index of last-served tenant
+
+    @property
+    def waiting(self):
+        return sum(len(q) for per in self._queues.values()
+                   for q in per.values())
+
+    def submit(self, job):
+        """Queue *job* (stamps ``seq`` and ``queued_tick``)."""
+        job.seq = self.submitted
+        self.submitted += 1
+        job.queued_tick = self.tick
+        per = self._queues.setdefault(job.priority, {})
+        if job.tenant_id not in per:
+            per[job.tenant_id] = deque()
+            self._order.setdefault(job.priority, []).append(job.tenant_id)
+        per[job.tenant_id].append(job)
+
+    def requeue(self, job):
+        """Return a preempted job to the tail of its queue."""
+        job.preemptions += 1
+        job.queued_tick = self.tick
+        self._queues[job.priority][job.tenant_id].append(job)
+
+    def next_job(self):
+        """Pop the next job to dispatch, or None when idle."""
+        if self.waiting == 0:
+            return None
+        self.tick += 1
+        job = self._pop_starved() or self._pop_round_robin()
+        job.wait_ticks = self.tick - job.queued_tick
+        job.dispatch_count += 1
+        self.dispatched += 1
+        return job
+
+    def _pop_starved(self):
+        bound = self.policy.starvation_bound
+        starved = None
+        for per in self._queues.values():
+            for queue in per.values():
+                if not queue:
+                    continue
+                head = queue[0]
+                if self.tick - head.queued_tick <= bound:
+                    continue
+                if starved is None or ((head.queued_tick, head.seq)
+                                       < (starved.queued_tick, starved.seq)):
+                    starved = head
+        if starved is None:
+            return None
+        self.promotions += 1
+        queue = self._queues[starved.priority][starved.tenant_id]
+        assert queue[0] is starved
+        return queue.popleft()
+
+    def _pop_round_robin(self):
+        for priority in sorted(self._queues, reverse=True):
+            per = self._queues[priority]
+            order = self._order[priority]
+            cursor = self._cursor.get(priority, -1)
+            count = len(order)
+            for step in range(1, count + 1):
+                position = (cursor + step) % count
+                queue = per[order[position]]
+                if queue:
+                    self._cursor[priority] = position
+                    return queue.popleft()
+        raise AssertionError("next_job called with empty queues")
+
+
+@dataclass
+class PendingJob:
+    """One queued/dispatched submission, with scheduling bookkeeping.
+
+    ``tenant_id``/``priority`` are what the arbiter schedules by (a bare
+    PendingJob with ``tenant=None`` is enough to drive
+    :class:`JobSlotArbiter` in isolation); the driver's dispatch loop
+    additionally uses ``tenant`` (a :class:`TenantContext`),
+    ``descriptor_va`` and ``workgroups`` (the slice-budget denominator).
+    """
+
+    tenant_id: int
+    priority: int
+    descriptor_va: int = 0
+    workgroups: int = 0  # total flat workgroups; 0 = unknown (never sliced)
+    tenant: object = None
+    label: str = ""
+    # arbiter bookkeeping
+    seq: int = -1
+    queued_tick: int = 0
+    wait_ticks: int = 0
+    preemptions: int = 0
+    dispatch_count: int = 0
+    # completion state
+    done: bool = False
+    status: int = None
+    error: object = None
+    results: list = None
+
+
+# -- per-tenant context --------------------------------------------------------
+
+
+class TenantContext:
+    """One client context: private VA space, carve-out, stats.
+
+    Duck-types the driver surface the CL runtime uses (``alloc_region``,
+    ``free_region``, ``build_descriptor``, ``submit_and_wait``,
+    ``run_job``), so a runtime context can be pointed at a tenant
+    instead of the raw driver without code changes. All tenants share
+    the same ``gpu_va_base``, each over its own page tables — identical
+    allocation sequences produce identical GPU VAs in every tenant,
+    which is what makes solo-vs-multi memory images comparable
+    byte-for-byte.
+    """
+
+    def __init__(self, driver, tenant_id, spec, qos, carveout_base,
+                 carveout_size):
+        self.driver = driver
+        self.tenant_id = tenant_id
+        self.as_id = tenant_id  # MMU address-space slot
+        self.name = spec.name
+        self.qos = qos
+        self.allocator = PhysAllocator(driver.bus.memory, carveout_base,
+                                       carveout_size)
+        self._page_table = PageTableBuilder(driver.bus.memory,
+                                            self._alloc_frame)
+        self._va_next = driver.gpu_va_base
+        self._growable = []
+        self._descriptor_region = None
+        self._descriptor_slots = PAGE_SIZE // DESCRIPTOR_SIZE
+        self._next_slot = 0
+        # allocation counters (the driver aggregates these)
+        self.regions_allocated = 0
+        self.regions_freed = 0
+        self.bytes_mapped = 0
+        self.page_faults = 0
+        self.pages_grown = 0
+        self.alloc_failures = 0
+        # submission counters and fairness probes
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.dispatches = 0
+        self.preemptions = 0
+        self.wait_ticks = 0
+        # per-tenant architectural stats: merged JobStats of *completed*
+        # jobs only (preempted partial runs are discarded and replayed,
+        # keeping this preemption-invariant), plus the tenant's share of
+        # MMU translations captured around its dispatch windows
+        self.completed_stats = JobStats()
+        self.translations = 0
+
+    # -- physical / virtual allocators ------------------------------------
+
+    def _alloc_frame(self):
+        frame = self._alloc_phys(PAGE_SIZE)
+        self.driver.bus.memory.fill(frame, PAGE_SIZE, 0)
+        return frame
+
+    def _alloc_phys(self, size):
+        injector = self.driver.injector
+        if injector is not None:
+            previous = injector.current_tenant
+            injector.current_tenant = self.tenant_id
+            try:
+                params = injector.fire("alloc.phys")
+            finally:
+                injector.current_tenant = previous
+            if params is not None:
+                self.alloc_failures += 1
+                raise DriverError("injected transient allocation failure")
+        return self.allocator.alloc(size)
+
+    @property
+    def heap_used(self):
+        return self.allocator.used
+
+    @property
+    def free_bytes(self):
+        return self.allocator.free_bytes
+
+    @property
+    def bytes_recycled(self):
+        return self.allocator.bytes_recycled
+
+    def alloc_region(self, size, executable=False, grow_on_fault=False):
+        """Allocate and GPU-map a region of at least *size* bytes.
+
+        With ``grow_on_fault`` the region reserves its full extent but
+        commits only ``RecoveryPolicy.grow_initial_pages`` pages; the
+        remainder is mapped on demand by :meth:`handle_fault`.
+        """
+        if grow_on_fault and executable:
+            raise DriverError("grow-on-fault regions cannot be executable")
+        size = _round_up(max(size, 1), PAGE_SIZE)
+        phys = self._alloc_phys(size)
+        gpu_va = self._va_next
+        self._va_next += size + PAGE_SIZE  # guard page between regions
+        flags = PTE_READ | PTE_WRITE | (PTE_EXEC if executable else 0)
+        if grow_on_fault:
+            committed = min(
+                size, self.driver.policy.grow_initial_pages * PAGE_SIZE)
+        else:
+            committed = size
+        self._page_table.map_range(gpu_va, phys, committed, flags)
+        self.driver._write(regs.MMU_FLUSH, 1)
+        self.regions_allocated += 1
+        self.bytes_mapped += committed
+        region = Region(gpu_va=gpu_va, phys=phys, size=size,
+                        committed=committed, growable=grow_on_fault)
+        if grow_on_fault:
+            self._growable.append(region)
+        return region
+
+    def free_region(self, region):
+        """Unmap a region and recycle its physical extent."""
+        offset = 0
+        while offset < region.committed:
+            self._page_table.unmap_page(region.gpu_va + offset)
+            offset += PAGE_SIZE
+        self.driver._write(regs.MMU_FLUSH, 1)
+        self.allocator.free(region.phys, region.size)
+        self.bytes_mapped -= region.committed
+        region.committed = 0
+        self.regions_freed += 1
+        if region.growable:
+            self._growable = [r for r in self._growable if r is not region]
+
+    def handle_fault(self, vaddr, access):
+        """Grow-on-fault resolver for this tenant's VA space (see
+        :meth:`KBaseDriver.handle_page_fault`)."""
+        policy = self.driver.policy
+        for region in self._growable:
+            if not region.gpu_va <= vaddr < region.gpu_va + region.size:
+                continue
+            offset = vaddr - region.gpu_va
+            if offset < region.committed:
+                return True  # a sibling unit grew the window already
+            fault_page_end = _round_up(offset + 1, PAGE_SIZE)
+            target = min(
+                region.size,
+                fault_page_end + policy.grow_chunk_pages * PAGE_SIZE)
+            grow = target - region.committed
+            self._page_table.map_range(
+                region.gpu_va + region.committed,
+                region.phys + region.committed,
+                grow, PTE_READ | PTE_WRITE)
+            region.committed = target
+            self.page_faults += 1
+            self.pages_grown += grow // PAGE_SIZE
+            self.bytes_mapped += grow
+            if self.driver.events is not None:
+                self.driver.events.instant(
+                    "page_fault_grow", "driver", "kbase",
+                    args={"vaddr": vaddr, "access": access,
+                          "tenant": self.tenant_id,
+                          "grown_pages": grow // PAGE_SIZE})
+            return True
+        return False
+
+    # -- job submission ----------------------------------------------------
+
+    @property
+    def initialized(self):
+        return self.driver.initialized
+
+    @property
+    def events(self):
+        return self.driver.events
+
+    @property
+    def policy(self):
+        return self.driver.policy
+
+    def _ensure_descriptor_region(self):
+        if self._descriptor_region is None:
+            self._descriptor_region = self.alloc_region(PAGE_SIZE)
+        return self._descriptor_region
+
+    def build_descriptor(self, global_size, local_size, binary_region,
+                         binary_size, uniform_region, uniform_count,
+                         local_mem_size=0, slot=0, next_va=0):
+        """Write a compute-job descriptor; returns its GPU VA.
+
+        Multiple descriptors can share the descriptor page via *slot* to
+        form job chains or to keep several submissions in flight.
+        """
+        if not self.driver.initialized:
+            raise DriverError("driver not initialized")
+        descriptor_region = self._ensure_descriptor_region()
+        offset = slot * DESCRIPTOR_SIZE
+        if offset + DESCRIPTOR_SIZE > descriptor_region.size:
+            raise DriverError(f"descriptor slot {slot} out of range")
+        blob = struct.pack(
+            "<IIIIIIIIQIIQIIQ",
+            JOB_TYPE_COMPUTE,
+            0,  # flags
+            global_size[0], global_size[1], global_size[2],
+            local_size[0], local_size[1], local_size[2],
+            binary_region.gpu_va,
+            binary_size,
+            local_mem_size,
+            uniform_region.gpu_va if uniform_region is not None else 0,
+            uniform_count,
+            0,  # reserved
+            next_va,
+        )
+        assert len(blob) == DESCRIPTOR_SIZE
+        self.driver.bus.write_block(descriptor_region.phys + offset, blob)
+        return descriptor_region.gpu_va + offset
+
+    def submit_and_wait(self, descriptor_va):
+        """Synchronous submission in this tenant's address space.
+
+        Installs the tenant's page tables, scopes the fault injector to
+        this tenant, runs the driver's submission/recovery ladder, and
+        folds completed-job statistics into :attr:`completed_stats`.
+        """
+        driver = self.driver
+        driver._install_address_space(self)
+        if driver._job_slice:
+            # a previous arbitrated dispatch left a workgroup budget
+            # armed; synchronous submissions always run to completion
+            driver._write(regs.JOB_SLICE, 0)
+            driver._job_slice = 0
+        self.jobs_submitted += 1
+        with driver._tenant_window(self):
+            try:
+                status = driver.submit_and_wait(descriptor_va)
+            except SimError:
+                self.jobs_failed += 1
+                raise
+        self.jobs_completed += 1
+        self._merge_results()
+        return status
+
+    def submit_job_async(self, global_size, local_size, binary_region,
+                         binary_size, uniform_region, uniform_count,
+                         local_mem_size=0, label=""):
+        """Queue a job with the arbiter; returns a :class:`PendingJob`.
+
+        The descriptor lands in this tenant's next cycling descriptor
+        slot (up to ``PAGE_SIZE // DESCRIPTOR_SIZE`` submissions can be
+        in flight per tenant). Run the queue with
+        :meth:`KBaseDriver.drain`.
+        """
+        slot = self._next_slot
+        self._next_slot = (self._next_slot + 1) % self._descriptor_slots
+        descriptor_va = self.build_descriptor(
+            global_size, local_size, binary_region, binary_size,
+            uniform_region, uniform_count, local_mem_size, slot=slot)
+        workgroups = 1
+        for dim in range(3):
+            size = max(global_size[dim], 1)
+            local = max(local_size[dim], 1)
+            workgroups *= -(-size // local)
+        job = PendingJob(tenant_id=self.tenant_id,
+                         priority=self.qos.priority,
+                         descriptor_va=descriptor_va,
+                         workgroups=workgroups, tenant=self, label=label)
+        self.jobs_submitted += 1
+        self.driver.arbiter.submit(job)
+        return job
+
+    def run_job(self, global_size, local_size, binary_region, binary_size,
+                uniform_region, uniform_count, local_mem_size=0):
+        """Convenience: build a single-job descriptor, submit it, wait."""
+        descriptor_va = self.build_descriptor(
+            global_size, local_size, binary_region, binary_size,
+            uniform_region, uniform_count, local_mem_size,
+        )
+        return self.submit_and_wait(descriptor_va)
+
+    def _merge_results(self):
+        gpu = self.driver._gpu
+        if gpu is None:
+            return
+        for result in gpu.last_results:
+            if getattr(result, "stats", None) is not None:
+                self.completed_stats.merge(result.stats)
+
+    def register_stats(self, scope):
+        """Register this tenant's subtree under *scope* (``tenant{i}``).
+
+        The architectural stats (completed-job JobStats, MMU translation
+        share, distinct pages in this address space, allocation shape)
+        are golden — identical across engines and schedulers for
+        replayable workloads. The scheduling probes (waits, preemptions,
+        dispatches) are diagnostics.
+        """
+        from repro.instrument.registry import register_job_stats
+
+        register_job_stats(scope.scope("gpu.job"),
+                           lambda: self.completed_stats)
+        mmu_scope = scope.scope("gpu.mmu")
+        mmu_scope.probe("translations", lambda: self.translations,
+                        desc="MMU translations in this tenant's windows")
+        gpu = self.driver._gpu
+        if gpu is not None:
+            mmu_scope.probe(
+                "pages_accessed",
+                (lambda mmu=gpu.mmu: mmu.pages_accessed_in(self.as_id)),
+                desc="distinct pages touched in this address space")
+        mem_scope = scope.scope("mem")
+        mem_scope.probe("regions_allocated", lambda: self.regions_allocated,
+                        desc="regions allocated by this tenant")
+        mem_scope.probe("regions_freed", lambda: self.regions_freed,
+                        desc="regions freed by this tenant")
+        mem_scope.probe("bytes_mapped", lambda: self.bytes_mapped,
+                        desc="bytes mapped in this tenant's VA space")
+        mem_scope.probe("page_faults", lambda: self.page_faults,
+                        desc="grow-on-fault page faults")
+        mem_scope.probe("pages_grown", lambda: self.pages_grown,
+                        desc="pages mapped by the page-fault worker")
+        mem_scope.probe("heap_used", lambda: self.heap_used,
+                        desc="carve-out bytes claimed", golden=False)
+        job_scope = scope.scope("job")
+        job_scope.probe("jobs_submitted", lambda: self.jobs_submitted,
+                        desc="jobs submitted by this tenant")
+        job_scope.probe("jobs_completed", lambda: self.jobs_completed,
+                        desc="jobs completed for this tenant")
+        job_scope.probe("jobs_failed", lambda: self.jobs_failed,
+                        desc="jobs surfaced to this tenant as faults")
+        sched_scope = scope.scope("sched")
+        sched_scope.probe("dispatches", lambda: self.dispatches,
+                          desc="job-slot dispatches (incl. replays)",
+                          golden=False)
+        sched_scope.probe("preemptions", lambda: self.preemptions,
+                          desc="soft-stop preemptions of this tenant",
+                          golden=False)
+        sched_scope.probe("wait_ticks", lambda: self.wait_ticks,
+                          desc="dispatch ticks spent queued", golden=False)
+
+
 class KBaseDriver:
     """Kernel-side GPU driver.
 
@@ -117,42 +758,29 @@ class KBaseDriver:
         gpu_mmio_base: physical base of the GPU register window.
         heap_base/heap_size: physical carve-out the driver allocates
             buffers, page tables and descriptors from.
-        gpu_va_base: start of the GPU virtual address zone.
+        gpu_va_base: start of the GPU virtual address zone (shared by
+            every tenant, each over its own page tables).
         recovery: a :class:`RecoveryPolicy` (defaults used when None).
+        tenancy: a :class:`TenancyConfig`; None hosts a single default
+            tenant spanning the whole heap (the pre-tenancy behaviour).
     """
 
     def __init__(self, bus, irqc, gpu_mmio_base, heap_base, heap_size,
-                 gpu_va_base=0x0100_0000, recovery=None):
+                 gpu_va_base=0x0100_0000, recovery=None, tenancy=None):
         self.bus = bus
         self.irqc = irqc
         self.gpu_mmio_base = gpu_mmio_base
         self.policy = recovery or RecoveryPolicy()
-        self._heap_base = heap_base
-        self._heap_next = heap_base
-        self._heap_end = heap_base + heap_size
-        self._va_next = gpu_va_base
+        self.gpu_va_base = gpu_va_base
+        self.heap_base = heap_base
+        self.heap_size = heap_size
         self.events = None  # optional EventTracer (ioctl-level spans)
         self.injector = None  # optional FaultInjector (repro.inject)
-        self.alloc_failures = 0
-        self.bytes_recycled = 0
-        # physical free list: sorted, coalesced [base, size] extents
-        # returned by free_region and preferred by the allocator, so
-        # long fault campaigns and reset/retry loops never leak the heap
-        self._free_extents = []
-        self._page_table = PageTableBuilder(bus.memory, self._alloc_frame)
-        self._descriptor_region = None
+        self._gpu = None  # optional GPUDevice (attach_gpu), for stats
         self.initialized = False
-        self.jobs_submitted = 0
-        self.regions_allocated = 0
-        self.regions_freed = 0
-        self.bytes_mapped = 0
-        # grow-on-fault state: regions the page-fault worker may grow;
-        # the lock serializes growth against concurrent faulting units
-        self._growable = []
         self._grow_lock = threading.Lock()
-        # fault-recovery counters (all deterministic under a fault plan)
-        self.page_faults = 0
-        self.pages_grown = 0
+        # submission/recovery counters (deterministic under a fault plan)
+        self.jobs_submitted = 0
         self.retries = 0
         self.resets = 0
         self.soft_stops = 0
@@ -161,6 +789,31 @@ class KBaseDriver:
         self.spurious_irqs = 0
         self.backoff_ticks = 0
         self.faults_unrecovered = 0
+        self.as_switches = 0
+        # tenants: carve the heap into equal per-tenant extents (the
+        # degenerate single-tenant config spans the whole heap, making
+        # the legacy surface bit-identical to the pre-tenancy driver)
+        self.tenancy = tenancy or TenancyConfig([TenantSpec("default")])
+        classes = self.tenancy.qos_classes or DEFAULT_QOS_CLASSES
+        self.arbiter = JobSlotArbiter(self.tenancy.arbiter)
+        count = len(self.tenancy.tenants)
+        quota = (heap_size // count) & ~(PAGE_SIZE - 1)
+        if quota < 8 * PAGE_SIZE:
+            raise DriverError(
+                f"heap too small for {count} tenants ({quota} bytes each)")
+        self.tenants = []
+        for index, spec in enumerate(self.tenancy.tenants):
+            base = heap_base + index * quota
+            bus.memory.register_carveout(f"tenant{index}", base, quota)
+            self.tenants.append(TenantContext(
+                self, index, spec, classes[spec.qos], base, quota))
+        self._default_tenant = self.tenants[0]
+        # the tenant whose page tables the GPU MMU currently walks
+        self._mmu_tenant = self._default_tenant
+        self._job_slice = 0  # shadow of the GPU's JOB_SLICE register
+
+    def tenant(self, tenant_id):
+        return self.tenants[tenant_id]
 
     def register_stats(self, scope):
         """Register driver counters under *scope* (``driver.kbase``)."""
@@ -199,6 +852,12 @@ class KBaseDriver:
                     golden=False)
         scope.probe("faults_unrecovered", lambda: self.faults_unrecovered,
                     desc="jobs surfaced as JobFault after retry exhaustion")
+        scope.probe("as_switches", lambda: self.as_switches,
+                    desc="MMU address-space installs (tenant switches)",
+                    golden=False)
+        scope.probe("preemptions", lambda: self.preemptions,
+                    desc="soft-stop preemptions issued by the arbiter",
+                    golden=False)
 
     # -- low-level register access -------------------------------------------
 
@@ -208,140 +867,94 @@ class KBaseDriver:
     def _write(self, offset, value):
         self.bus.write_u32(self.gpu_mmio_base + offset, value)
 
-    # -- physical / virtual allocators ----------------------------------------
+    def attach_gpu(self, gpu):
+        """Give the driver a direct handle on the GPU device (used only
+        for statistics capture: per-tenant JobStats merging and MMU
+        translation deltas — never for control, which stays MMIO)."""
+        self._gpu = gpu
 
-    def _alloc_frame(self):
-        frame = self._alloc_phys(PAGE_SIZE)
-        self.bus.memory.fill(frame, PAGE_SIZE, 0)
-        return frame
-
-    def _alloc_phys(self, size):
-        size = _round_up(size, PAGE_SIZE)
-        if self.injector is not None:
-            params = self.injector.fire("alloc.phys")
-            if params is not None:
-                self.alloc_failures += 1
-                raise DriverError("injected transient allocation failure")
-        # first fit from the free list (lowest base first — deterministic)
-        for index, (base, extent) in enumerate(self._free_extents):
-            if extent >= size:
-                if extent == size:
-                    del self._free_extents[index]
-                else:
-                    self._free_extents[index] = (base + size, extent - size)
-                # recycled frames may hold stale data; hand out zeroed
-                # memory like a real allocator
-                self.bus.memory.fill(base, size, 0)
-                self.bytes_recycled += size
-                return base
-        if self._heap_next + size > self._heap_end:
-            raise DriverError("driver heap exhausted")
-        base = self._heap_next
-        self._heap_next += size
-        return base
-
-    def _free_phys(self, base, size):
-        """Return a physical extent to the free list, coalescing."""
-        extents = self._free_extents
-        extents.append((base, size))
-        extents.sort()
-        merged = [extents[0]]
-        for nbase, nsize in extents[1:]:
-            pbase, psize = merged[-1]
-            if pbase + psize == nbase:
-                merged[-1] = (pbase, psize + nsize)
-            else:
-                merged.append((nbase, nsize))
-        self._free_extents = merged
+    # -- legacy single-tenant surface (delegates to the default tenant) -------
 
     @property
-    def free_bytes(self):
-        return sum(size for _base, size in self._free_extents)
+    def _free_extents(self):
+        return self._default_tenant.allocator._free_extents
+
+    @property
+    def _page_table(self):
+        return self._default_tenant._page_table
+
+    @property
+    def _descriptor_region(self):
+        return self._default_tenant._descriptor_region
 
     @property
     def heap_used(self):
-        """Bytes claimed from the bump pointer (recycling excluded)."""
-        return self._heap_next - self._heap_base
+        """Bytes claimed from the bump pointers (recycling excluded)."""
+        return sum(t.heap_used for t in self.tenants)
+
+    @property
+    def free_bytes(self):
+        return sum(t.free_bytes for t in self.tenants)
+
+    @property
+    def bytes_recycled(self):
+        return sum(t.bytes_recycled for t in self.tenants)
+
+    @property
+    def regions_allocated(self):
+        return sum(t.regions_allocated for t in self.tenants)
+
+    @property
+    def regions_freed(self):
+        return sum(t.regions_freed for t in self.tenants)
+
+    @property
+    def bytes_mapped(self):
+        return sum(t.bytes_mapped for t in self.tenants)
+
+    @property
+    def page_faults(self):
+        return sum(t.page_faults for t in self.tenants)
+
+    @property
+    def pages_grown(self):
+        return sum(t.pages_grown for t in self.tenants)
+
+    @property
+    def alloc_failures(self):
+        return sum(t.alloc_failures for t in self.tenants)
+
+    @property
+    def preemptions(self):
+        return sum(t.preemptions for t in self.tenants)
 
     def alloc_region(self, size, executable=False, grow_on_fault=False):
-        """Allocate and GPU-map a region of at least *size* bytes.
-
-        With ``grow_on_fault`` the region reserves its full extent but
-        commits only ``RecoveryPolicy.grow_initial_pages`` pages; the
-        remainder is mapped on demand by :meth:`handle_page_fault`.
-        """
-        if grow_on_fault and executable:
-            raise DriverError("grow-on-fault regions cannot be executable")
-        size = _round_up(max(size, 1), PAGE_SIZE)
-        phys = self._alloc_phys(size)
-        gpu_va = self._va_next
-        self._va_next += size + PAGE_SIZE  # guard page between regions
-        flags = PTE_READ | PTE_WRITE | (PTE_EXEC if executable else 0)
-        if grow_on_fault:
-            committed = min(size, self.policy.grow_initial_pages * PAGE_SIZE)
-        else:
-            committed = size
-        self._page_table.map_range(gpu_va, phys, committed, flags)
-        self._write(regs.MMU_FLUSH, 1)
-        self.regions_allocated += 1
-        self.bytes_mapped += committed
-        region = Region(gpu_va=gpu_va, phys=phys, size=size,
-                        committed=committed, growable=grow_on_fault)
-        if grow_on_fault:
-            self._growable.append(region)
-        return region
+        return self._default_tenant.alloc_region(size, executable,
+                                                 grow_on_fault)
 
     def free_region(self, region):
-        """Unmap a region and recycle its physical extent."""
-        offset = 0
-        while offset < region.committed:
-            self._page_table.unmap_page(region.gpu_va + offset)
-            offset += PAGE_SIZE
-        self._write(regs.MMU_FLUSH, 1)
-        self._free_phys(region.phys, region.size)
-        self.bytes_mapped -= region.committed
-        region.committed = 0
-        self.regions_freed += 1
-        if region.growable:
-            self._growable = [r for r in self._growable if r is not region]
+        return self._default_tenant.free_region(region)
+
+    def build_descriptor(self, global_size, local_size, binary_region,
+                         binary_size, uniform_region, uniform_count,
+                         local_mem_size=0, slot=0, next_va=0):
+        return self._default_tenant.build_descriptor(
+            global_size, local_size, binary_region, binary_size,
+            uniform_region, uniform_count, local_mem_size, slot, next_va)
 
     # -- page-fault worker (grow-on-fault) ------------------------------------
 
     def handle_page_fault(self, vaddr, access):
         """The MMU's parked-transaction resolver (kbase page-fault worker).
 
-        Returns True when *vaddr* fell inside a grow-on-fault region and
-        fresh pages were mapped (or another unit already grew past it),
-        so the MMU retries the walk and the access resumes. Any other
-        address returns False and faults normally.
+        Returns True when *vaddr* fell inside a grow-on-fault region of
+        the tenant whose address space is installed and fresh pages were
+        mapped (or another unit already grew past it), so the MMU
+        retries the walk and the access resumes. Any other address
+        returns False and faults normally.
         """
         with self._grow_lock:
-            for region in self._growable:
-                if not region.gpu_va <= vaddr < region.gpu_va + region.size:
-                    continue
-                offset = vaddr - region.gpu_va
-                if offset < region.committed:
-                    return True  # a sibling unit grew the window already
-                fault_page_end = _round_up(offset + 1, PAGE_SIZE)
-                target = min(
-                    region.size,
-                    fault_page_end + self.policy.grow_chunk_pages * PAGE_SIZE)
-                grow = target - region.committed
-                self._page_table.map_range(
-                    region.gpu_va + region.committed,
-                    region.phys + region.committed,
-                    grow, PTE_READ | PTE_WRITE)
-                region.committed = target
-                self.page_faults += 1
-                self.pages_grown += grow // PAGE_SIZE
-                self.bytes_mapped += grow
-                if self.events is not None:
-                    self.events.instant(
-                        "page_fault_grow", "driver", "kbase",
-                        args={"vaddr": vaddr, "access": access,
-                              "grown_pages": grow // PAGE_SIZE})
-                return True
-        return False
+            return self._mmu_tenant.handle_fault(vaddr, access)
 
     # -- initialization -----------------------------------------------------------
 
@@ -349,7 +962,9 @@ class KBaseDriver:
         """Probe and power the GPU; install IRQ masks and page tables.
 
         Shared by first bring-up and post-reset recovery, exactly like
-        kbase re-running its init sequence after a GPU reset.
+        kbase re-running its init sequence after a GPU reset. Reinstalls
+        the *current* tenant's address space — a mid-campaign GPU reset
+        must not leak another tenant's page tables into the restart.
         """
         gpu_id = self._read(regs.GPU_ID)
         if gpu_id != regs.GPU_ID_VALUE:
@@ -361,16 +976,23 @@ class KBaseDriver:
             raise DriverError("shader cores failed to power up")
         self._write(regs.JOB_IRQ_MASK, regs.JOB_IRQ_DONE | regs.JOB_IRQ_FAULT)
         self._write(regs.MMU_IRQ_MASK, regs.MMU_IRQ_FAULT)
-        root = self._page_table.root
+        tenant = self._mmu_tenant
+        if tenant.as_id:
+            self._write(regs.MMU_AS, tenant.as_id)
+        root = tenant._page_table.root
         self._write(regs.MMU_PGD_LO, root & 0xFFFFFFFF)
         self._write(regs.MMU_PGD_HI, root >> 32)
         self._write(regs.MMU_ENABLE, 1)
+        self._job_slice = 0  # the reset cleared the device's register
 
     def initialize_gpu(self):
-        """Probe and power up the GPU; install page tables and IRQ masks."""
+        """Probe and power up the GPU; install page tables and IRQ masks.
+
+        Every tenant gets its descriptor page as the first allocation in
+        its carve-out, so tenant layouts are symmetric."""
         self._power_up()
-        if self._descriptor_region is None:
-            self._descriptor_region = self.alloc_region(PAGE_SIZE)
+        for tenant in self.tenants:
+            tenant._ensure_descriptor_region()
         self.initialized = True
 
     def reset_gpu(self):
@@ -389,41 +1011,138 @@ class KBaseDriver:
             self.events.instant("gpu_reset", "driver", "kbase",
                                 args={"resets": self.resets})
 
-    # -- job submission ----------------------------------------------------------
+    # -- tenant switching ------------------------------------------------------
 
-    def build_descriptor(self, global_size, local_size, binary_region,
-                         binary_size, uniform_region, uniform_count,
-                         local_mem_size=0, slot=0, next_va=0):
-        """Write a compute-job descriptor; returns its GPU VA.
+    def _install_address_space(self, tenant):
+        """Point the GPU MMU at *tenant*'s page tables (no-op when they
+        are already installed, so the single-tenant register traffic is
+        unchanged from the pre-tenancy driver)."""
+        if tenant is self._mmu_tenant:
+            return
+        self._write(regs.MMU_AS, tenant.as_id)
+        root = tenant._page_table.root
+        self._write(regs.MMU_PGD_LO, root & 0xFFFFFFFF)
+        self._write(regs.MMU_PGD_HI, root >> 32)
+        self._write(regs.MMU_ENABLE, 1)
+        self._mmu_tenant = tenant
+        self.as_switches += 1
+        if self.events is not None:
+            self.events.instant("as_switch", "driver", "kbase",
+                                args={"tenant": tenant.tenant_id})
 
-        Multiple descriptors can share the descriptor page via *slot* to
-        form job chains.
+    class _TenantWindow:
+        """Scopes the fault injector and the MMU translation counter to
+        one tenant for the duration of a dispatch."""
+
+        def __init__(self, driver, tenant):
+            self.driver = driver
+            self.tenant = tenant
+            self._previous = None
+            self._translations = 0
+
+        def __enter__(self):
+            injector = self.driver.injector
+            if injector is not None:
+                self._previous = injector.current_tenant
+                injector.current_tenant = self.tenant.tenant_id
+            gpu = self.driver._gpu
+            if gpu is not None:
+                self._translations = gpu.mmu.translations
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            injector = self.driver.injector
+            if injector is not None:
+                injector.current_tenant = self._previous
+            gpu = self.driver._gpu
+            if gpu is not None:
+                self.tenant.translations += (
+                    gpu.mmu.translations - self._translations)
+            return False
+
+    def _tenant_window(self, tenant):
+        return self._TenantWindow(self, tenant)
+
+    # -- arbitrated dispatch ---------------------------------------------------
+
+    def _slice_budget(self, job):
+        """Workgroup budget for this dispatch; 0 runs to completion.
+
+        A job is sliced only when its class says so, other work is
+        waiting, and it has not exhausted ``max_preemptions`` (the
+        budget doubles per preemption, then the job runs unbounded —
+        guaranteed forward progress).
         """
-        if not self.initialized:
-            raise DriverError("driver not initialized")
-        offset = slot * DESCRIPTOR_SIZE
-        if offset + DESCRIPTOR_SIZE > self._descriptor_region.size:
-            raise DriverError(f"descriptor slot {slot} out of range")
-        blob = struct.pack(
-            "<IIIIIIIIQIIQIIQ",
-            JOB_TYPE_COMPUTE,
-            0,  # flags
-            global_size[0], global_size[1], global_size[2],
-            local_size[0], local_size[1], local_size[2],
-            binary_region.gpu_va,
-            binary_size,
-            local_mem_size,
-            uniform_region.gpu_va if uniform_region is not None else 0,
-            uniform_count,
-            0,  # reserved
-            next_va,
-        )
-        assert len(blob) == DESCRIPTOR_SIZE
-        self.bus.write_block(self._descriptor_region.phys + offset, blob)
-        return self._descriptor_region.gpu_va + offset
+        if job.tenant is None or job.workgroups <= 0:
+            return 0
+        slice_workgroups = job.tenant.qos.slice_workgroups
+        if not slice_workgroups or not self.arbiter.waiting:
+            return 0
+        if job.preemptions >= self.arbiter.policy.max_preemptions:
+            return 0
+        budget = slice_workgroups << job.preemptions
+        return budget if budget < job.workgroups else 0
+
+    def _dispatch(self, job):
+        tenant = job.tenant
+        self._install_address_space(tenant)
+        tenant.dispatches += 1
+        tenant.wait_ticks += job.wait_ticks
+        budget = self._slice_budget(job)
+        if budget != self._job_slice:
+            self._write(regs.JOB_SLICE, budget)
+            self._job_slice = budget
+        with self._tenant_window(tenant):
+            try:
+                result = self.submit_and_wait(job.descriptor_va)
+            except SimError as exc:
+                job.error = exc
+                job.done = True
+                tenant.jobs_failed += 1
+                return
+        if result is PREEMPTED:
+            tenant.preemptions += 1
+            self.arbiter.requeue(job)
+            if self.events is not None:
+                self.events.instant(
+                    "job_preempted", "driver", "kbase",
+                    args={"tenant": tenant.tenant_id, "budget": budget,
+                          "preemptions": job.preemptions})
+            return
+        job.status = result
+        job.done = True
+        tenant.jobs_completed += 1
+        gpu = self._gpu
+        if gpu is not None:
+            job.results = list(gpu.last_results)
+            for result in job.results:
+                if getattr(result, "stats", None) is not None:
+                    tenant.completed_stats.merge(result.stats)
+
+    def drain(self, wait_for=None):
+        """Dispatch queued jobs; with *wait_for*, stop once it settles.
+
+        Without *wait_for* the queue is run dry. Faulted jobs record
+        their error on the :class:`PendingJob` (``job.error``) instead
+        of raising — one tenant's fault must not tear down the dispatch
+        loop the others are being served from.
+        """
+        while True:
+            if wait_for is not None and wait_for.done:
+                return wait_for
+            job = self.arbiter.next_job()
+            if job is None:
+                return wait_for
+            self._dispatch(job)
+
+    # -- job submission ----------------------------------------------------------
 
     def submit_and_wait(self, descriptor_va):
         """Ring the doorbell; wait, recover if possible, acknowledge.
+
+        Returns the completion status, or :data:`PREEMPTED` when the GPU
+        parked a ``JOB_SLICE``-budgeted job with ``REASON_SOFT_STOPPED``
+        (only the arbitrated dispatch path arms a budget).
 
         Raises:
             JobFault: the job faulted and the recovery ladder (bounded
@@ -459,6 +1178,10 @@ class KBaseDriver:
             if done:
                 return value
             reason, info = value
+            if reason == regs.REASON_SOFT_STOPPED:
+                # arbiter preemption: the budgeted prefix ran, the slot
+                # parked cleanly — not a fault, the dispatcher requeues
+                return PREEMPTED
             attempt += 1
             if attempt > policy.max_retries:
                 self.faults_unrecovered += 1

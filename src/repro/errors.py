@@ -110,3 +110,24 @@ class JobFault(SimError):
 
 class JobHang(JobFault):
     """A GPU job was stopped by the progress watchdog (soft/hard stop)."""
+
+
+class JobPreempted(JobFault):
+    """A GPU job was parked at its ``JOB_SLICE`` workgroup budget.
+
+    Raised by the job manager after running exactly the budgeted prefix
+    of workgroups; the driver's arbiter soft-stops the slot and requeues
+    the job at the tail of its class queue. Deterministic: the prefix is
+    the first N flat workgroup ids, never a wall-clock cut.
+
+    Attributes:
+        completed: flat workgroups run before the slice expired.
+        total: total workgroups of the job.
+    """
+
+    def __init__(self, completed, total, message=""):
+        super().__init__(
+            message or f"job sliced after {completed}/{total} workgroups")
+        self.completed = completed
+        self.total = total
+        self.fault_class = "preempt"

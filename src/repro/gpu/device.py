@@ -8,7 +8,7 @@ register traffic and interrupt assertions are counted into
 
 from dataclasses import dataclass
 
-from repro.errors import BusError, JobFault, JobHang
+from repro.errors import BusError, JobFault, JobHang, JobPreempted
 from repro.gpu import regs
 from repro.gpu.jobmanager import JobManager
 from repro.gpu.mmu import GPUMMU
@@ -67,6 +67,7 @@ class GPUDevice(MMIODevice):
         self._submit_lo = 0
         self._pgd_lo = 0
         self._pgd_hi = 0
+        self._job_slice = 0  # JOB_SLICE: workgroup budget, 0 = unlimited
         self.last_results = []
         # recovery-ladder bookkeeping (driver-issued commands)
         self.soft_resets = 0
@@ -133,6 +134,10 @@ class GPUDevice(MMIODevice):
             return (self.mmu.fault_addr >> 32) & 0xFFFFFFFF
         if offset == regs.MMU_FAULT_STATUS:
             return self.mmu.fault_status
+        if offset == regs.MMU_AS:
+            return self.mmu.address_space
+        if offset == regs.JOB_SLICE:
+            return self._job_slice
         raise BusError(f"read of unknown GPU register 0x{offset:x}")
 
     def write_reg(self, offset, value):
@@ -168,6 +173,10 @@ class GPUDevice(MMIODevice):
             # mapped, so the decode cache survives ("decoded exactly once")
             self.mmu.flush_tlb()
             self.system_stats.tlb_flushes += 1
+        elif offset == regs.MMU_AS:
+            self.mmu.address_space = value
+        elif offset == regs.JOB_SLICE:
+            self._job_slice = value
         elif offset == regs.GPU_COMMAND:
             if value & regs.GPU_COMMAND_SOFT_RESET:
                 self._soft_reset()
@@ -206,6 +215,8 @@ class GPUDevice(MMIODevice):
         self._job_status = regs.JOB_STATUS_IDLE
         self._fault_reason = regs.REASON_NONE
         self._submit_lo = 0
+        self._job_slice = 0
+        self.mmu.address_space = 0
         self.mmu.enabled = False
         self.mmu.flush_tlb()
         self.mmu.fault_addr = 0
@@ -224,7 +235,16 @@ class GPUDevice(MMIODevice):
             self._raise_job_irq(regs.JOB_IRQ_FAULT)
             return
         try:
-            results = self.job_manager.run_job_chain(descriptor_va)
+            results = self.job_manager.run_job_chain(
+                descriptor_va, workgroup_budget=self._job_slice or None)
+        except JobPreempted:
+            # the budgeted prefix completed; park the slot with the
+            # soft-stop reason so the driver requeues instead of walking
+            # the recovery ladder (no MMU state to latch, not a fault)
+            self._job_status = regs.JOB_STATUS_FAULT
+            self._fault_reason = regs.REASON_SOFT_STOPPED
+            self._raise_job_irq(regs.JOB_IRQ_FAULT)
+            return
         except JobFault as exc:
             self.system_stats.mmu_faults += 1
             self._job_status = regs.JOB_STATUS_FAULT

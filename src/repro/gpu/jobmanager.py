@@ -24,6 +24,7 @@ from repro.errors import (
     DecodeError,
     JobFault,
     JobHang,
+    JobPreempted,
     MMUFault,
     SimError,
     WatchdogTimeout,
@@ -100,6 +101,7 @@ class JobManager:
         self.injector = None  # optional FaultInjector (repro.inject)
         self.watchdog_budget = watchdog_budget
         self.watchdog_timeouts = 0
+        self.jobs_preempted = 0
         self.descriptor_corruptions = 0
         self.decode_cache_enabled = True  # ablation knob (Section III-B3)
         self._decode_cache = {}
@@ -125,6 +127,9 @@ class JobManager:
                  desc="compute jobs run to completion")
         jm.probe("descriptor_decodes", lambda: self.decode_count,
                  desc="shader binaries decoded (cache misses)",
+                 golden=False)
+        jm.probe("jobs_preempted", lambda: self.jobs_preempted,
+                 desc="jobs parked at their JOB_SLICE workgroup budget",
                  golden=False)
         register_job_stats(gpu_scope.scope("job"), lambda: self.total_stats)
         for unit_id, stats in self.core_stats.items():
@@ -174,7 +179,11 @@ class JobManager:
         )
 
     def _decode_binary(self, descriptor):
-        key = (descriptor.binary_va, descriptor.binary_size)
+        # the address-space id is part of the key: tenants share the same
+        # GPU VA layout over different page tables, so the same (va, size)
+        # in two address spaces can name two different binaries
+        key = (self.mmu.address_space,
+               descriptor.binary_va, descriptor.binary_size)
         program = (self._decode_cache.get(key)
                    if self.decode_cache_enabled else None)
         if program is None:
@@ -193,8 +202,14 @@ class JobManager:
 
     # -- execution ----------------------------------------------------------------
 
-    def run_job_chain(self, descriptor_va):
+    def run_job_chain(self, descriptor_va, workgroup_budget=None):
         """Run a descriptor chain; returns the list of JobResults.
+
+        *workgroup_budget* (the JOB_SLICE register) caps the flat
+        workgroups any one job may run this submission; a job over budget
+        runs exactly the first ``workgroup_budget`` flat groups and is
+        parked with :class:`~repro.errors.JobPreempted` — deterministic
+        progress units, never a wall-clock cut.
 
         Raises:
             JobFault: on MMU faults or malformed descriptors/binaries; the
@@ -203,17 +218,17 @@ class JobManager:
         results = []
         current = descriptor_va
         while current:
-            results.append(self.run_job(current))
+            results.append(self.run_job(current, workgroup_budget))
             current = results[-1].descriptor.next_va
         return results
 
-    def run_job(self, descriptor_va):
+    def run_job(self, descriptor_va, workgroup_budget=None):
         events = self.events
         if events is not None:
             events.begin("job", "gpu", "jobmanager",
                          args={"descriptor_va": descriptor_va})
         try:
-            return self._run_job(descriptor_va)
+            return self._run_job(descriptor_va, workgroup_budget)
         finally:
             if events is not None:
                 events.end("job", "gpu", "jobmanager")
@@ -223,7 +238,7 @@ class JobManager:
             self.events.instant("mmu_fault", "gpu", "mmu",
                                 args={"fault": str(exc)})
 
-    def _run_job(self, descriptor_va):
+    def _run_job(self, descriptor_va, workgroup_budget=None):
         events = self.events
         try:
             descriptor = self.parse_descriptor(descriptor_va)
@@ -258,12 +273,16 @@ class JobManager:
                          injector=self.injector,
                          watchdog_budget=self.watchdog_budget)
 
+        total_groups = shape.total_groups
+        sliced = (workgroup_budget is not None
+                  and 0 < workgroup_budget < total_groups)
+        limit = workgroup_budget if sliced else total_groups
         try:
             if num_units == 1:
-                for flat_group in range(shape.total_groups):
+                for flat_group in range(limit):
                     units[0].run_workgroup(program, uniforms, self.mmu, shape, flat_group)
             else:
-                self._run_parallel(units, program, uniforms, shape)
+                self._run_parallel(units, program, uniforms, shape, limit)
         except MMUFault as exc:
             self.mmu.latch_fault(exc)
             self._fault_instant(exc)
@@ -279,6 +298,18 @@ class JobManager:
                                     args={"flat_group": exc.flat_group,
                                           "consumed": exc.consumed})
             raise JobHang(f"job hung: {exc}") from exc
+
+        if sliced:
+            # the budgeted prefix ran to completion; park the slot so the
+            # driver soft-stops and requeues. Partial stats are discarded
+            # (only completed attempts merge), keeping golden job stats
+            # preemption-invariant for replayable kernels.
+            self.jobs_preempted += 1
+            if self.events is not None:
+                self.events.instant("job_sliced", "gpu", "jobmanager",
+                                    args={"completed": limit,
+                                          "total": total_groups})
+            raise JobPreempted(limit, total_groups)
 
         stats = merge_stats(unit.stats for unit in units if unit.stats is not None)
         cfg = None
@@ -297,7 +328,7 @@ class JobManager:
                 self.core_stats[unit.unit_id].merge(unit.stats)
         return result
 
-    def _run_parallel(self, units, program, uniforms, shape):
+    def _run_parallel(self, units, program, uniforms, shape, limit=None):
         """Map thread-groups onto host threads (the Fig. 10 optimization).
 
         Fault-safe: the first :class:`~repro.errors.SimError` sets a
@@ -307,7 +338,7 @@ class JobManager:
         which host thread lost the race — so identical runs latch an
         identical fault no matter the ``num_host_threads`` setting.
         """
-        groups = list(range(shape.total_groups))
+        groups = list(range(shape.total_groups if limit is None else limit))
         stop = threading.Event()
         faults = []  # (flat_group, exception), guarded by fault_lock
         fault_lock = threading.Lock()

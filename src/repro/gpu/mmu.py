@@ -33,6 +33,12 @@ from repro.mem.physical import PAGE_SHIFT
 _PAGE_MASK = (1 << PAGE_SHIFT) - 1
 _REQUIRED = {"r": PTE_READ, "w": PTE_WRITE, "x": PTE_EXEC}
 
+# Address-space tag folded into every recorded/armed VA page number.
+# VA_BITS=39 keeps vpage below 2^27, so tagging at bit 32 never collides;
+# address space 0 (the default tenant) tags as 0, preserving the
+# single-tenant page numbering bit-for-bit.
+AS_TAG_SHIFT = 32
+
 
 class GPUMMU:
     """Translation front-end shared by the Job Manager and shader cores."""
@@ -41,6 +47,11 @@ class GPUMMU:
         self._memory = memory
         self._walker = None
         self._enabled = False
+        # active address-space id (MMU_AS register); tags every entry of
+        # pages_accessed and every injector page key so per-tenant VA
+        # spaces that reuse the same numeric VAs never alias
+        self._as_id = 0
+        self._as_tag = 0
         self.pages_accessed = set()
         self.fault_addr = 0
         self.fault_status = 0
@@ -91,6 +102,23 @@ class GPUMMU:
     def enabled(self, value):
         self._enabled = value
         self._update_fast()
+
+    @property
+    def address_space(self):
+        """Active address-space id (the MMU_AS register)."""
+        return self._as_id
+
+    @address_space.setter
+    def address_space(self, value):
+        if value != self._as_id:
+            self._as_id = value
+            self._as_tag = value << AS_TAG_SHIFT
+            self.flush_tlb()
+
+    def pages_accessed_in(self, as_id):
+        """Distinct pages touched under address space *as_id*."""
+        return sum(1 for page in self.pages_accessed
+                   if page >> AS_TAG_SHIFT == as_id)
 
     @property
     def fast_path_enabled(self):
@@ -145,7 +173,7 @@ class GPUMMU:
             raise MMUFault(vaddr, access, "GPU MMU not enabled")
         vpage = vaddr >> PAGE_SHIFT
         self.translations += 1
-        self.pages_accessed.add(vpage)
+        self.pages_accessed.add(vpage | self._as_tag)
         entry = self._tlb.get(vpage)
         if entry is None:
             entry = self._miss(vaddr, vpage, access)
@@ -165,7 +193,7 @@ class GPUMMU:
         """
         injector = self._injector
         if injector is not None:
-            params = injector.fire_page(vpage)
+            params = injector.fire_page(vpage | self._as_tag)
             if params is not None:
                 self.injected_faults += 1
                 kind = params.get("kind", "translation")
@@ -191,7 +219,7 @@ class GPUMMU:
         defer (the quad walk returns ``None``), which likewise routes
         grow-on-fault growth through the scalar path."""
         return self._injector is not None \
-            and self._injector.page_armed(vpage)
+            and self._injector.page_armed(vpage | self._as_tag)
 
     def _translate_list(self, lanes, required):
         """Translate a list of lane addresses; one TLB probe per page.
@@ -203,6 +231,7 @@ class GPUMMU:
         """
         tlb = self._tlb
         walker = self._walker
+        tag = self._as_tag
         paddrs = []
         pages = set()
         for vaddr in lanes:
@@ -219,7 +248,7 @@ class GPUMMU:
             if not flags & required:
                 return None
             paddrs.append(ppage | (vaddr & _PAGE_MASK))
-            pages.add(vpage)
+            pages.add(vpage | tag)
         self.translations += len(lanes)
         self.pages_accessed |= pages
         return paddrs
@@ -283,7 +312,7 @@ class GPUMMU:
         if not flags & required:
             return None
         self.translations += len(lanes)
-        self.pages_accessed.add(vpage)
+        self.pages_accessed.add(vpage | self._as_tag)
         return self._memory.page_u32_view(ppage >> PAGE_SHIFT), offsets
 
     def _resolve_view(self, vaddr, vpage, required, cache):
@@ -337,7 +366,7 @@ class GPUMMU:
                                                   self._rview)
                     if view is not None:
                         self.translations += 4
-                        self.pages_accessed.add(vpage)
+                        self.pages_accessed.add(vpage | self._as_tag)
                         self.quad_accesses += 1
                         word = offset >> 2
                         return view[word:word + 4]
@@ -349,7 +378,7 @@ class GPUMMU:
                                               self._rview)
                 if view is not None:
                     self.translations += 4
-                    self.pages_accessed.add(vpage)
+                    self.pages_accessed.add(vpage | self._as_tag)
                     self.quad_accesses += 1
                     return view[offset >> 2]
         hit = self._quad_page(lanes, PTE_READ)
@@ -387,7 +416,7 @@ class GPUMMU:
                                               self._wview)
                 if view is not None:
                     self.translations += 4
-                    self.pages_accessed.add(vpage)
+                    self.pages_accessed.add(vpage | self._as_tag)
                     self.quad_accesses += 1
                     word = offset >> 2
                     view[word:word + 4] = values
@@ -450,7 +479,9 @@ class GPUMMU:
             return None
         vpages, unique_pages, views = resolved
         self.translations += len(vaddrs)
-        self.pages_accessed.update(unique_pages.tolist())
+        tag = self._as_tag
+        self.pages_accessed.update(
+            [page | tag for page in unique_pages.tolist()])
         self.wide_accesses += 1
         offsets = (vaddrs & _PAGE_MASK) >> 2
         if len(unique_pages) == 1:
@@ -477,7 +508,9 @@ class GPUMMU:
             return None
         vpages, unique_pages, views = resolved
         self.translations += len(vaddrs)
-        self.pages_accessed.update(unique_pages.tolist())
+        tag = self._as_tag
+        self.pages_accessed.update(
+            [page | tag for page in unique_pages.tolist()])
         self.wide_accesses += 1
         offsets = (vaddrs & _PAGE_MASK) >> 2
         if len(unique_pages) == 1:

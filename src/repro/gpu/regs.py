@@ -38,6 +38,10 @@ MMU_FAULT_STATUS = 0x064  # RO: 1=read 2=write 3=execute fault
 GPU_COMMAND = 0x068  # WO: GPU_COMMAND_SOFT_RESET re-initializes the device
 JOB_COMMAND = 0x06C  # WO: soft/hard-stop the current job slot
 
+# multi-tenancy (address-space slots and preemptive slicing)
+MMU_AS = 0x070  # RW: active address-space id (tags MMU page accounting)
+JOB_SLICE = 0x074  # RW: workgroup budget per submission; 0 = unlimited
+
 GPU_ID_VALUE = 0x6071_0000  # "G-71"-like product id
 
 JOB_IRQ_DONE = 1 << 0
@@ -53,6 +57,7 @@ REASON_NONE = 0
 REASON_MMU = 1  # translation/permission fault (MMU fault regs are latched)
 REASON_DESCRIPTOR = 2  # malformed descriptor or shader binary
 REASON_HANG = 3  # progress watchdog fired (job soft/hard-stopped)
+REASON_SOFT_STOPPED = 4  # JOB_SLICE budget reached (arbiter preemption)
 
 GPU_COMMAND_SOFT_RESET = 1
 JOB_COMMAND_SOFT_STOP = 1

@@ -67,7 +67,17 @@ SCENARIOS = {
     "irq-spurious": "recover",
     "alloc-fail": "fail-clean",
     "heap-grow": "grow",
+    # cross-tenant adversarial cases: an attacker tenant faults (or runs
+    # a malicious kernel) while the victim tenant runs the campaign
+    # workload — the victim must match its solo baseline byte-for-byte
+    "xtenant-mmu": "isolate",
+    "xtenant-hang": "isolate",
+    "xtenant-irq-lost": "isolate",
+    "xtenant-oob": "isolate",
 }
+
+#: campaign engine name -> tenancy-harness engine mode
+_TENANCY_MODES = {"interpreter": "fast", "jit": "jit", "mega": "mega"}
 
 DEFAULT_WORKLOADS = ("sgemm", "divergent")
 
@@ -383,6 +393,19 @@ def run_case(workload_name, scenario, seed, engine="interpreter",
     rng = random.Random(f"{workload_name}:{scenario}:{seed}")
     expect = SCENARIOS[scenario]
 
+    if expect == "isolate":
+        # deferred import: the tenancy harness pulls in the CL runtime
+        from repro.tenancy.harness import run_adversarial
+
+        ok, detail, counters = run_adversarial(
+            scenario, seed, victim=workload_name,
+            engine_mode=_TENANCY_MODES.get(engine, engine),
+            num_host_threads=num_host_threads,
+            check_determinism=check_determinism)
+        fired = counters.pop("inject.total", 0)
+        return CaseResult(workload_name, scenario, seed, ok, detail,
+                          fired=fired, counters=counters), None
+
     if expect == "grow":
         ok, detail, driver = _run_grow_case(rng, engine, num_host_threads)
         counters = {"driver.page_faults": driver.page_faults,
@@ -556,7 +579,8 @@ def run_campaign(workloads=DEFAULT_WORKLOADS, scenarios=None, seeds=1,
     for workload_name in workloads:
         for scenario in scenario_names:
             expect = SCENARIOS[scenario]
-            if expect != "grow" and workload_name not in clean_cache:
+            if (expect not in ("grow", "isolate")
+                    and workload_name not in clean_cache):
                 clean_cache[workload_name] = _execute(
                     workload_name, engine, num_host_threads)
             for seed in range(seeds):

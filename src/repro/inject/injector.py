@@ -51,6 +51,10 @@ class FaultInjector:
             plan = FaultPlan(plan)
         self.plan = plan
         self.events = events
+        # tenant id of the work currently running (the driver sets this
+        # around each dispatch and tenant allocation); specs with a
+        # ``tenant`` field only fire while it matches
+        self.current_tenant = None
         self._lock = threading.Lock()
         self._keyed = {}  # (site, key) -> [_Armed]
         self._occ = {}  # site -> [_Armed]
@@ -67,6 +71,10 @@ class FaultInjector:
     @property
     def total_fired(self):
         return sum(self.fired.values())
+
+    def _eligible(self, armed):
+        spec_tenant = armed.spec.tenant
+        return spec_tenant is None or spec_tenant == self.current_tenant
 
     def _record(self, site, detail, params):
         self.fired[site] += 1
@@ -90,7 +98,8 @@ class FaultInjector:
             self._visits[site] += 1
             visit = self._visits[site]
             for armed in self._occ.get(site, ()):
-                if armed.live and visit >= armed.spec.occurrence:
+                if armed.live and visit >= armed.spec.occurrence \
+                        and self._eligible(armed):
                     armed.consume()
                     self._record(site, visit, armed.spec.params)
                     return armed.spec.params
@@ -98,7 +107,7 @@ class FaultInjector:
 
     def _fire_keyed(self, site, key):
         for armed in self._keyed.get((site, key), ()):
-            if armed.live:
+            if armed.live and self._eligible(armed):
                 armed.consume()
                 self._record(site, key, armed.spec.params)
                 return armed.spec.params
@@ -117,7 +126,7 @@ class FaultInjector:
         exactly once, with reference semantics, in the scalar miss path.
         """
         for armed in self._keyed.get(("mmu.page", vpage), ()):
-            if armed.live:
+            if armed.live and self._eligible(armed):
                 return True
         return False
 

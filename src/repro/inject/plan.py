@@ -55,6 +55,10 @@ class FaultSpec:
             (e.g. ``kind``/``access`` for ``mmu.page``, ``offset``/
             ``mask`` for ``descriptor.read``, ``stall_rounds`` for
             ``core.hang``).
+        tenant: when set, the spec only fires while the injector's
+            ``current_tenant`` matches — the cross-tenant adversarial
+            campaigns arm an attacker's faults without ever perturbing a
+            victim tenant's jobs. None (the default) fires regardless.
     """
 
     site: str
@@ -62,6 +66,7 @@ class FaultSpec:
     occurrence: int = 1
     count: int = 1
     params: dict = field(default_factory=dict)
+    tenant: int = None
 
     def __post_init__(self):
         if self.site not in SITES:
@@ -87,6 +92,8 @@ class FaultSpec:
         out["count"] = self.count
         if self.params:
             out["params"] = dict(self.params)
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
         return out
 
     @classmethod
@@ -94,7 +101,8 @@ class FaultSpec:
         return cls(site=data["site"], key=data.get("key"),
                    occurrence=data.get("occurrence", 1),
                    count=data.get("count", 1),
-                   params=dict(data.get("params", {})))
+                   params=dict(data.get("params", {})),
+                   tenant=data.get("tenant"))
 
 
 class FaultPlan:

@@ -7,8 +7,16 @@ guest address spaces cost only what is touched.
 
 All accessors take *physical* addresses; virtual addressing is layered on
 top by the CPU and GPU MMUs (:mod:`repro.mem.pagetable`).
+
+Named **carve-outs** (:meth:`PhysicalMemory.register_carveout`) delimit
+non-overlapping physical windows — one per tenant in the multi-tenant
+driver — and support accounting (:meth:`carveout_allocated_pages`) and a
+content digest (:meth:`carveout_digest`) over the window, which is how
+the isolation tests prove one tenant's faults never perturbed another
+tenant's memory image.
 """
 
+import hashlib
 import struct
 
 import numpy as np
@@ -42,6 +50,7 @@ class PhysicalMemory:
         self.size = size
         self._pages = {}
         self._views = {}  # page index -> np.uint32 view sharing the bytearray
+        self._carveouts = {}  # name -> (base, size), non-overlapping
 
     # -- page management ----------------------------------------------------
 
@@ -74,6 +83,71 @@ class PhysicalMemory:
     def allocated_pages(self):
         """Number of physical pages actually backed by host memory."""
         return len(self._pages)
+
+    # -- carve-out accounting ------------------------------------------------
+
+    def register_carveout(self, name, base, size):
+        """Register a named, page-aligned physical window.
+
+        Carve-outs must not overlap each other; re-registering the same
+        name with the same extent is a no-op (the driver re-registers on
+        re-initialization). The window is purely an accounting overlay —
+        accessors are unaffected.
+        """
+        if base & _PAGE_MASK or size & _PAGE_MASK or size <= 0:
+            raise ValueError(
+                f"carveout {name!r} must be page-aligned and non-empty")
+        if base < 0 or base + size > self.size:
+            raise ValueError(f"carveout {name!r} outside physical memory")
+        existing = self._carveouts.get(name)
+        if existing is not None:
+            if existing != (base, size):
+                raise ValueError(
+                    f"carveout {name!r} re-registered with a different "
+                    f"extent")
+            return
+        for other, (obase, osize) in self._carveouts.items():
+            if base < obase + osize and obase < base + size:
+                raise ValueError(
+                    f"carveout {name!r} overlaps {other!r}")
+        self._carveouts[name] = (base, size)
+
+    def carveout(self, name):
+        """Return the ``(base, size)`` of a registered carve-out."""
+        return self._carveouts[name]
+
+    @property
+    def carveout_names(self):
+        return sorted(self._carveouts)
+
+    def _carveout_page_range(self, name):
+        base, size = self._carveouts[name]
+        return base >> PAGE_SHIFT, (base + size) >> PAGE_SHIFT
+
+    def carveout_allocated_pages(self, name):
+        """Backed pages inside carve-out *name*."""
+        first, last = self._carveout_page_range(name)
+        return sum(1 for index in self._pages if first <= index < last)
+
+    def carveout_digest(self, name):
+        """sha256 over the carve-out's logical content.
+
+        Hashes ``(page index, page bytes)`` for every backed page with
+        any nonzero byte, in page order. All-zero backed pages hash the
+        same as untouched ones — sparse allocation is an implementation
+        detail, the *logical* image is what isolation compares.
+        """
+        first, last = self._carveout_page_range(name)
+        digest = hashlib.sha256()
+        for index in sorted(self._pages):
+            if not first <= index < last:
+                continue
+            page = self._pages[index]
+            if not any(page):
+                continue
+            digest.update(index.to_bytes(8, "little"))
+            digest.update(page)
+        return digest.hexdigest()
 
     # -- scalar accessors ---------------------------------------------------
 

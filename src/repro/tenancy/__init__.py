@@ -1,0 +1,33 @@
+"""Multi-tenant GPU harness: mixed runs, solo baselines, isolation checks."""
+
+from repro.tenancy.harness import (
+    ADVERSARIAL_SCENARIOS,
+    ENGINE_MODES,
+    WORKLOADS,
+    MixedRunResult,
+    TenantPlan,
+    TenantRecord,
+    check_isolation,
+    fairness_report,
+    make_workload,
+    run_adversarial,
+    run_mixed,
+    solo_baseline,
+    tenancy_config,
+)
+
+__all__ = [
+    "ADVERSARIAL_SCENARIOS",
+    "ENGINE_MODES",
+    "WORKLOADS",
+    "MixedRunResult",
+    "TenantPlan",
+    "TenantRecord",
+    "check_isolation",
+    "fairness_report",
+    "make_workload",
+    "run_adversarial",
+    "run_mixed",
+    "solo_baseline",
+    "tenancy_config",
+]

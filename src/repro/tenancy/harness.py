@@ -1,0 +1,780 @@
+"""Multi-tenant mixed-run harness: N client contexts over one GPU.
+
+Builds a :class:`~repro.core.platform.MobilePlatform` whose driver hosts
+one :class:`~repro.driver.kbase.TenantContext` per configured tenant,
+runs a workload per tenant through the job-slot arbiter (deferred
+submissions, ``driver.drain()``), and captures a per-tenant
+:class:`TenantRecord`: output bytes, NumPy verification, the tenant's
+golden stats subtree, the sha256 of its physical carve-out, and its
+fairness counters.
+
+The harness is what the isolation proof is built from. A **solo
+baseline** (:func:`solo_baseline`) runs the *same* tenancy shape with
+only one tenant active — same carve-out bases, same VA layout, same
+page-table placement — so a multi-tenant run's record for that tenant
+must match the solo record byte-for-byte (outputs, golden stats,
+carve-out image) whatever the *other* tenants did: faults, hangs, OOB
+kernels, GPU resets. :func:`check_isolation` asserts exactly that, and
+:func:`run_adversarial` packages the attacker/victim scenarios the
+cross-tenant campaign and the farm sweep.
+"""
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cl import CommandQueue, Context
+from repro.core.platform import MobilePlatform, PlatformConfig
+from repro.driver.kbase import TenancyConfig, TenantSpec
+from repro.errors import SimError
+from repro.gpu.device import GPUConfig
+from repro.gpu.mmu import AS_TAG_SHIFT
+from repro.inject.injector import FaultInjector
+from repro.inject.plan import FaultPlan, FaultSpec
+from repro.kernels.parboil import Sgemm
+
+#: engine mode -> (GPU engine, MMU fast-path enabled); the same four
+#: execution modes the conformance and stats-registry suites sweep
+ENGINE_MODES = {
+    "interp": ("interpreter", False),
+    "fast": ("interpreter", True),
+    "jit": ("jit", True),
+    "mega": ("mega", True),
+}
+
+_DIVERGENT_SOURCE = """
+__kernel void divergent(__global int* data, __global int* out) {
+    int i = get_global_id(0);
+    int v = data[i];
+    int acc = 0;
+    if (v % 2 == 0) {
+        for (int j = 0; j < (v & 7); j += 1) {
+            acc += j * v;
+        }
+    } else {
+        acc = v * 3 + 1;
+    }
+    out[i] = acc;
+}
+"""
+
+_FILLSEQ_SOURCE = """
+__kernel void fillseq(__global int* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        out[i] = i * 1103 + 12345;
+    }
+}
+"""
+
+# the out-of-bounds attacker: the displacement arrives as a *scalar
+# argument*, so the build-time binary verifier (which bounds static
+# offsets) has nothing to reject — the write lands past the buffer's
+# region at runtime and the tenant's own MMU takes the fault
+_OOB_SOURCE = """
+__kernel void oob(__global int* out, int offset) {
+    int i = get_global_id(0);
+    out[i + offset] = i;
+}
+"""
+
+
+class TenantWorkload:
+    """One tenant's workload, split into arbiter-friendly phases.
+
+    ``setup`` allocates buffers and builds the program (host-side, no
+    GPU execution); ``submit`` queues one job with the arbiter and
+    returns the :class:`~repro.driver.kbase.PendingJob`; ``collect``
+    reads the outputs after ``driver.drain()``; ``reference`` is the
+    NumPy oracle. Workloads are replayable (outputs a pure function of
+    inputs) so soft-stop replays and recovery resubmissions are
+    bit-invisible.
+    """
+
+    name = ""
+
+    def __init__(self, params=None):
+        self.params = dict(self.default_params())
+        if params:
+            unknown = set(params) - set(self.params)
+            if unknown:
+                raise ValueError(
+                    f"{self.name}: unknown params {sorted(unknown)}")
+            self.params.update(params)
+
+    @staticmethod
+    def default_params():
+        return {}
+
+    def total_groups(self):
+        """Flat workgroup count of one submission (slice-budget math)."""
+        raise NotImplementedError
+
+    def setup(self, context, queue, rng):
+        raise NotImplementedError
+
+    def submit(self, context, queue, state):
+        raise NotImplementedError
+
+    def collect(self, context, queue, state):
+        raise NotImplementedError
+
+    def reference(self, state):
+        raise NotImplementedError
+
+    def check(self, outputs, expected):
+        for got, want in zip(outputs, expected):
+            got, want = np.asarray(got), np.asarray(want)
+            if got.dtype.kind == "f" or want.dtype.kind == "f":
+                if not np.allclose(got.astype(np.float64),
+                                   want.astype(np.float64),
+                                   rtol=2e-4, atol=2e-5):
+                    return False
+            elif not np.array_equal(got, want):
+                return False
+        return True
+
+
+class SgemmTenant(TenantWorkload):
+    """Replayable sgemm (beta = 0: C written, never read)."""
+
+    name = "sgemm"
+
+    @staticmethod
+    def default_params():
+        return {"m": 32, "n": 40, "k": 24}
+
+    def total_groups(self):
+        return (self.params["n"] // 8) * (self.params["m"] // 8)
+
+    def setup(self, context, queue, rng):
+        p = self.params
+        a = rng.standard_normal((p["m"], p["k"])).astype(np.float32)
+        b = rng.standard_normal((p["k"], p["n"])).astype(np.float32)
+        kernel = context.build_program(Sgemm.source).kernel("sgemm")
+        buf_a = context.buffer_from_array(a)
+        buf_b = context.buffer_from_array(b)
+        buf_c = context.alloc_buffer(p["m"] * p["n"] * 4)
+        queue.enqueue_fill_buffer(buf_c, 0)
+        kernel.set_args(buf_a, buf_b, buf_c, p["m"], p["n"], p["k"],
+                        np.float32(1.0), np.float32(0.0))
+        return {"a": a, "b": b, "kernel": kernel, "buf_c": buf_c}
+
+    def submit(self, context, queue, state):
+        p = self.params
+        return queue.enqueue_nd_range_async(
+            state["kernel"], (p["n"], p["m"]), (8, 8))
+
+    def collect(self, context, queue, state):
+        p = self.params
+        out = queue.enqueue_read_buffer(state["buf_c"], np.float32,
+                                        count=p["m"] * p["n"])
+        return [out.reshape(p["m"], p["n"])]
+
+    def reference(self, state):
+        return [(state["a"] @ state["b"]).astype(np.float32)]
+
+
+class DivergentTenant(TenantWorkload):
+    """Warp-divergent integer workload; ``n`` scales the job length, so
+    the background variant runs long enough to be sliced."""
+
+    name = "divergent"
+
+    @staticmethod
+    def default_params():
+        return {"n": 4096}
+
+    def total_groups(self):
+        return self.params["n"] // 64
+
+    def setup(self, context, queue, rng):
+        n = self.params["n"]
+        data = rng.integers(0, 64, size=n).astype(np.int32)
+        kernel = context.build_program(_DIVERGENT_SOURCE).kernel("divergent")
+        buf_data = context.buffer_from_array(data)
+        buf_out = context.alloc_buffer(n * 4)
+        queue.enqueue_fill_buffer(buf_out, 0)
+        kernel.set_args(buf_data, buf_out)
+        return {"data": data, "kernel": kernel, "buf_out": buf_out}
+
+    def submit(self, context, queue, state):
+        n = self.params["n"]
+        return queue.enqueue_nd_range_async(state["kernel"], (n,), (64,))
+
+    def collect(self, context, queue, state):
+        n = self.params["n"]
+        return [queue.enqueue_read_buffer(state["buf_out"], np.int32,
+                                          count=n)]
+
+    def reference(self, state):
+        v = state["data"].astype(np.int64)
+        k = v & 7
+        even = v * (k * (k - 1) // 2)
+        odd = v * 3 + 1
+        return [np.where(v % 2 == 0, even, odd).astype(np.int32)]
+
+
+class FillseqTenant(TenantWorkload):
+    """Sequential fill over a grow-on-fault buffer: the tenant's own
+    page-fault worker grows its mapping mid-run."""
+
+    name = "fillseq"
+
+    @staticmethod
+    def default_params():
+        return {"n": 8192}
+
+    def total_groups(self):
+        return self.params["n"] // 64
+
+    def setup(self, context, queue, rng):
+        n = self.params["n"]
+        kernel = context.build_program(_FILLSEQ_SOURCE).kernel("fillseq")
+        buf_out = context.alloc_buffer(n * 4, grow_on_fault=True)
+        kernel.set_args(buf_out, n)
+        return {"kernel": kernel, "buf_out": buf_out}
+
+    def submit(self, context, queue, state):
+        n = self.params["n"]
+        return queue.enqueue_nd_range_async(state["kernel"], (n,), (64,))
+
+    def collect(self, context, queue, state):
+        n = self.params["n"]
+        return [queue.enqueue_read_buffer(state["buf_out"], np.int32,
+                                          count=n)]
+
+    def reference(self, state):
+        n = self.params["n"]
+        return [(np.arange(n, dtype=np.int64) * 1103 + 12345)
+                .astype(np.int32)]
+
+
+class OOBTenant(TenantWorkload):
+    """Malicious tenant: writes ``offset`` elements past its buffer.
+
+    The displacement is a runtime scalar, invisible to the build-time
+    verifier; the write faults in *this tenant's* address space and the
+    recovery ladder surfaces a JobFault to this tenant only. The
+    harness expects this workload to fail."""
+
+    name = "oob"
+    expects_failure = True
+
+    @staticmethod
+    def default_params():
+        return {"n": 256, "offset": 1 << 22}
+
+    def total_groups(self):
+        return self.params["n"] // 64
+
+    def setup(self, context, queue, rng):
+        p = self.params
+        kernel = context.build_program(_OOB_SOURCE).kernel("oob")
+        buf_out = context.alloc_buffer(p["n"] * 4)
+        kernel.set_args(buf_out, p["offset"])
+        return {"kernel": kernel, "buf_out": buf_out}
+
+    def submit(self, context, queue, state):
+        n = self.params["n"]
+        return queue.enqueue_nd_range_async(state["kernel"], (n,), (64,))
+
+    def collect(self, context, queue, state):
+        return []
+
+    def reference(self, state):
+        return []
+
+
+WORKLOADS = {
+    "sgemm": SgemmTenant,
+    "divergent": DivergentTenant,
+    "fillseq": FillseqTenant,
+    "oob": OOBTenant,
+}
+
+
+def make_workload(name, params=None):
+    if name not in WORKLOADS:
+        raise ValueError(f"unknown tenant workload {name!r}; "
+                         f"known: {sorted(WORKLOADS)}")
+    return WORKLOADS[name](params)
+
+
+@dataclass
+class TenantPlan:
+    """One tenant's role in a mixed run."""
+
+    workload: str
+    qos: str = "fg"
+    params: dict = None
+    jobs: int = 1
+
+
+@dataclass
+class TenantRecord:
+    """Everything observable about one tenant after a mixed run."""
+
+    tenant_id: int
+    name: str
+    qos: str
+    workload: str
+    verified: bool
+    output_digest: str
+    errors: list
+    golden: dict
+    carveout_digest: str
+    pages_accessed: int
+    translations: int
+    jobs_completed: int
+    jobs_failed: int
+    dispatches: int
+    preemptions: int
+    wait_ticks: int
+
+    @property
+    def failed(self):
+        return bool(self.errors)
+
+
+@dataclass
+class MixedRunResult:
+    """A finished mixed run: platform handle plus per-tenant records."""
+
+    platform: object
+    records: dict  # tenant_id -> TenantRecord
+    injector: object = None
+    engine_mode: str = "fast"
+
+    @property
+    def driver(self):
+        return self.platform.driver
+
+    def counters(self):
+        driver = self.driver
+        counts = {
+            "driver.retries": driver.retries,
+            "driver.resets": driver.resets,
+            "driver.soft_stops": driver.soft_stops,
+            "driver.hard_stops": driver.hard_stops,
+            "driver.faults_unrecovered": driver.faults_unrecovered,
+            "driver.as_switches": driver.as_switches,
+            "driver.preemptions": driver.preemptions,
+            "arbiter.dispatched": driver.arbiter.dispatched,
+            "arbiter.promotions": driver.arbiter.promotions,
+        }
+        if self.injector is not None:
+            counts["inject.total"] = self.injector.total_fired
+        return counts
+
+
+def _digest(chunks):
+    digest = hashlib.sha256()
+    for chunk in chunks:
+        digest.update(chunk)
+    return digest.hexdigest()
+
+
+def tenancy_config(tenant_plans, arbiter=None):
+    """The driver-level :class:`TenancyConfig` for *tenant_plans* — the
+    solo baseline reuses it verbatim so carve-out bases and VA layout
+    match the mixed run exactly."""
+    return TenancyConfig(
+        [TenantSpec(f"tenant{i}", qos=plan.qos)
+         for i, plan in enumerate(tenant_plans)],
+        arbiter=arbiter)
+
+
+def run_mixed(tenant_plans, engine_mode="fast", num_host_threads=1,
+              active=None, plan=None, seed=0, arbiter=None):
+    """Run one mixed multi-tenant campaign; returns a MixedRunResult.
+
+    Args:
+        tenant_plans: list of :class:`TenantPlan`, one per tenant.
+        engine_mode: one of :data:`ENGINE_MODES`.
+        num_host_threads: simulator execution units.
+        active: tenant ids that actually run (default: all). Inactive
+            tenants still exist — same carve-outs, same VA plan — they
+            just never touch the GPU. ``active={v}`` is the solo
+            baseline for tenant ``v``.
+        plan: optional :class:`FaultPlan` (specs may carry ``tenant=``
+            so an attacker's faults never target anyone else).
+        seed: input-data seed (per-tenant RNG derives from it).
+        arbiter: optional :class:`ArbiterPolicy`.
+    """
+    engine, fast_path = ENGINE_MODES[engine_mode]
+    config = PlatformConfig(
+        gpu=GPUConfig(engine=engine, num_host_threads=num_host_threads),
+        tenancy=tenancy_config(tenant_plans, arbiter=arbiter))
+    platform = MobilePlatform(config)
+    platform.gpu.mmu.fast_path_enabled = fast_path
+    platform.initialize()
+    driver = platform.driver
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(plan)
+        platform.attach_injector(injector)
+
+    if active is None:
+        active = range(len(tenant_plans))
+    active = sorted(set(active))
+
+    sessions = {}
+    for tenant_id in active:
+        tenant_plan = tenant_plans[tenant_id]
+        tenant = driver.tenant(tenant_id)
+        context = Context(platform=platform, tenant=tenant)
+        queue = CommandQueue(context)
+        workload = make_workload(tenant_plan.workload, tenant_plan.params)
+        rng = np.random.default_rng(seed * 1_000_003 + tenant_id)
+        state = workload.setup(context, queue, rng)
+        sessions[tenant_id] = {
+            "workload": workload, "context": context, "queue": queue,
+            "state": state, "jobs": [],
+        }
+
+    # submissions interleave round-robin across tenants so the arbiter
+    # always sees the full contention picture
+    max_jobs = max((tenant_plans[i].jobs for i in active), default=0)
+    for round_index in range(max_jobs):
+        for tenant_id in active:
+            if round_index < tenant_plans[tenant_id].jobs:
+                session = sessions[tenant_id]
+                session["jobs"].append(session["workload"].submit(
+                    session["context"], session["queue"],
+                    session["state"]))
+
+    driver.drain()
+
+    golden = platform.stats_registry.snapshot(golden_only=True)
+    records = {}
+    for tenant_id in active:
+        session = sessions[tenant_id]
+        workload = session["workload"]
+        tenant = driver.tenant(tenant_id)
+        errors = [f"{type(job.error).__name__}: {job.error}"
+                  for job in session["jobs"] if job.error is not None]
+        undone = [job for job in session["jobs"] if not job.done]
+        if undone:
+            errors.append(f"{len(undone)} jobs never completed")
+        expects_failure = getattr(workload, "expects_failure", False)
+        outputs, verified = [], False
+        if not errors and not expects_failure:
+            try:
+                outputs = workload.collect(session["context"],
+                                           session["queue"],
+                                           session["state"])
+                verified = workload.check(outputs,
+                                          workload.reference(
+                                              session["state"]))
+            except SimError as exc:
+                errors.append(f"{type(exc).__name__}: {exc}")
+        elif expects_failure:
+            verified = bool(errors)  # the attacker is *supposed* to fault
+        prefix = f"tenant{tenant_id}."
+        records[tenant_id] = TenantRecord(
+            tenant_id=tenant_id,
+            name=tenant.name,
+            qos=tenant.qos.name,
+            workload=workload.name,
+            verified=verified,
+            output_digest=_digest(
+                np.ascontiguousarray(np.asarray(out)).tobytes()
+                for out in outputs),
+            errors=errors,
+            golden={key: value for key, value in golden.items()
+                    if key.startswith(prefix)},
+            carveout_digest=platform.memory.carveout_digest(
+                f"tenant{tenant_id}"),
+            pages_accessed=platform.gpu.mmu.pages_accessed_in(
+                tenant.as_id),
+            translations=tenant.translations,
+            jobs_completed=tenant.jobs_completed,
+            jobs_failed=tenant.jobs_failed,
+            dispatches=tenant.dispatches,
+            preemptions=tenant.preemptions,
+            wait_ticks=tenant.wait_ticks,
+        )
+    return MixedRunResult(platform=platform, records=records,
+                          injector=injector, engine_mode=engine_mode)
+
+
+def solo_baseline(tenant_plans, victim, engine_mode="fast",
+                  num_host_threads=1, seed=0, arbiter=None):
+    """The isolation reference: the same tenancy shape with only
+    *victim* active. Identical carve-out bases and VA layout make its
+    record byte-comparable to the mixed run's."""
+    return run_mixed(tenant_plans, engine_mode=engine_mode,
+                     num_host_threads=num_host_threads, active=[victim],
+                     seed=seed, arbiter=arbiter)
+
+
+def check_isolation(multi_record, solo_record):
+    """Compare a tenant's mixed-run record against its solo baseline;
+    returns a list of human-readable differences (empty == isolated)."""
+    diffs = []
+    if multi_record.errors:
+        diffs.append(f"victim errored in mixed run: {multi_record.errors}")
+    if not multi_record.verified:
+        diffs.append("victim outputs failed verification in mixed run")
+    if multi_record.output_digest != solo_record.output_digest:
+        diffs.append("victim outputs differ from solo run")
+    if multi_record.carveout_digest != solo_record.carveout_digest:
+        diffs.append("victim carve-out memory image differs from solo run")
+    if multi_record.golden != solo_record.golden:
+        changed = sorted(
+            key for key in
+            set(multi_record.golden) | set(solo_record.golden)
+            if multi_record.golden.get(key) != solo_record.golden.get(key))
+        diffs.append(f"victim golden stats differ from solo run: "
+                     f"{changed[:8]}")
+    return diffs
+
+
+def fairness_report(result, title="tenants"):
+    """Human-readable fairness table for a finished mixed run."""
+    driver = result.driver
+    total_dispatches = max(driver.arbiter.dispatched, 1)
+    lines = [
+        f"{title}: engine={result.engine_mode} "
+        f"tenants={len(result.records)} "
+        f"dispatches={driver.arbiter.dispatched} "
+        f"promotions={driver.arbiter.promotions} "
+        f"as_switches={driver.as_switches} resets={driver.resets}",
+        "  id name      qos  workload   jobs ok/fail  disp  preempt "
+        "wait  slot%  verified",
+    ]
+    for tenant_id in sorted(result.records):
+        record = result.records[tenant_id]
+        slot_share = 100.0 * record.dispatches / total_dispatches
+        lines.append(
+            f"  {record.tenant_id:>2} {record.name:<9} "
+            f"{record.qos:<4} {record.workload:<10} "
+            f"{record.jobs_completed:>4}/{record.jobs_failed:<5} "
+            f"{record.dispatches:>5} {record.preemptions:>7} "
+            f"{record.wait_ticks:>4} {slot_share:>5.1f}  "
+            f"{'yes' if record.verified else 'NO'}")
+    starving = [record for record in result.records.values()
+                if record.jobs_completed == 0 and not record.failed
+                and record.dispatches == 0]
+    if starving:
+        lines.append(f"  STARVED tenants: "
+                     f"{[record.tenant_id for record in starving]}")
+    return "\n".join(lines)
+
+
+# -- adversarial cross-tenant scenarios ---------------------------------------
+
+#: scenario -> expected outcome class ("isolate": the victim must match
+#: its solo baseline whatever happens to the attacker)
+ADVERSARIAL_SCENARIOS = {
+    "xtenant-mmu": "isolate",
+    "xtenant-hang": "isolate",
+    "xtenant-irq-lost": "isolate",
+    "xtenant-oob": "isolate",
+}
+
+#: scenarios where the attacker itself is expected to fail cleanly
+_ATTACKER_FAILS = {"xtenant-mmu", "xtenant-hang", "xtenant-oob"}
+
+
+def _adversarial_plans(scenario, victim="sgemm"):
+    """Victim (fg, two jobs) + attacker. The attacker runs in the
+    real-time class so its faults land *before and between* the victim's
+    dispatches — including the GPU resets at the top of the ladder."""
+    attacker_workload = {
+        "xtenant-mmu": "divergent",
+        "xtenant-hang": "divergent",
+        "xtenant-irq-lost": "divergent",
+        "xtenant-oob": "oob",
+    }[scenario]
+    return [TenantPlan(victim, qos="fg", jobs=2),
+            TenantPlan(attacker_workload, qos="rt", jobs=1)]
+
+
+def _adversarial_plan(scenario, rng, tenant_plans, attacker_id,
+                      engine_mode, num_host_threads, seed):
+    """Derive the attacker-scoped fault plan (None for pure-OOB)."""
+    if scenario == "xtenant-oob":
+        return None
+    if scenario == "xtenant-mmu":
+        # probe the attacker solo for its touched pages, then arm a
+        # persistent fault on one of them — tagged with the attacker's
+        # address space, exactly as the MMU keys its accesses
+        probe = run_mixed(tenant_plans, engine_mode=engine_mode,
+                          num_host_threads=num_host_threads,
+                          active=[attacker_id], seed=seed)
+        tagged = sorted(
+            page for page in probe.platform.gpu.mmu.pages_accessed
+            if page >> AS_TAG_SHIFT == attacker_id)
+        spec = FaultSpec("mmu.page", key=int(rng.choice(tagged)),
+                         count=None, tenant=attacker_id,
+                         params={"kind": "translation", "access": "w"})
+    elif scenario == "xtenant-hang":
+        groups = make_workload(
+            tenant_plans[attacker_id].workload,
+            tenant_plans[attacker_id].params).total_groups()
+        spec = FaultSpec("core.hang",
+                         key=int(rng.integers(0, groups)),
+                         count=None, tenant=attacker_id)
+    elif scenario == "xtenant-irq-lost":
+        spec = FaultSpec("irq.lost", count=1, tenant=attacker_id)
+    else:
+        raise ValueError(f"unknown adversarial scenario {scenario!r}")
+    return FaultPlan([spec], name=scenario)
+
+
+def run_adversarial(scenario, seed, victim="sgemm", engine_mode="fast",
+                    num_host_threads=1, check_determinism=False):
+    """One attacker-vs-victim case; returns ``(ok, detail, counters)``.
+
+    The victim's mixed-run record must match its solo baseline in
+    outputs, golden stats subtree and carve-out image; the attacker
+    must fail cleanly (or, for recoverable scenarios, complete) without
+    the dispatch loop ever tearing down.
+    """
+    if scenario not in ADVERSARIAL_SCENARIOS:
+        raise ValueError(f"unknown adversarial scenario {scenario!r}; "
+                         f"known: {sorted(ADVERSARIAL_SCENARIOS)}")
+    # sha256-derived, NOT hash(): plan keys must reproduce across
+    # processes (farm workers, reproducer replays)
+    rng = np.random.default_rng(int.from_bytes(
+        hashlib.sha256(f"{scenario}:{victim}:{seed}".encode())
+        .digest()[:8], "little"))
+    tenant_plans = _adversarial_plans(scenario, victim=victim)
+    victim_id, attacker_id = 0, 1
+    plan = _adversarial_plan(scenario, rng, tenant_plans, attacker_id,
+                             engine_mode, num_host_threads, seed)
+
+    solo = solo_baseline(tenant_plans, victim_id,
+                         engine_mode=engine_mode,
+                         num_host_threads=num_host_threads, seed=seed)
+    multi = run_mixed(tenant_plans, engine_mode=engine_mode,
+                      num_host_threads=num_host_threads, plan=plan,
+                      seed=seed)
+    counters = multi.counters()
+
+    diffs = check_isolation(multi.records[victim_id],
+                            solo.records[victim_id])
+    attacker = multi.records[attacker_id]
+    if scenario in _ATTACKER_FAILS:
+        if not attacker.errors:
+            diffs.append("attacker was expected to fail cleanly but "
+                         "completed")
+    elif attacker.errors or not attacker.verified:
+        diffs.append(f"attacker failed a recoverable scenario: "
+                     f"{attacker.errors}")
+    if plan is not None and multi.injector.total_fired == 0:
+        diffs.append("attacker plan never fired")
+
+    if not diffs and check_determinism:
+        repeat = run_mixed(tenant_plans, engine_mode=engine_mode,
+                           num_host_threads=num_host_threads, plan=plan,
+                           seed=seed)
+        if repeat.counters() != counters:
+            diffs.append("non-deterministic counters on replay")
+        for tenant_id, record in multi.records.items():
+            twin = repeat.records[tenant_id]
+            if (record.output_digest != twin.output_digest
+                    or record.golden != twin.golden):
+                diffs.append(f"non-deterministic tenant {tenant_id} "
+                             "record on replay")
+        if (multi.injector is not None
+                and repeat.injector.log != multi.injector.log):
+            diffs.append("non-deterministic firing log on replay")
+
+    ok = not diffs
+    detail = ("victim isolated" if ok else "; ".join(diffs))
+    return ok, detail, counters
+
+
+# -- farm case provider (sweep kind "tenants") --------------------------------
+
+#: (workload, qos) roles cycled to populate an N-tenant mixed campaign;
+#: spans three QoS classes and a long bg job that actually gets sliced
+DEFAULT_MIX = (
+    ("sgemm", "fg"),
+    ("divergent", "bg"),
+    ("fillseq", "fg"),
+    ("divergent", "rt"),
+)
+
+
+def default_plans(count, jobs=2):
+    """The standard N-tenant mixed campaign (cycling DEFAULT_MIX)."""
+    plans = []
+    for index in range(count):
+        workload, qos = DEFAULT_MIX[index % len(DEFAULT_MIX)]
+        params = {"n": 8192} if (workload, qos) == ("divergent", "bg") \
+            else None
+        plans.append(TenantPlan(workload, qos=qos, params=params,
+                                jobs=jobs))
+    return plans
+
+
+def golden_fingerprint(records):
+    """A stable integer fingerprint of every tenant's golden subtree —
+    comparable across engine modes and worker counts in farm reports."""
+    blob = repr(sorted(
+        (tenant_id, sorted(record.golden.items()))
+        for tenant_id, record in records.items())).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:6], "little")
+
+
+def farm_case_specs(tenants=(4,), engine_modes=("fast",), seeds=1,
+                    threads=(1,), jobs=2):
+    """Case-provider interface for the simulation farm: one mixed
+    fairness campaign per ``tenants × engine_modes × seeds × threads``
+    grid point, each independently executable by :func:`run_farm_case`.
+    ``seeds`` is a count or an explicit list."""
+    for mode in engine_modes:
+        if mode not in ENGINE_MODES:
+            raise ValueError(f"unknown engine mode {mode!r}")
+    seed_values = range(seeds) if isinstance(seeds, int) else list(seeds)
+    for count in tenants:
+        for mode in engine_modes:
+            for seed in seed_values:
+                for num_threads in threads:
+                    yield {
+                        "tenants": int(count),
+                        "engine_mode": mode,
+                        "seed": int(seed),
+                        "num_host_threads": int(num_threads),
+                        "jobs": int(jobs),
+                    }
+
+
+def run_farm_case(spec, artifact_dir=None):
+    """Execute one mixed-campaign spec (inside a farm worker); returns
+    ``(ok, detail, counters, artifacts)``. The fairness report is the
+    artifact; the golden fingerprint lands in the counters so identical
+    campaigns on different engines/worker counts are comparable
+    straight from the farm report."""
+    import os
+
+    plans = default_plans(spec.get("tenants", 4),
+                          jobs=spec.get("jobs", 2))
+    result = run_mixed(plans, engine_mode=spec.get("engine_mode", "fast"),
+                       num_host_threads=spec.get("num_host_threads", 1),
+                       seed=spec.get("seed", 0))
+    bad = [record for record in result.records.values()
+           if record.errors or not record.verified]
+    detail = "; ".join(
+        f"tenant{record.tenant_id}: "
+        f"{'; '.join(record.errors) or 'verification failed'}"
+        for record in bad[:3])
+    counters = {key.replace(".", "_"): int(value)
+                for key, value in result.counters().items()}
+    counters["tenants"] = len(result.records)
+    counters["jobs_completed"] = sum(
+        record.jobs_completed for record in result.records.values())
+    counters["golden_fingerprint"] = golden_fingerprint(result.records)
+    artifacts = []
+    if artifact_dir is not None:
+        os.makedirs(artifact_dir, exist_ok=True)
+        path = os.path.join(artifact_dir, "fairness.txt")
+        with open(path, "w") as handle:
+            handle.write(fairness_report(result) + "\n")
+        artifacts.append("fairness.txt")
+    return not bad, detail, counters, artifacts

@@ -452,6 +452,91 @@ def _cmd_faultcampaign(options):
     return 0 if report.ok else 1
 
 
+def _cmd_tenants(options):
+    from repro.tenancy.harness import (
+        ADVERSARIAL_SCENARIOS,
+        check_isolation,
+        default_plans,
+        fairness_report,
+        run_adversarial,
+        run_mixed,
+        solo_baseline,
+    )
+
+    if options.adversarial:
+        scenarios = (sorted(ADVERSARIAL_SCENARIOS)
+                     if options.adversarial == "all"
+                     else options.adversarial.split(","))
+        unknown = set(scenarios) - set(ADVERSARIAL_SCENARIOS)
+        if unknown:
+            print(f"unknown scenarios: {sorted(unknown)}; "
+                  f"known: {sorted(ADVERSARIAL_SCENARIOS)}")
+            return 2
+        failed = 0
+        for scenario in scenarios:
+            ok, detail, counters = run_adversarial(
+                scenario, options.seed, engine_mode=options.engine,
+                num_host_threads=options.threads,
+                check_determinism=not options.no_determinism)
+            failed += not ok
+            mark = "ok  " if ok else "FAIL"
+            print(f"{mark} {scenario} resets="
+                  f"{counters['driver.resets']} "
+                  f"retries={counters['driver.retries']} "
+                  f"fired={counters.get('inject.total', 0)} {detail}")
+        _result_line("tenants", not failed, mode="adversarial",
+                     engine=options.engine, cases=len(scenarios),
+                     failures=failed)
+        return 1 if failed else 0
+
+    if options.tenants < 2:
+        print("tenants: need at least 2 tenants")
+        return 2
+    plans = default_plans(options.tenants, jobs=options.jobs)
+    multi = run_mixed(plans, engine_mode=options.engine,
+                      num_host_threads=options.threads, seed=options.seed)
+    print(fairness_report(multi))
+    bad = [record for record in multi.records.values()
+           if record.errors or not record.verified]
+    for record in bad:
+        print(f"tenant{record.tenant_id} FAILED: "
+              f"{'; '.join(record.errors) or 'verification'}")
+
+    # solo-vs-multi golden invariance: every tenant the arbiter never
+    # sliced must have run bit-identically to a solo session (preempted
+    # tenants replay workgroups, so their translation counts legitimately
+    # grow with contention — they are skipped, and reported as such)
+    isolation_failures = 0
+    checked = 0
+    if not options.no_isolation:
+        for tenant_id in sorted(multi.records):
+            record = multi.records[tenant_id]
+            if record.preemptions:
+                print(f"isolation tenant{tenant_id}: skipped "
+                      f"(preempted x{record.preemptions})")
+                continue
+            solo = solo_baseline(plans, tenant_id,
+                                 engine_mode=options.engine,
+                                 num_host_threads=options.threads,
+                                 seed=options.seed)
+            diffs = check_isolation(record, solo.records[tenant_id])
+            checked += 1
+            isolation_failures += bool(diffs)
+            status = "ok" if not diffs else "FAIL " + "; ".join(diffs)
+            print(f"isolation tenant{tenant_id}: solo-vs-multi golden "
+                  f"stats {status}")
+
+    ok = not bad and not isolation_failures
+    _result_line("tenants", ok, mode="fairness", engine=options.engine,
+                 tenants=len(multi.records),
+                 dispatches=multi.driver.arbiter.dispatched,
+                 preemptions=multi.driver.preemptions,
+                 promotions=multi.driver.arbiter.promotions,
+                 isolation_checked=checked,
+                 failures=len(bad) + isolation_failures)
+    return 0 if ok else 1
+
+
 _FARM_EXAMPLE = """\
 {
  "name": "example-sweep",
@@ -659,6 +744,33 @@ def main(argv=None):
     p_fault.add_argument("--verbose", action="store_true",
                          help="print each case as it lands")
     p_fault.set_defaults(func=_cmd_faultcampaign)
+
+    p_tenants = sub.add_parser(
+        "tenants",
+        help="multi-tenant fairness campaign and cross-tenant "
+             "isolation checks")
+    p_tenants.add_argument("--tenants", type=int, default=4,
+                           help="client contexts sharing the GPU "
+                                "(default: 4, mixed rt/fg/bg classes)")
+    p_tenants.add_argument("--jobs", type=int, default=2,
+                           help="jobs submitted per tenant")
+    p_tenants.add_argument("--engine", default="fast",
+                           choices=("interp", "fast", "jit", "mega"))
+    p_tenants.add_argument("--threads", type=int, default=1,
+                           help="num_host_threads for the GPU model")
+    p_tenants.add_argument("--seed", type=int, default=0,
+                           help="input-data seed")
+    p_tenants.add_argument("--adversarial", default=None,
+                           metavar="A,B,...|all",
+                           help="run attacker-vs-victim scenarios "
+                                "instead of a fairness campaign")
+    p_tenants.add_argument("--no-isolation", action="store_true",
+                           help="skip the solo-vs-multi golden "
+                                "comparison")
+    p_tenants.add_argument("--no-determinism", action="store_true",
+                           help="skip the adversarial double-run "
+                                "determinism check")
+    p_tenants.set_defaults(func=_cmd_tenants)
 
     p_farm = sub.add_parser(
         "farm",

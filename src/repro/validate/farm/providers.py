@@ -303,6 +303,58 @@ class BenchProvider:
         return bool(result.verified), detail, counters, artifacts
 
 
+class TenantsProvider:
+    """Mixed multi-tenant fairness campaigns: N client contexts over one
+    GPU, every tenant's outputs verified, the fairness report captured
+    as an artifact and a golden-stats fingerprint in the counters (so a
+    sweep over engine modes or worker counts proves per-tenant golden
+    stats invariant straight from the report)."""
+
+    kind = "tenants"
+
+    def normalize(self, sweep):
+        from repro.tenancy.harness import ENGINE_MODES
+
+        tenants = sweep.get("tenants", [4])
+        if isinstance(tenants, int):
+            tenants = [tenants]
+        if not (isinstance(tenants, list) and tenants and all(
+                isinstance(v, int) and not isinstance(v, bool) and v >= 1
+                for v in tenants)):
+            raise FarmConfigError("'tenants' must be a positive int or "
+                                  "list of positive ints")
+        engine_modes = sweep.get("engine_modes") or ["fast"]
+        for mode in engine_modes:
+            if mode not in ENGINE_MODES:
+                raise FarmConfigError(f"unknown engine mode {mode!r}")
+        jobs = sweep.get("jobs", 2)
+        if not isinstance(jobs, int) or jobs < 1:
+            raise FarmConfigError("'jobs' must be a positive integer")
+        return {
+            "kind": self.kind,
+            "tenants": _sorted_unique(tenants, "tenants"),
+            "engine_modes": list(engine_modes),
+            "seeds": _seed_list(sweep.get("seeds", 1)),
+            "threads": _seed_list(sweep.get("threads", [1]), "threads"),
+            "jobs": jobs,
+        }
+
+    def expand(self, sweep, config):
+        from repro.tenancy.harness import farm_case_specs
+
+        for spec in farm_case_specs(
+                tenants=sweep["tenants"],
+                engine_modes=sweep["engine_modes"], seeds=sweep["seeds"],
+                threads=sweep["threads"], jobs=sweep["jobs"]):
+            yield (f"tenants/n{spec['tenants']}/{spec['engine_mode']}"
+                   f"/s{spec['seed']}/t{spec['num_host_threads']}"), spec
+
+    def execute(self, spec, artifact_dir):
+        from repro.tenancy.harness import run_farm_case
+
+        return run_farm_case(spec, artifact_dir=artifact_dir)
+
+
 class SelftestProvider:
     """The farm's own fault-injection surface.
 
@@ -369,6 +421,7 @@ PROVIDERS = {provider.kind: provider for provider in (
     FaultProvider(),
     LintProvider(),
     BenchProvider(),
+    TenantsProvider(),
     SelftestProvider(),
 )}
 
@@ -398,6 +451,7 @@ def _minimal_sweep(kind):
         "fault": {},
         "lint": {"targets": ["slam"]},
         "bench": {"workloads": ["nn"]},
+        "tenants": {},
         "selftest": {},
     }[kind]
 

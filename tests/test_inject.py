@@ -262,7 +262,8 @@ class TestCLRuntimeFaults:
 
 class TestCampaign:
     def test_scenario_table_complete(self):
-        assert set(SCENARIOS.values()) == {"recover", "fail-clean", "grow"}
+        assert set(SCENARIOS.values()) == {"recover", "fail-clean",
+                                           "grow", "isolate"}
 
     def test_transient_case_passes(self):
         case, plan = run_case("divergent", "mmu-transient", 0,
