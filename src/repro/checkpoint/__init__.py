@@ -1,0 +1,111 @@
+"""Deterministic full-platform checkpoint/restore (``repro.checkpoint``).
+
+gem5 treats checkpointing as the enabler of long full-system runs; this
+package gives the simulated mobile platform the same capability. A
+checkpoint captures the **entire platform** — physical memory pages and
+carve-outs, per-tenant LPAE page tables and allocator state, MMU
+registers and AS tagging, kbase driver queues and arbiter state,
+in-flight jobs at workgroup boundaries (a running job checkpoints as
+PREEMPTED-and-requeued, exactly like arbiter preemption), fault-injector
+plan/consumption state, and the device/driver counters behind the golden
+:class:`~repro.instrument.registry.StatsRegistry` — into a versioned,
+SHA-256-manifested directory that restores into a **fresh process**
+bit-identically: continuing the run produces the same outputs, golden
+stats subtrees and carve-out digests as never having stopped.
+
+Layers above this package:
+
+- ``MobilePlatform.save_checkpoint() / restore_checkpoint()`` — the
+  platform-level API (``repro.core.platform``);
+- ``MobilePlatform.enable_auto_checkpoint()`` — periodic snapshots every
+  N retired jobs;
+- ``repro.tools farm resume <dir>`` — crash-resilient farm campaigns
+  via the per-case outcome journal (``repro.validate.farm.manager``).
+
+Corruption fails closed: any truncated, bit-flipped or hand-edited
+checkpoint raises :class:`~repro.errors.CheckpointError` during digest
+verification — never a wrong-answer resume.
+"""
+
+from repro.checkpoint.format import (
+    CHECKPOINT_VERSION,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    load_checkpoint_dir,
+    write_checkpoint_dir,
+)
+from repro.checkpoint.state import (
+    apply_memory,
+    apply_state,
+    capture_state,
+    deserialize_config,
+    serialize_config,
+    serialize_memory,
+    state_to_bytes,
+)
+from repro.errors import CheckpointError
+
+
+def save_checkpoint(platform, directory, extra=None):
+    """Snapshot *platform* into *directory*; returns the manifest.
+
+    *extra* is an optional JSON-serializable payload stored alongside
+    the platform state and handed back by :func:`restore_checkpoint` —
+    the place for caller-owned resume state (RNG streams, harness step
+    indices, recorded buffer addresses).
+    """
+    state = capture_state(platform, extra=extra)
+    golden = platform.stats_registry.snapshot(golden_only=True)
+    return write_checkpoint_dir(
+        directory, state_to_bytes(state), serialize_memory(platform),
+        golden)
+
+
+def restore_checkpoint(directory):
+    """Rebuild a platform from *directory*; returns ``(platform, extra)``.
+
+    The checkpoint is digest-verified before any state is applied, and
+    the restored platform's golden statistics snapshot is compared
+    against the one sealed into the manifest — a mismatch (impossible
+    unless the checkpoint was corrupted in a digest-colliding way or
+    written by an incompatible build) raises
+    :class:`~repro.errors.CheckpointError` rather than returning a
+    platform that would silently diverge.
+    """
+    from repro.core.platform import MobilePlatform
+
+    state, memory_bytes, manifest = load_checkpoint_dir(directory)
+    platform = MobilePlatform(deserialize_config(state["config"]))
+    apply_memory(platform, memory_bytes)
+    apply_state(platform, state)
+    golden = platform.stats_registry.snapshot(golden_only=True)
+    if golden != manifest["golden"]:
+        from repro.instrument.registry import diff_snapshots
+
+        diffs = diff_snapshots(manifest["golden"], golden)
+        raise CheckpointError(
+            f"restored platform does not reproduce the checkpoint's "
+            f"golden statistics ({len(diffs)} differing): "
+            f"{', '.join(diffs[:8])}")
+    return platform, state.get("extra")
+
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "apply_memory",
+    "apply_state",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "capture_state",
+    "deserialize_config",
+    "load_checkpoint_dir",
+    "restore_checkpoint",
+    "save_checkpoint",
+    "serialize_config",
+    "serialize_memory",
+    "state_to_bytes",
+    "write_checkpoint_dir",
+]

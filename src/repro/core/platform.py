@@ -11,6 +11,7 @@ Memory map::
     0x2000_0000 ..               driver heap (buffers, page tables, jobs)
 """
 
+import os
 from dataclasses import dataclass, field
 
 from repro.cpu.devices import (
@@ -201,6 +202,65 @@ class MobilePlatform:
         if not self.driver.initialized:
             self.driver.initialize_gpu()
         return self
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def save_checkpoint(self, directory, extra=None):
+        """Snapshot the whole platform into *directory*.
+
+        See :mod:`repro.checkpoint`: a versioned, SHA-256-manifested
+        directory restorable into a fresh process bit-identically.
+        *extra* is an optional JSON-serializable payload returned by
+        :meth:`restore_checkpoint` (RNG streams, harness step state).
+        """
+        from repro.checkpoint import save_checkpoint
+
+        return save_checkpoint(self, directory, extra=extra)
+
+    @staticmethod
+    def restore_checkpoint(directory):
+        """Rebuild a platform from a checkpoint directory.
+
+        Returns ``(platform, extra)``. Digest verification fails closed
+        with :class:`~repro.errors.CheckpointError` on any corruption.
+        """
+        from repro.checkpoint import restore_checkpoint
+
+        return restore_checkpoint(directory)
+
+    def enable_auto_checkpoint(self, directory, every_jobs=16,
+                               extra_fn=None):
+        """Snapshot into ``directory/ckpt-NNNN`` every *every_jobs*
+        retired jobs, atomically updating ``directory/LATEST`` to name
+        the newest complete checkpoint. Pass ``every_jobs=None`` (or 0)
+        to disable. *extra_fn*, when given, is called at each snapshot
+        and its JSON-serializable return value stored as the
+        checkpoint's ``extra`` payload.
+        """
+        from repro.checkpoint import atomic_write_text, save_checkpoint
+
+        if not every_jobs:
+            self.driver.on_job_retired = None
+            return
+        os.makedirs(directory, exist_ok=True)
+        progress = {"since": 0, "seq": 0}
+
+        def snapshot():
+            progress["since"] += 1
+            if progress["since"] < every_jobs:
+                return
+            progress["since"] = 0
+            progress["seq"] += 1
+            name = f"ckpt-{progress['seq']:04d}"
+            extra = extra_fn() if extra_fn is not None else None
+            save_checkpoint(self, os.path.join(directory, name),
+                            extra=extra)
+            # LATEST lands only after the checkpoint's manifest, so it
+            # always names a complete, verifiable snapshot
+            atomic_write_text(os.path.join(directory, "LATEST"),
+                              name + "\n")
+
+        self.driver.on_job_retired = snapshot
 
     # -- statistics -----------------------------------------------------------------
 

@@ -641,13 +641,19 @@ class TenantContext:
             driver._job_slice = 0
         self.jobs_submitted += 1
         with driver._tenant_window(self):
+            driver._defer_retire_notify = True
             try:
                 status = driver.submit_and_wait(descriptor_va)
             except SimError:
                 self.jobs_failed += 1
+                driver._defer_retire_notify = False
+                driver._notify_job_retired()
                 raise
+            finally:
+                driver._defer_retire_notify = False
         self.jobs_completed += 1
         self._merge_results()
+        driver._notify_job_retired()
         return status
 
     def submit_job_async(self, global_size, local_size, binary_region,
@@ -811,6 +817,10 @@ class KBaseDriver:
         # the tenant whose page tables the GPU MMU currently walks
         self._mmu_tenant = self._default_tenant
         self._job_slice = 0  # shadow of the GPU's JOB_SLICE register
+        # zero-arg hook invoked once per retired (completed or failed)
+        # job — the platform's auto-checkpoint wiring attaches here
+        self.on_job_retired = None
+        self._defer_retire_notify = False
 
     def tenant(self, tenant_id):
         return self.tenants[tenant_id]
@@ -1099,6 +1109,7 @@ class KBaseDriver:
                 job.error = exc
                 job.done = True
                 tenant.jobs_failed += 1
+                self._notify_job_retired()
                 return
         if result is PREEMPTED:
             tenant.preemptions += 1
@@ -1118,22 +1129,37 @@ class KBaseDriver:
             for result in job.results:
                 if getattr(result, "stats", None) is not None:
                     tenant.completed_stats.merge(result.stats)
+        self._notify_job_retired()
 
-    def drain(self, wait_for=None):
+    def _notify_job_retired(self):
+        if self.on_job_retired is not None:
+            self.on_job_retired()
+
+    def drain(self, wait_for=None, max_dispatches=None):
         """Dispatch queued jobs; with *wait_for*, stop once it settles.
 
         Without *wait_for* the queue is run dry. Faulted jobs record
         their error on the :class:`PendingJob` (``job.error``) instead
         of raising — one tenant's fault must not tear down the dispatch
         loop the others are being served from.
+
+        *max_dispatches* bounds how many arbiter picks this call makes
+        and then returns with the rest still queued — a clean checkpoint
+        boundary: a job the GPU soft-stopped at its ``JOB_SLICE`` budget
+        is already requeued as preempted, so the whole dispatch state is
+        in the arbiter and serializes with it.
         """
+        dispatched = 0
         while True:
             if wait_for is not None and wait_for.done:
+                return wait_for
+            if max_dispatches is not None and dispatched >= max_dispatches:
                 return wait_for
             job = self.arbiter.next_job()
             if job is None:
                 return wait_for
             self._dispatch(job)
+            dispatched += 1
 
     # -- job submission ----------------------------------------------------------
 
@@ -1176,6 +1202,10 @@ class KBaseDriver:
             self.jobs_submitted += 1
             done, value = self._complete_one()
             if done:
+                # tenant-scoped submissions defer the retire hook until
+                # their stats merge lands (TenantContext.submit_and_wait)
+                if not self._defer_retire_notify:
+                    self._notify_job_retired()
                 return value
             reason, info = value
             if reason == regs.REASON_SOFT_STOPPED:

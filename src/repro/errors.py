@@ -62,6 +62,15 @@ class DriverError(SimError):
     """GPU kernel-driver failure (out of VA space, bad descriptor, ...)."""
 
 
+class CheckpointError(SimError):
+    """A checkpoint could not be saved, verified or restored.
+
+    Raised whenever an on-disk snapshot is missing, truncated, corrupted
+    (digest mismatch) or carries an unknown format version. Restore fails
+    closed: a checkpoint that does not verify is never partially applied.
+    """
+
+
 class IRQMismatchError(DriverError):
     """The interrupt controller and the GPU's raw IRQ status disagree.
 

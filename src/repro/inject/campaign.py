@@ -486,8 +486,10 @@ def write_reproducer(out_dir, case, plan, engine, num_host_threads):
         "notes": case.detail,
         "counters": case.counters,
     }
+    from repro.checkpoint.format import atomic_write_text
+
     path = out_dir / f"{name}.json"
-    path.write_text(json.dumps(entry, indent=2) + "\n")
+    atomic_write_text(str(path), json.dumps(entry, indent=2) + "\n")
     return path
 
 

@@ -159,8 +159,10 @@ class EventTracer:
         }
 
     def write(self, path):
-        with open(path, "w") as fh:
-            json.dump(self.to_chrome_trace(), fh, indent=1)
+        from repro.checkpoint.format import atomic_write_text
+
+        atomic_write_text(path, json.dumps(self.to_chrome_trace(),
+                                           indent=1))
 
     def clear(self):
         with self._lock:

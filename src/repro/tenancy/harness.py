@@ -772,9 +772,10 @@ def run_farm_case(spec, artifact_dir=None):
     counters["golden_fingerprint"] = golden_fingerprint(result.records)
     artifacts = []
     if artifact_dir is not None:
+        from repro.checkpoint.format import atomic_write_text
+
         os.makedirs(artifact_dir, exist_ok=True)
         path = os.path.join(artifact_dir, "fairness.txt")
-        with open(path, "w") as handle:
-            handle.write(fairness_report(result) + "\n")
+        atomic_write_text(path, fairness_report(result) + "\n")
         artifacts.append("fairness.txt")
     return not bad, detail, counters, artifacts

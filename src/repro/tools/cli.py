@@ -29,8 +29,11 @@ Subcommands:
 - ``farm``          — the config-driven simulation farm: ``farm run
   CONFIG`` executes a declarative mixed sweep (conformance + faults +
   lint + bench) on a multiprocess worker pool with a deterministic
-  aggregate report; ``farm plan`` prints the case/shard expansion;
-  ``farm example`` prints a copy-pasteable config.
+  aggregate report; ``farm resume DIR`` finishes an interrupted
+  campaign from its digest-verified journal (the final ``report.json``
+  is byte-identical to an uninterrupted run); ``farm plan`` prints the
+  case/shard expansion; ``farm example`` prints a copy-pasteable
+  config.
 
 The campaign verbs (``conformance``, ``faultcampaign``, ``lint``,
 ``farm``) exit non-zero on any failing case and end their output with a
@@ -43,6 +46,7 @@ human-oriented output.
 """
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -55,6 +59,20 @@ def _result_line(verb, ok, **fields):
     parts = [f"RESULT {verb}", f"status={'ok' if ok else 'fail'}"]
     parts.extend(f"{key}={value}" for key, value in fields.items())
     print(" ".join(parts))
+
+
+def _ensure_outdir(path, verb):
+    """Create an output directory (parents included) before a verb
+    starts computing. Returns an error message (the verb prints it and
+    exits 2) instead of raising, so an unwritable ``--out`` fails fast
+    and clean rather than mid-campaign with a traceback."""
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError as exc:
+        return f"{verb}: cannot create output directory {path!r}: {exc}"
+    if not os.access(path, os.W_OK | os.X_OK):
+        return f"{verb}: output directory {path!r} is not writable"
+    return None
 
 
 def _add_compile_args(parser):
@@ -259,6 +277,12 @@ def _cmd_trace(options):
     from repro.cl import Context
     from repro.instrument.tracing import EventTracer, validate_trace
 
+    parent = os.path.dirname(os.path.abspath(options.output))
+    error = _ensure_outdir(parent, "trace")
+    if error:
+        print(error)
+        return 2
+
     context = Context()
     tracer = EventTracer(ring_size=options.limit,
                          sample_every=options.sample)
@@ -267,8 +291,15 @@ def _cmd_trace(options):
         _prepare_launch(options, context)
     queue.enqueue_nd_range(kernel, global_size, local_size)
     trace = tracer.to_chrome_trace()
-    with open(options.output, "w") as handle:
-        json.dump(trace, handle, indent=1)
+    from repro.checkpoint.format import atomic_write_bytes
+
+    try:
+        atomic_write_bytes(
+            options.output,
+            json.dumps(trace, indent=1).encode("utf-8"))
+    except OSError as exc:
+        print(f"trace: cannot write {options.output}: {exc}")
+        return 2
     print(f"wrote {len(trace['traceEvents'])} events to {options.output} "
           f"(open in chrome://tracing or https://ui.perfetto.dev)")
     if options.validate:
@@ -324,6 +355,12 @@ def _cmd_conformance(options):
         _result_line("conformance", not failed, mode="replay",
                      entries=len(outcomes), failures=len(failed))
         return 1 if failed else 0
+
+    if options.write_corpus:
+        error = _ensure_outdir(options.write_corpus, "conformance")
+        if error:
+            print(error)
+            return 2
 
     def progress(done, budget, failures):
         if done % 50 == 0 or done == budget:
@@ -429,6 +466,12 @@ def _cmd_faultcampaign(options):
         if unknown:
             print(f"unknown scenarios: {sorted(unknown)}; "
                   f"known: {sorted(SCENARIOS)}")
+            return 2
+
+    if options.write_repros:
+        error = _ensure_outdir(options.write_repros, "faultcampaign")
+        if error:
+            print(error)
             return 2
 
     def progress(case):
@@ -557,12 +600,14 @@ _FARM_EXAMPLE = """\
 
 
 def _cmd_farm(options):
+    from repro.errors import CheckpointError
     from repro.validate.farm import (
         FarmConfigError,
         FarmError,
         expand_cases,
         load_config,
         plan_shards,
+        resume_farm,
         run_farm,
     )
 
@@ -571,24 +616,42 @@ def _cmd_farm(options):
         return 0
 
     try:
-        config = load_config(options.config)
-        if options.farm_action == "plan":
-            cases = expand_cases(config)
-            shards = plan_shards([case["id"] for case in cases],
-                                 config.shard_size)
-            print(f"farm '{config.name}' "
-                  f"(config {config.config_hash[:12]}): "
-                  f"{len(cases)} cases in {len(shards)} shards")
-            for shard in shards:
-                print(f"{shard.shard_id}:")
-                for case_id in shard.case_ids:
-                    print(f"  {case_id}")
-            return 0
-        run = run_farm(config, workers=options.workers,
-                       outdir=options.out,
-                       progress=print if options.verbose else None)
+        if options.farm_action == "resume":
+            error = _ensure_outdir(options.outdir, "farm")
+            if error:
+                print(error)
+                return 2
+            run = resume_farm(
+                options.outdir, workers=options.workers,
+                progress=print if options.verbose else None)
+            config = load_config(run.report["config"])
+        else:
+            config = load_config(options.config)
+            if options.farm_action == "plan":
+                cases = expand_cases(config)
+                shards = plan_shards([case["id"] for case in cases],
+                                     config.shard_size)
+                print(f"farm '{config.name}' "
+                      f"(config {config.config_hash[:12]}): "
+                      f"{len(cases)} cases in {len(shards)} shards")
+                for shard in shards:
+                    print(f"{shard.shard_id}:")
+                    for case_id in shard.case_ids:
+                        print(f"  {case_id}")
+                return 0
+            if options.out is not None:
+                error = _ensure_outdir(options.out, "farm")
+                if error:
+                    print(error)
+                    return 2
+            run = run_farm(config, workers=options.workers,
+                           outdir=options.out,
+                           progress=print if options.verbose else None)
     except FarmConfigError as exc:
         print(f"farm: bad config: {exc}")
+        return 2
+    except CheckpointError as exc:
+        print(f"farm: {exc}")
         return 2
     except FarmError as exc:
         print(f"farm: {exc}")
@@ -787,6 +850,19 @@ def main(argv=None):
     pf_run.add_argument("--verbose", action="store_true",
                         help="stream per-case results as they land")
     pf_run.set_defaults(func=_cmd_farm)
+    pf_resume = farm_sub.add_parser(
+        "resume",
+        help="finish an interrupted campaign from its journal "
+             "(report.json comes out byte-identical to an "
+             "uninterrupted run)")
+    pf_resume.add_argument("outdir",
+                           help="the campaign's --out directory "
+                                "(holds resume/)")
+    pf_resume.add_argument("--workers", type=int, default=2,
+                           help="worker process count (report-invariant)")
+    pf_resume.add_argument("--verbose", action="store_true",
+                           help="stream per-case results as they land")
+    pf_resume.set_defaults(func=_cmd_farm)
     pf_plan = farm_sub.add_parser(
         "plan", help="print the deterministic case/shard expansion")
     pf_plan.add_argument("config", help="JSON sweep config path")

@@ -97,9 +97,9 @@ def dict_to_case(entry):
 
 
 def save_entry(path, entry):
-    with open(path, "w") as handle:
-        json.dump(entry, handle, indent=1)
-        handle.write("\n")
+    from repro.checkpoint.format import atomic_write_text
+
+    atomic_write_text(path, json.dumps(entry, indent=1) + "\n")
 
 
 def load_entries(directory):

@@ -15,13 +15,18 @@ hang-tolerant farm with a deterministic aggregate report:
 - :mod:`.worker` — the per-process execution loop (fresh platform per
   case);
 - :mod:`.manager` — ``run_farm``: the pool, timeout kills, bounded
-  retries, respawns;
+  retries, respawns; ``resume_farm``: finish a killed campaign from
+  its journal;
+- :mod:`.journal` — the digest-verified per-case outcome journal that
+  makes campaigns crash-resumable;
 - :mod:`.report` — the byte-identical aggregate report plus the human
   summary.
 
 Determinism contract: for a fixed config file, ``report.json`` is
-byte-identical for any worker count, any scheduling, and any number of
-worker kills followed by retries — asserted by ``tests/test_farm.py``.
+byte-identical for any worker count, any scheduling, any number of
+worker kills followed by retries, and any interrupt-then-``resume_farm``
+split — asserted by ``tests/test_farm.py`` and
+``tests/test_checkpoint.py``.
 """
 
 from repro.validate.farm.config import (
@@ -29,7 +34,12 @@ from repro.validate.farm.config import (
     FarmConfigError,
     load_config,
 )
-from repro.validate.farm.manager import FarmError, FarmRun, run_farm
+from repro.validate.farm.manager import (
+    FarmError,
+    FarmRun,
+    resume_farm,
+    run_farm,
+)
 from repro.validate.farm.providers import PROVIDERS, expand_cases
 from repro.validate.farm.report import (
     build_report,
@@ -49,6 +59,7 @@ __all__ = [
     "load_config",
     "plan_shards",
     "report_to_bytes",
+    "resume_farm",
     "retry_shard",
     "run_farm",
     "summary_lines",

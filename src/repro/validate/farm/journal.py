@@ -1,0 +1,152 @@
+"""Crash-resilient per-case outcome journal (``<outdir>/resume/``).
+
+Every outcome the farm manager records is also journaled to its own
+file, written atomically and carrying a SHA-256 over the outcome's
+canonical JSON. Because the aggregate report is a pure function of the
+canonical config and the outcome set, a campaign killed at any point —
+worker, manager, or whole process tree — can be finished by
+``repro.tools farm resume <outdir>``: the journal's verified outcomes
+are preloaded, only the missing cases run, and the final ``report.json``
+is byte-identical to the straight-through run's.
+
+The journal verifies fail-closed, like platform checkpoints: a missing,
+truncated, bit-flipped or hand-edited entry raises
+:class:`~repro.errors.CheckpointError` instead of feeding a wrong
+outcome into the report. (An entry that is merely *absent* is not
+corruption — that case simply runs again.)
+"""
+
+import hashlib
+import json
+import os
+import re
+
+from repro.checkpoint.format import atomic_write_json
+from repro.errors import CheckpointError
+from repro.validate.farm.config import canonical_json, load_config
+
+JOURNAL_VERSION = 1
+RESUME_DIR = "resume"
+CONFIG_FILE = "config.json"
+CASES_DIR = "cases"
+
+#: keys every journaled outcome must carry (the worker result schema)
+_OUTCOME_KEYS = {"id", "kind", "verdict", "detail", "counters",
+                 "artifacts"}
+
+
+def journal_dir(outdir):
+    return os.path.join(outdir, RESUME_DIR)
+
+
+def case_file_name(case_id):
+    """A filesystem-safe, collision-free file name for one case id."""
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", case_id)[:80]
+    digest = hashlib.sha256(case_id.encode()).hexdigest()[:12]
+    return f"{safe}-{digest}.json"
+
+
+def outcome_digest(outcome):
+    """SHA-256 over the outcome's canonical JSON form."""
+    return hashlib.sha256(canonical_json(outcome).encode()).hexdigest()
+
+
+def init_journal(outdir, config):
+    """Create (or refresh) the journal skeleton for a campaign."""
+    resume = journal_dir(outdir)
+    os.makedirs(os.path.join(resume, CASES_DIR), exist_ok=True)
+    atomic_write_json(os.path.join(resume, CONFIG_FILE), {
+        "farm_resume_version": JOURNAL_VERSION,
+        "config_hash": config.config_hash,
+        "config": config.canonical,
+    })
+
+
+def record_outcome(outdir, outcome):
+    """Journal one recorded outcome (atomic: all-or-nothing on disk)."""
+    path = os.path.join(journal_dir(outdir), CASES_DIR,
+                        case_file_name(outcome["id"]))
+    atomic_write_json(path, {
+        "farm_resume_version": JOURNAL_VERSION,
+        "sha256": outcome_digest(outcome),
+        "outcome": outcome,
+    })
+
+
+def _load_json(path, what):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read {what}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"{what} is not valid JSON: {exc}") from exc
+
+
+def load_journal(outdir):
+    """Verify and load a campaign journal.
+
+    Returns ``(config, outcomes)`` where *config* is the campaign's
+    :class:`~repro.validate.farm.config.FarmConfig` rebuilt from the
+    journaled canonical form and *outcomes* maps case id -> verified
+    outcome dict. Raises :class:`CheckpointError` on any corruption:
+    bad JSON, version skew, digest mismatch, config-hash mismatch, or a
+    journaled case the config does not expand to.
+    """
+    from repro.validate.farm.providers import expand_cases
+
+    resume = journal_dir(outdir)
+    config_path = os.path.join(resume, CONFIG_FILE)
+    if not os.path.isdir(resume) or not os.path.exists(config_path):
+        raise CheckpointError(
+            f"no farm journal under {outdir!r} (expected "
+            f"{os.path.join(RESUME_DIR, CONFIG_FILE)}); was the "
+            f"campaign started with --out?")
+    entry = _load_json(config_path, "farm journal config")
+    if entry.get("farm_resume_version") != JOURNAL_VERSION:
+        raise CheckpointError(
+            f"unsupported farm journal version "
+            f"{entry.get('farm_resume_version')!r} "
+            f"(this build reads {JOURNAL_VERSION})")
+    config = load_config(entry.get("config"))
+    if config.config_hash != entry.get("config_hash"):
+        raise CheckpointError(
+            "farm journal config does not match its recorded hash "
+            "(journal corrupted or hand-edited)")
+    valid_ids = {case["id"] for case in expand_cases(config)}
+
+    outcomes = {}
+    cases_dir = os.path.join(resume, CASES_DIR)
+    # only *.json entries are journal records; a kill can leave behind
+    # an atomic-write temp file (entry.json.XXXXXXXX) which must not be
+    # mistaken for corruption
+    names = sorted(name for name in os.listdir(cases_dir)
+                   if name.endswith(".json")) \
+        if os.path.isdir(cases_dir) else []
+    for name in names:
+        path = os.path.join(cases_dir, name)
+        entry = _load_json(path, f"farm journal entry {name}")
+        if entry.get("farm_resume_version") != JOURNAL_VERSION:
+            raise CheckpointError(
+                f"farm journal entry {name}: unsupported version "
+                f"{entry.get('farm_resume_version')!r}")
+        outcome = entry.get("outcome")
+        if not isinstance(outcome, dict) \
+                or not _OUTCOME_KEYS <= set(outcome):
+            raise CheckpointError(
+                f"farm journal entry {name}: malformed outcome")
+        if entry.get("sha256") != outcome_digest(outcome):
+            raise CheckpointError(
+                f"farm journal entry {name}: digest mismatch "
+                f"(entry corrupted)")
+        case_id = outcome["id"]
+        if case_id not in valid_ids:
+            raise CheckpointError(
+                f"farm journal entry {name}: case {case_id!r} is not "
+                f"produced by the journaled config")
+        if name != case_file_name(case_id):
+            raise CheckpointError(
+                f"farm journal entry {name}: file name does not match "
+                f"case {case_id!r}")
+        outcomes[case_id] = outcome
+    return config, outcomes

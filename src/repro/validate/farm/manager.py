@@ -83,22 +83,30 @@ def default_start_method():
 
 
 def run_farm(config, workers=2, outdir=None, chaos=None, progress=None,
-             start_method=None, poll_interval=0.05, stall_limit=None):
+             start_method=None, poll_interval=0.05, stall_limit=None,
+             preloaded=None):
     """Execute a farm config; returns a :class:`FarmRun`.
 
     Args:
         config: a :class:`~repro.validate.farm.config.FarmConfig`, a
             config dict, or a JSON file path.
         workers: worker process count (the report does not depend on it).
-        outdir: artifact/report directory (created); ``report.json`` and
-            per-case artifacts land here.
+        outdir: artifact/report directory (created); ``report.json``,
+            per-case artifacts and the crash-resume journal
+            (``resume/``) land here.
         chaos: farm self-test fault hook, e.g. ``{"kill_case": id}``
             (see ``worker.worker_main``).
         progress: optional callable receiving human log lines live.
         start_method: multiprocessing start method override.
         stall_limit: seconds without any worker message before the run
             is declared stalled (default: ``timeout_s + 60``).
+        preloaded: case id -> outcome dict of already-settled cases
+            (from a verified journal — see :func:`resume_farm`); those
+            cases are not re-run, and the report is byte-identical to
+            the run that would have produced them in one sitting.
     """
+    from repro.validate.farm import journal
+
     if not hasattr(config, "config_hash"):
         config = load_config(config)
     if workers < 1:
@@ -106,8 +114,14 @@ def run_farm(config, workers=2, outdir=None, chaos=None, progress=None,
     cases = expand_cases(config)
     case_by_id = {case["id"]: case for case in cases}
     shards = plan_shards([case["id"] for case in cases], config.shard_size)
+    if preloaded:
+        unknown = sorted(set(preloaded) - set(case_by_id))
+        if unknown:
+            raise FarmError(
+                f"preloaded outcomes for unknown cases: {unknown[:4]}")
     if outdir is not None:
         os.makedirs(outdir, exist_ok=True)
+        journal.init_journal(outdir, config)
     stall_limit = stall_limit or config.timeout_s + 60.0
 
     ctx = mp.get_context(start_method or default_start_method())
@@ -127,6 +141,11 @@ def run_farm(config, workers=2, outdir=None, chaos=None, progress=None,
     case_attempts = {}            # case id -> failed attempts consumed
     open_tasks = {}               # (shard_id, attempt) -> ShardTask
 
+    if preloaded:
+        outcomes.update(preloaded)
+        log(f"resume: {len(preloaded)} of {len(cases)} outcomes "
+            f"preloaded from the journal")
+
     def enqueue(shard, attempt_tag=""):
         task = ShardTask(shard_id=shard.shard_id, attempt=shard.attempt,
                          cases=tuple(case_by_id[case_id]
@@ -138,7 +157,14 @@ def run_farm(config, workers=2, outdir=None, chaos=None, progress=None,
                 f"{attempt_tag})")
 
     for shard in shards:
-        enqueue(shard)
+        remaining = [case_id for case_id in shard.case_ids
+                     if case_id not in outcomes]
+        if not remaining:
+            continue
+        if len(remaining) == len(shard.case_ids):
+            enqueue(shard)
+        else:
+            enqueue(retry_shard(shard, remaining))
 
     slots = [_WorkerSlot(index) for index in range(workers)]
 
@@ -155,6 +181,10 @@ def run_farm(config, workers=2, outdir=None, chaos=None, progress=None,
     def record(outcome):
         if outcome["id"] not in outcomes:
             outcomes[outcome["id"]] = outcome
+            if outdir is not None:
+                # journal before logging: once an outcome is visible it
+                # is also durable, so a later kill cannot un-settle it
+                journal.record_outcome(outdir, outcome)
             mark = outcome["verdict"]
             log(f"{mark:>7} {outcome['id']}"
                 + (f" -- {outcome['detail']}" if mark != "pass"
@@ -204,12 +234,12 @@ def run_farm(config, workers=2, outdir=None, chaos=None, progress=None,
                      case_ids=tuple(case["id"] for case in task.cases),
                      attempt=task.attempt)
 
-    for slot in slots:
-        spawn(slot)
-
     start = time.monotonic()
     last_message = start
     try:
+        if len(outcomes) < len(cases):
+            for slot in slots:
+                spawn(slot)
         while len(outcomes) < len(cases):
             try:
                 message = result_queue.get(timeout=poll_interval)
@@ -290,11 +320,35 @@ def run_farm(config, workers=2, outdir=None, chaos=None, progress=None,
     raw = report_to_bytes(report)
     report_path = None
     if outdir is not None:
+        from repro.checkpoint.format import atomic_write_bytes
+
         report_path = os.path.join(outdir, "report.json")
-        with open(report_path, "wb") as handle:
-            handle.write(raw)
-        with open(os.path.join(outdir, "run.log"), "w") as handle:
-            handle.write("\n".join(run_log) + "\n")
+        atomic_write_bytes(report_path, raw)
+        atomic_write_bytes(os.path.join(outdir, "run.log"),
+                           ("\n".join(run_log) + "\n").encode("utf-8"))
     return FarmRun(report=report, report_bytes=raw,
                    report_path=report_path, run_info=dict(run_info),
                    run_log=run_log)
+
+
+def resume_farm(outdir, workers=2, chaos=None, progress=None,
+                start_method=None, poll_interval=0.05,
+                stall_limit=None):
+    """Finish an interrupted campaign from its on-disk journal.
+
+    Loads and digest-verifies ``<outdir>/resume/`` (config + settled
+    outcomes), runs only the cases with no journaled outcome, and
+    rewrites ``report.json`` — byte-identical to the report a
+    straight-through run of the same config produces. Raises
+    :class:`~repro.errors.CheckpointError` if the journal is missing or
+    corrupted (never a wrong-answer resume), :class:`FarmError` for
+    farm-level failures during the remainder run.
+    """
+    from repro.validate.farm.journal import load_journal
+
+    config, preloaded = load_journal(outdir)
+    return run_farm(config, workers=workers, outdir=outdir,
+                    chaos=chaos, progress=progress,
+                    start_method=start_method,
+                    poll_interval=poll_interval,
+                    stall_limit=stall_limit, preloaded=preloaded)

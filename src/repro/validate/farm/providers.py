@@ -214,11 +214,12 @@ class LintProvider:
                 failing.append(unit)
         artifacts = []
         if failing and artifact_dir is not None:
+            from repro.checkpoint.format import atomic_write_text
+
             os.makedirs(artifact_dir, exist_ok=True)
             path = os.path.join(artifact_dir, "findings.txt")
-            with open(path, "w") as handle:
-                for unit in failing:
-                    handle.write(format_unit(unit) + "\n")
+            atomic_write_text(path, "".join(
+                format_unit(unit) + "\n" for unit in failing))
             artifacts.append("findings.txt")
         detail = "; ".join(
             f"{u.label}:{u.kernel or '<compile>'} {u.summary()}"
@@ -287,17 +288,19 @@ class BenchProvider:
         counters["jobs"] = int(result.jobs)
         artifacts = []
         if artifact_dir is not None:
+            from repro.checkpoint.format import atomic_write_text
+
             os.makedirs(artifact_dir, exist_ok=True)
-            with open(os.path.join(artifact_dir, "bench.json"), "w") \
-                    as handle:
-                json.dump({
+            atomic_write_text(
+                os.path.join(artifact_dir, "bench.json"),
+                json.dumps({
                     "workload": spec["name"], "engine": spec["engine"],
                     "params": spec["params"],
                     "verified": bool(result.verified),
                     "total_seconds": result.total_seconds,
                     "gpu_seconds": result.gpu_seconds,
                     "cpu_seconds": result.cpu_seconds,
-                }, handle, indent=1)
+                }, indent=1))
             artifacts.append("bench.json")
         detail = "" if result.verified else "verification failed"
         return bool(result.verified), detail, counters, artifacts

@@ -1,0 +1,527 @@
+"""Tests: deterministic checkpoint/restore and crash-resilient resume.
+
+The load-bearing assertions: a checkpoint restored into a **fresh
+process** finishes bit-identically to a straight run (outputs, golden
+stats, carve-out digests) on every engine and under multi-tenancy; a
+checkpoint taken mid-``drain`` with a PREEMPTED job requeued in the
+arbiter replays exactly; any corrupted checkpoint or farm journal fails
+closed with :class:`CheckpointError`; and a farm campaign killed at an
+arbitrary point resumes to a byte-identical ``report.json``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import (
+    CheckpointError,
+    atomic_write_bytes,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.checkpoint.format import MANIFEST_FILE, MEMORY_FILE, STATE_FILE
+from repro.checkpoint.harness import (
+    ENGINE_MODES,
+    compare_records,
+    default_spec,
+    run_differential,
+)
+from repro.inject.plan import SITES, FaultPlan, FaultSpec
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+SCALE_SRC = """
+__kernel void scale(__global float* out, __global const float* in,
+                    float factor) {
+    int i = get_global_id(0);
+    out[i] = in[i] * factor;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# differential: checkpoint -> restore -> finish == straight run
+
+
+@pytest.mark.parametrize("engine_mode", sorted(ENGINE_MODES))
+def test_fresh_process_restore_bit_identical_two_tenants(engine_mode):
+    """The tentpole contract: save, restore in a brand-new process,
+    finish — outputs, golden stats and carve-out digests all equal the
+    uninterrupted run's, on every engine, with the arbiter in play."""
+    problems = run_differential(
+        default_spec(engine_mode=engine_mode, tenants=2),
+        fresh_process=True)
+    assert problems == []
+
+
+@pytest.mark.parametrize("engine_mode", sorted(ENGINE_MODES))
+def test_in_process_restore_bit_identical_single_client(engine_mode):
+    problems = run_differential(
+        default_spec(engine_mode=engine_mode, tenants=0),
+        fresh_process=False)
+    assert problems == []
+
+
+# ---------------------------------------------------------------------------
+# checkpoint at a preemption boundary (job in flight)
+
+
+def _two_tenant_platform():
+    from repro.core.platform import MobilePlatform, PlatformConfig
+    from repro.driver.kbase import TenancyConfig, TenantSpec
+
+    tenancy = TenancyConfig([TenantSpec("fg0", qos="fg"),
+                             TenantSpec("bg0", qos="bg")])
+    return MobilePlatform(
+        PlatformConfig(tenancy=tenancy)).initialize()
+
+
+def _submit_scale_jobs(platform, size=256):
+    """Two async scale jobs per tenant (64 workgroups each at local
+    size 4 — enough for the bg QoS slice to force preemptions)."""
+    from repro.cl import CommandQueue, Context
+
+    readers = []
+    for tenant in platform.driver.tenants:
+        context = Context(platform, tenant=tenant)
+        queue = CommandQueue(context)
+        program = context.build_program(SCALE_SRC)
+        for index in range(2):
+            rng = np.random.default_rng(
+                100 + 10 * tenant.tenant_id + index)
+            data = rng.random(size, dtype=np.float32)
+            buf_in = context.buffer_from_array(data)
+            buf_out = context.alloc_buffer(size * 4)
+            kernel = program.kernel("scale")
+            kernel.set_arg(0, buf_out)
+            kernel.set_arg(1, buf_in)
+            kernel.set_arg(2, np.float32(1.5 + index))
+            queue.enqueue_nd_range_async(kernel, (size,), (4,))
+            readers.append((queue, buf_out))
+    return readers
+
+
+def _final_record(platform):
+    memory = platform.memory
+    return {
+        "golden": platform.stats_registry.snapshot(golden_only=True),
+        "carveouts": {name: memory.carveout_digest(name)
+                      for name in memory.carveout_names},
+    }
+
+
+def test_checkpoint_mid_drain_with_preempted_job(tmp_path):
+    """A checkpoint taken between dispatches — with a soft-stopped job
+    requeued as PREEMPTED in the arbiter — restores and finishes
+    bit-identically to the uninterrupted run."""
+    reference = _two_tenant_platform()
+    _submit_scale_jobs(reference)
+    reference.driver.drain()
+    expected = _final_record(reference)
+
+    platform = _two_tenant_platform()
+    _submit_scale_jobs(platform)
+    platform.driver.drain(max_dispatches=3)
+    queued = [job
+              for per_tenant in platform.driver.arbiter._queues.values()
+              for backlog in per_tenant.values()
+              for job in backlog]
+    assert queued, "checkpoint boundary left no queued work"
+    assert any(job.preemptions > 0 for job in queued), \
+        "expected a PREEMPTED job requeued at the boundary"
+
+    directory = str(tmp_path / "ckpt")
+    save_checkpoint(platform, directory)
+    del platform
+
+    restored, _extra = restore_checkpoint(directory)
+    restored.driver.drain()
+    resumed = _final_record(restored)
+    assert expected["golden"] == resumed["golden"]
+    assert expected["carveouts"] == resumed["carveouts"]
+
+
+# ---------------------------------------------------------------------------
+# corruption fails closed
+
+
+@pytest.fixture(scope="module")
+def saved_checkpoint(tmp_path_factory):
+    """One small real checkpoint the corruption tests each copy."""
+    platform = _two_tenant_platform()
+    _submit_scale_jobs(platform)
+    platform.driver.drain(max_dispatches=2)
+    directory = str(tmp_path_factory.mktemp("ckpt") / "snap")
+    save_checkpoint(platform, directory, extra={"marker": 42})
+    return directory
+
+
+def _copy_checkpoint(source, destination):
+    import shutil
+
+    shutil.copytree(source, destination)
+    return str(destination)
+
+
+def test_restore_returns_extra_payload(saved_checkpoint):
+    platform, extra = restore_checkpoint(saved_checkpoint)
+    assert extra == {"marker": 42}
+    platform.driver.drain()
+
+
+def test_bit_flip_in_memory_fails_closed(saved_checkpoint, tmp_path):
+    directory = _copy_checkpoint(saved_checkpoint, tmp_path / "flip")
+    path = os.path.join(directory, MEMORY_FILE)
+    with open(path, "r+b") as handle:
+        handle.seek(4096 + 17)
+        byte = handle.read(1)
+        handle.seek(4096 + 17)
+        handle.write(bytes([byte[0] ^ 0x40]))
+    with pytest.raises(CheckpointError, match="digest mismatch"):
+        restore_checkpoint(directory)
+
+
+def test_truncated_state_fails_closed(saved_checkpoint, tmp_path):
+    directory = _copy_checkpoint(saved_checkpoint, tmp_path / "trunc")
+    path = os.path.join(directory, STATE_FILE)
+    with open(path, "r+b") as handle:
+        handle.truncate(os.path.getsize(path) // 2)
+    with pytest.raises(CheckpointError, match="digest mismatch"):
+        restore_checkpoint(directory)
+
+
+def test_missing_manifest_fails_closed(saved_checkpoint, tmp_path):
+    directory = _copy_checkpoint(saved_checkpoint, tmp_path / "nomani")
+    os.unlink(os.path.join(directory, MANIFEST_FILE))
+    with pytest.raises(CheckpointError, match="missing or unreadable"):
+        restore_checkpoint(directory)
+
+
+def test_version_skew_fails_closed(saved_checkpoint, tmp_path):
+    directory = _copy_checkpoint(saved_checkpoint, tmp_path / "ver")
+    path = os.path.join(directory, MANIFEST_FILE)
+    with open(path) as handle:
+        manifest = json.load(handle)
+    manifest["checkpoint_version"] = 99
+    with open(path, "w") as handle:
+        json.dump(manifest, handle)
+    with pytest.raises(CheckpointError, match="unsupported checkpoint"):
+        restore_checkpoint(directory)
+
+
+def test_tampered_golden_manifest_fails_closed(saved_checkpoint,
+                                               tmp_path):
+    """Even a self-consistent edit of the sealed golden snapshot is
+    caught: the restored platform's recomputed stats must reproduce
+    the manifest's."""
+    directory = _copy_checkpoint(saved_checkpoint, tmp_path / "golden")
+    path = os.path.join(directory, MANIFEST_FILE)
+    with open(path) as handle:
+        manifest = json.load(handle)
+    key = sorted(manifest["golden"])[0]
+    manifest["golden"][key] = 123456789
+    with open(path, "w") as handle:
+        json.dump(manifest, handle)
+    with pytest.raises(CheckpointError,
+                       match="does not reproduce"):
+        restore_checkpoint(directory)
+
+
+def test_empty_directory_fails_closed(tmp_path):
+    with pytest.raises(CheckpointError):
+        restore_checkpoint(str(tmp_path / "void"))
+
+
+# ---------------------------------------------------------------------------
+# periodic auto-checkpoint
+
+
+def test_auto_checkpoint_every_n_jobs(tmp_path):
+    from repro.cl import CommandQueue, Context
+    from repro.core.platform import MobilePlatform
+
+    platform = MobilePlatform().initialize()
+    directory = str(tmp_path / "auto")
+    platform.enable_auto_checkpoint(directory, every_jobs=2)
+
+    context = Context(platform)
+    queue = CommandQueue(context)
+    program = context.build_program(SCALE_SRC)
+    for index in range(4):
+        data = np.arange(64, dtype=np.float32) + index
+        buf_in = context.buffer_from_array(data)
+        buf_out = context.alloc_buffer(64 * 4)
+        kernel = program.kernel("scale")
+        kernel.set_arg(0, buf_out)
+        kernel.set_arg(1, buf_in)
+        kernel.set_arg(2, np.float32(2.0))
+        queue.enqueue_nd_range(kernel, (64,), (4,))
+
+    assert sorted(name for name in os.listdir(directory)
+                  if name.startswith("ckpt-")) \
+        == ["ckpt-0001", "ckpt-0002"]
+    with open(os.path.join(directory, "LATEST")) as handle:
+        latest = handle.read().strip()
+    assert latest == "ckpt-0002"
+    restored, _extra = restore_checkpoint(
+        os.path.join(directory, latest))
+    golden = restored.stats_registry.snapshot(golden_only=True)
+    retired = [key for key in golden if key.endswith("jobs_retired")]
+    assert retired and all(golden[key] == 4 for key in retired)
+
+    # disabling removes the hook
+    platform.enable_auto_checkpoint(directory, every_jobs=None)
+    assert platform.driver.on_job_retired is None
+
+
+# ---------------------------------------------------------------------------
+# atomic writes
+
+
+def test_atomic_write_replaces_and_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "artifact.json"
+    path.write_bytes(b"old")
+    atomic_write_bytes(str(path), b"new contents")
+    assert path.read_bytes() == b"new contents"
+    assert os.listdir(tmp_path) == ["artifact.json"]
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan / FaultSpec JSON round-trip (property-based)
+
+
+_KEYED_SITES = sorted(site for site, (keyed, _) in SITES.items()
+                      if keyed)
+_OCC_SITES = sorted(site for site, (keyed, _) in SITES.items()
+                    if not keyed)
+
+_params = st.dictionaries(
+    st.sampled_from(["kind", "mask", "offset", "stall_rounds"]),
+    st.integers(0, 255), max_size=2)
+_count = st.one_of(st.none(), st.integers(1, 3))
+_tenant = st.one_of(st.none(), st.just(1))
+
+_spec = st.one_of(
+    st.builds(FaultSpec, site=st.sampled_from(_KEYED_SITES),
+              key=st.integers(0, 1 << 20), count=_count,
+              params=_params, tenant=_tenant),
+    st.builds(FaultSpec, site=st.sampled_from(_OCC_SITES),
+              occurrence=st.integers(1, 5), count=_count,
+              params=_params, tenant=_tenant),
+)
+
+
+def _drive(injector, plan):
+    """A deterministic probe sequence derived from the plan; returns
+    every fire() result so two injectors can be compared shot-for-shot."""
+    injector.current_tenant = 1
+    shots = []
+    for spec in plan.specs:
+        if SITES[spec.site][0]:
+            probes = [spec.key, spec.key, spec.key + 1, spec.key]
+        else:
+            probes = [None] * (spec.occurrence + 2)
+        for key in probes:
+            shots.append(injector.fire(spec.site, key=key))
+    return shots
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=st.lists(_spec, min_size=1, max_size=4),
+       name=st.sampled_from(["", "scenario-x"]),
+       seed=st.one_of(st.none(), st.integers(0, 99)))
+def test_fault_plan_json_round_trip_fires_identically(specs, name, seed):
+    from repro.inject.injector import FaultInjector
+
+    plan = FaultPlan(specs, name=name, seed=seed)
+    # serialize -> (real JSON text) -> load: dataclass-equal specs
+    revived = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+    assert revived.specs == plan.specs
+    assert revived.name == plan.name
+    assert revived.seed == plan.seed
+    # and the revived plan injects the exact same firing sequence
+    original = FaultInjector(plan)
+    replayed = FaultInjector(revived)
+    assert _drive(original, plan) == _drive(replayed, revived)
+    assert original.fired == replayed.fired
+    assert original.log == replayed.log
+
+
+# ---------------------------------------------------------------------------
+# farm journal + resume
+
+
+FARM_CONFIG = {
+    "name": "ckpt-farm",
+    "shard_size": 1,
+    "sweeps": [{"kind": "selftest", "behaviors": ["ok"], "count": 4},
+               {"kind": "lint", "targets": ["builtin:sgemm"]}],
+}
+
+
+def test_farm_resume_is_byte_identical(tmp_path):
+    from repro.validate.farm import resume_farm, run_farm
+
+    straight = run_farm(FARM_CONFIG, workers=2,
+                        outdir=str(tmp_path / "straight"))
+    assert straight.ok
+
+    # simulate a crash: keep the journal, drop the report and some
+    # journaled outcomes
+    import shutil
+
+    crashed = str(tmp_path / "crashed")
+    shutil.copytree(str(tmp_path / "straight"), crashed)
+    os.unlink(os.path.join(crashed, "report.json"))
+    cases_dir = os.path.join(crashed, "resume", "cases")
+    names = sorted(os.listdir(cases_dir))
+    for name in names[::2]:
+        os.unlink(os.path.join(cases_dir, name))
+
+    resumed = resume_farm(crashed, workers=2)
+    assert resumed.ok
+    assert resumed.report_bytes == straight.report_bytes
+    with open(os.path.join(crashed, "report.json"), "rb") as handle:
+        assert handle.read() == straight.report_bytes
+
+
+def test_farm_resume_with_nothing_left_to_run(tmp_path):
+    """A complete journal resumes without spawning any workers and
+    still reproduces the report byte-for-byte."""
+    from repro.validate.farm import resume_farm, run_farm
+
+    outdir = str(tmp_path / "done")
+    straight = run_farm(FARM_CONFIG, workers=2, outdir=outdir)
+    os.unlink(os.path.join(outdir, "report.json"))
+    resumed = resume_farm(outdir, workers=2)
+    assert resumed.report_bytes == straight.report_bytes
+    assert resumed.run_info["respawns"] == 0
+
+
+def test_corrupted_journal_entry_fails_closed(tmp_path):
+    from repro.validate.farm import resume_farm, run_farm
+
+    outdir = str(tmp_path / "run")
+    run_farm(FARM_CONFIG, workers=2, outdir=outdir)
+    cases_dir = os.path.join(outdir, "resume", "cases")
+    victim = os.path.join(cases_dir, sorted(os.listdir(cases_dir))[0])
+    with open(victim) as handle:
+        entry = json.load(handle)
+    entry["outcome"]["verdict"] = "fail"       # digest no longer matches
+    with open(victim, "w") as handle:
+        json.dump(entry, handle)
+    with pytest.raises(CheckpointError, match="digest mismatch"):
+        resume_farm(outdir)
+
+
+def test_missing_journal_fails_closed(tmp_path):
+    from repro.validate.farm import resume_farm
+
+    with pytest.raises(CheckpointError, match="no farm journal"):
+        resume_farm(str(tmp_path / "never-ran"))
+
+
+def test_journal_file_names_do_not_collide():
+    from repro.validate.farm.journal import case_file_name
+
+    assert case_file_name("a/b") != case_file_name("a_b")
+    assert case_file_name("x") == case_file_name("x")
+
+
+@pytest.mark.slow
+def test_farm_resume_after_sigkill(tmp_path):
+    """Kill an entire farm campaign (manager + workers) with SIGKILL at
+    an arbitrary point, then ``resume_farm`` finishes it with a
+    byte-identical report."""
+    from repro.validate.farm import resume_farm, run_farm
+
+    outdir = str(tmp_path / "killed")
+    script = (
+        "from repro.validate.farm import run_farm\n"
+        f"run_farm({FARM_CONFIG!r}, workers=1, outdir={outdir!r})\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script], env=env,
+        start_new_session=True,       # its workers die with it
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    cases_dir = os.path.join(outdir, "resume", "cases")
+    deadline = time.monotonic() + 180
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            if os.path.isdir(cases_dir) \
+                    and len(os.listdir(cases_dir)) >= 2:
+                break
+            time.sleep(0.02)
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait()
+
+    straight = run_farm(FARM_CONFIG, workers=2,
+                        outdir=str(tmp_path / "straight"))
+    resumed = resume_farm(outdir, workers=2)
+    assert resumed.report_bytes == straight.report_bytes
+    with open(os.path.join(outdir, "report.json"), "rb") as handle:
+        assert handle.read() == straight.report_bytes
+
+
+# ---------------------------------------------------------------------------
+# CLI output-directory handling
+
+
+def test_cli_farm_unwritable_out_exits_two(tmp_path, capsys):
+    from repro.tools.cli import main
+
+    config = tmp_path / "farm.json"
+    config.write_text(json.dumps(FARM_CONFIG))
+    blocker = tmp_path / "blocker"
+    blocker.write_text("a regular file")
+    assert main(["farm", "run", str(config),
+                 "--out", str(blocker / "sub")]) == 2
+    assert "cannot create output directory" in capsys.readouterr().out
+
+
+def test_cli_trace_unwritable_output_exits_two(tmp_path, capsys):
+    from repro.tools.cli import main
+
+    blocker = tmp_path / "blocker"
+    blocker.write_text("a regular file")
+    assert main(["trace", "missing.cl",
+                 "--output", str(blocker / "sub" / "t.json")]) == 2
+    assert "cannot create output directory" in capsys.readouterr().out
+
+
+def test_cli_faultcampaign_unwritable_repro_dir_exits_two(tmp_path,
+                                                          capsys):
+    from repro.tools.cli import main
+
+    blocker = tmp_path / "blocker"
+    blocker.write_text("a regular file")
+    assert main(["faultcampaign",
+                 "--write-repros", str(blocker / "sub")]) == 2
+    assert "cannot create output directory" in capsys.readouterr().out
+
+
+def test_cli_farm_resume_round_trip(tmp_path, capsys):
+    from repro.tools.cli import main
+    from repro.validate.farm import run_farm
+
+    outdir = str(tmp_path / "out")
+    straight = run_farm(FARM_CONFIG, workers=2, outdir=outdir)
+    os.unlink(os.path.join(outdir, "report.json"))
+    assert main(["farm", "resume", outdir]) == 0
+    assert "RESULT farm status=ok" in capsys.readouterr().out
+    with open(os.path.join(outdir, "report.json"), "rb") as handle:
+        assert handle.read() == straight.report_bytes
