@@ -18,6 +18,13 @@ translating engines (the deferred clause accounting is shared, so they
 must meet the same budget); non-default engines write
 ``BENCH_overhead_<engine>.json``. Exits non-zero when the measured
 overhead exceeds the budget.
+
+The payload also accounts for the static analysis pipeline's own cost
+(``analysis`` section): per-kernel milliseconds for the lint pass
+selection, the ``("structural", "cost")`` analyze selection, and the
+per-enqueue ``analyze_launch`` call the cost-seeded scheduler performs
+when ``ArbiterPolicy.slice_issue_budget`` is set. Informational, not
+budget-gated — it quantifies what opting into budget seeding costs.
 """
 
 import argparse
@@ -47,6 +54,72 @@ def _runner(name, sizes, engine):
         context = Context(MobilePlatform(config))
         get_workload(name, **sizes).run(context=context, verify=False)
     return run
+
+
+def _analysis_cost(repeats):
+    """Per-kernel cost of the verifier's pass selections plus the
+    per-enqueue launch-bounds evaluation budget seeding pays."""
+    import time
+
+    from repro.cl import CommandQueue
+    from repro.gpu.verify import (
+        DEFAULT_PASSES,
+        VerifyContext,
+        verify_program,
+    )
+    from repro.gpu.verify.analyze import ANALYZE_PASSES
+    from repro.kernels import WORKLOADS
+
+    sgemm = WORKLOADS["sgemm"]
+    from repro.clc import compile_source
+
+    program = compile_source(sgemm.source,
+                             defines=sgemm.compile_defines())
+    kernels = list(program.kernels.values())
+
+    def timed(fn):
+        best = None
+        for _ in range(max(repeats, 2)):
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best / len(kernels)
+
+    selections = {}
+    for name, passes in (("lint", DEFAULT_PASSES),
+                         ("analyze", ANALYZE_PASSES)):
+        selections[name] = timed(lambda p=passes: [
+            verify_program(k.program, VerifyContext.from_compiled_kernel(k),
+                           passes=p)
+            for k in kernels])
+
+    # the scheduler-facing path: bounds for one concrete launch
+    import numpy as np
+
+    context = Context()
+    CommandQueue(context)  # completes the usual setup path
+    cl_program = context.build_program(sgemm.source,
+                                       defines=sgemm.compile_defines())
+    kernel = cl_program.kernel("sgemm")
+    n = 16
+    a = context.buffer_from_array(np.zeros(n * n, dtype=np.float32))
+    b = context.buffer_from_array(np.zeros(n * n, dtype=np.float32))
+    c = context.buffer_from_array(np.zeros(n * n, dtype=np.float32))
+    kernel.set_args(a, b, c, np.int32(n), np.int32(n), np.int32(n),
+                    np.float32(1.0), np.float32(0.0))
+    global_size, local_size = (n, n, 1), (8, 8, 1)
+    uniforms, _local = kernel._build_uniforms(global_size, local_size)
+    start = time.perf_counter()
+    rounds = max(repeats * 4, 8)
+    for _ in range(rounds):
+        kernel.analyze_launch(global_size, local_size, uniforms)
+    per_launch = (time.perf_counter() - start) / rounds
+    return {
+        "per_kernel_ms": {name: seconds * 1e3
+                          for name, seconds in selections.items()},
+        "analyze_launch_ms": per_launch * 1e3,
+    }
 
 
 def main(argv=None):
@@ -79,7 +152,15 @@ def main(argv=None):
     for line in report.lines():
         print(line)
 
+    analysis = _analysis_cost(repeats)
+    print("static analysis cost (per kernel): " + ", ".join(
+        f"{name} {ms:.2f} ms"
+        for name, ms in analysis["per_kernel_ms"].items()))
+    print(f"budget-seeding analyze_launch: "
+          f"{analysis['analyze_launch_ms']:.2f} ms per enqueue")
+
     payload = {
+        "analysis": analysis,
         "quick": options.quick,
         "engine": options.engine,
         "host": {

@@ -9,7 +9,9 @@ import numpy as np
 from repro.errors import CLError, JobFault
 from repro.clc import compile_source
 from repro.core.platform import MobilePlatform
-from repro.gpu.verify import VerifyContext, verify_binary
+from repro.gpu.mmu import AS_TAG_SHIFT
+from repro.gpu.verify import VerifyContext, verify_binary, verify_program
+from repro.mem.physical import PAGE_SHIFT
 from repro.instrument.stats import JobStats
 
 _WORK_DIM_SLOTS = 10  # uniform slots reserved for NDRange description
@@ -88,6 +90,11 @@ class Context:
         if tenant is not None and tenant.driver is not self.platform.driver:
             raise CLError("tenant belongs to a different platform's driver")
         self.cpu_seconds = 0.0  # host wall time spent simulating guest CPU
+        # Opt-in soundness recorder: set to a list (or call
+        # enable_analysis_log) and every synchronous launch appends a
+        # record holding the static cost bounds for that launch next to
+        # the observed dynamic counters (clause issues, data pages).
+        self.analysis_log = None
         # runtime-level counters in the platform's unified registry
         # (get-or-create: several contexts may share one platform; each
         # tenant gets its own subtree so build/launch failures of one
@@ -119,6 +126,21 @@ class Context:
         if self.tenant is not None:
             return self.tenant
         return self.platform.driver
+
+    @property
+    def _tenant(self):
+        """The tenant every allocation of this context actually lands in
+        (the global driver surface delegates to the default tenant)."""
+        if self.tenant is not None:
+            return self.tenant
+        return self.platform.driver._default_tenant
+
+    def enable_analysis_log(self):
+        """Start recording static-bound vs observed-counter records for
+        every synchronous launch; returns the (live) list of records."""
+        if self.analysis_log is None:
+            self.analysis_log = []
+        return self.analysis_log
 
     def alloc_buffer(self, nbytes, grow_on_fault=False):
         """Create a device buffer. With ``grow_on_fault`` the region is
@@ -265,6 +287,36 @@ class Kernel:
                 uniforms[slot] = self._encode_scalar(value, ty)
         return uniforms, local_cursor
 
+    def analyze_launch(self, global_size, local_size, uniforms,
+                       local_mem_size=None, tenant=None):
+        """Static cost analysis of this kernel for one concrete launch.
+
+        Builds the full-knowledge launch context (the encoded uniform
+        image plus bound-buffer VAs/sizes and, with *tenant*, its mapped
+        regions) and runs the verifier's cost pass; returns ``(ctx,
+        summary, bounds)`` where *summary*/*bounds* are None when
+        structural errors block the analysis.
+        """
+        buffers = {}
+        for position, ((_pname, kind, _ty), value) in enumerate(
+                zip(self.compiled.params, self._args)):
+            if kind == "buffer" and value is not None:
+                buffers[position] = (value.gpu_va, value.nbytes)
+        mapped = None
+        if tenant is not None:
+            mapped = sorted((r.gpu_va, r.gpu_va + r.size)
+                            for r in tenant.live_regions)
+        ctx = VerifyContext.from_launch_words(
+            self.compiled, global_size, local_size, uniforms,
+            buffers=buffers, local_bytes=local_mem_size or None,
+            mapped_ranges=mapped)
+        report = verify_program(self.compiled.program, ctx,
+                                passes=("structural", "cost"))
+        summary = report.facts.get("cost")
+        if summary is None:
+            return ctx, None, None
+        return ctx, summary, summary.evaluate(ctx)
+
 
 class CommandQueue:
     """In-order command queue (execution is synchronous in the model)."""
@@ -373,6 +425,31 @@ class CommandQueue:
         staging = platform.stage_bytes(uniforms.tobytes())
         context.guest_memcpy(kernel._uniform_region.phys, staging, uniforms.nbytes)
 
+        # soundness recorder: static bounds for this exact launch, plus a
+        # pages_accessed snapshot so the post-run delta isolates this job
+        record = None
+        pages_before = None
+        if context.analysis_log is not None:
+            _ctx, summary, bounds = kernel.analyze_launch(
+                global_size, local_size, uniforms,
+                local_mem_size=local_mem_size, tenant=context._tenant)
+            record = {
+                "kernel": kernel.name,
+                "global_size": list(global_size),
+                "local_size": list(local_size),
+                "ok": bounds is not None,
+                "bound_issues": None, "bound_pages": None,
+                "loop_trips": {},
+                "mega_eligible": None,
+            }
+            if bounds is not None:
+                record["bound_issues"] = bounds.total_issues
+                record["bound_pages"] = bounds.pages
+                record["loop_trips"] = {str(h): n for h, n
+                                        in bounds.loop_trips.items()}
+                record["mega_eligible"] = summary.mega_eligible
+            pages_before = set(platform.gpu.mmu.pages_accessed)
+
         span_args = {"kernel": kernel.name,
                      "global": list(global_size),
                      "local": list(local_size)}
@@ -402,6 +479,19 @@ class CommandQueue:
         result = results[-1]
         kernel.last_stats = result.stats
         kernel.last_cfg = result.cfg
+        if record is not None:
+            as_tag = context._tenant.as_id << AS_TAG_SHIFT
+            data_pages = set()
+            for value in kernel._args:
+                if isinstance(value, Buffer):
+                    first = value.gpu_va >> PAGE_SHIFT
+                    last = (value.gpu_va + value.nbytes - 1) >> PAGE_SHIFT
+                    data_pages.update(as_tag | page
+                                      for page in range(first, last + 1))
+            delta = set(platform.gpu.mmu.pages_accessed) - pages_before
+            record["observed_issues"] = result.stats.clauses_executed
+            record["observed_pages"] = len(delta & data_pages)
+            context.analysis_log.append(record)
         self.total_stats.merge(result.stats)
         self.kernels_launched += 1
         context.stat_kernels_launched.increment()
@@ -434,6 +524,17 @@ class CommandQueue:
         staging = platform.stage_bytes(uniforms.tobytes())
         context.guest_memcpy(uniform_region.phys, staging, uniforms.nbytes)
 
+        # cost-seeded scheduling: only when the arbiter policy opts in
+        # does the launch pay for the static analysis, handing the
+        # predicted per-workgroup issue cost to the slice-budget logic
+        cost_hint = 0
+        if platform.driver.arbiter.policy.slice_issue_budget:
+            _ctx, _summary, bounds = kernel.analyze_launch(
+                global_size, local_size, uniforms,
+                local_mem_size=local_mem_size, tenant=tenant)
+            if bounds is not None and bounds.per_workgroup_issues:
+                cost_hint = bounds.per_workgroup_issues
+
         job = tenant.submit_job_async(
             global_size=global_size,
             local_size=local_size,
@@ -443,6 +544,7 @@ class CommandQueue:
             uniform_count=len(uniforms),
             local_mem_size=local_mem_size,
             label=kernel.name,
+            cost_hint=cost_hint,
         )
         self.kernels_launched += 1
         context.stat_kernels_launched.increment()

@@ -171,10 +171,18 @@ class ArbiterPolicy:
             budget is lifted (the effective budget doubles per preemption
             up to this count, then the job runs to completion —
             guaranteed termination).
+        slice_issue_budget: when set, a job submitted with a static
+            ``cost_hint`` (predicted worst-case clause issues per
+            workgroup, from the verifier's cost analysis) derives its
+            initial ``JOB_SLICE`` workgroup budget as roughly this many
+            clause issues per slice instead of the QoS class's fixed
+            workgroup count. Scheduling-only: preemption stays invisible
+            to outputs and completed-job golden statistics.
     """
 
     starvation_bound: int = 8
     max_preemptions: int = 2
+    slice_issue_budget: int = None
 
 
 @dataclass(frozen=True)
@@ -400,6 +408,7 @@ class PendingJob:
     workgroups: int = 0  # total flat workgroups; 0 = unknown (never sliced)
     tenant: object = None
     label: str = ""
+    cost_hint: int = 0  # predicted clause issues per workgroup; 0 = none
     # arbiter bookkeeping
     seq: int = -1
     queued_tick: int = 0
@@ -442,6 +451,7 @@ class TenantContext:
                                             self._alloc_frame)
         self._va_next = driver.gpu_va_base
         self._growable = []
+        self.live_regions = []
         self._descriptor_region = None
         self._descriptor_slots = PAGE_SIZE // DESCRIPTOR_SIZE
         self._next_slot = 0
@@ -526,6 +536,7 @@ class TenantContext:
                         committed=committed, growable=grow_on_fault)
         if grow_on_fault:
             self._growable.append(region)
+        self.live_regions.append(region)
         return region
 
     def free_region(self, region):
@@ -541,6 +552,7 @@ class TenantContext:
         self.regions_freed += 1
         if region.growable:
             self._growable = [r for r in self._growable if r is not region]
+        self.live_regions = [r for r in self.live_regions if r is not region]
 
     def handle_fault(self, vaddr, access):
         """Grow-on-fault resolver for this tenant's VA space (see
@@ -658,7 +670,7 @@ class TenantContext:
 
     def submit_job_async(self, global_size, local_size, binary_region,
                          binary_size, uniform_region, uniform_count,
-                         local_mem_size=0, label=""):
+                         local_mem_size=0, label="", cost_hint=0):
         """Queue a job with the arbiter; returns a :class:`PendingJob`.
 
         The descriptor lands in this tenant's next cycling descriptor
@@ -679,7 +691,8 @@ class TenantContext:
         job = PendingJob(tenant_id=self.tenant_id,
                          priority=self.qos.priority,
                          descriptor_va=descriptor_va,
-                         workgroups=workgroups, tenant=self, label=label)
+                         workgroups=workgroups, tenant=self, label=label,
+                         cost_hint=cost_hint)
         self.jobs_submitted += 1
         self.driver.arbiter.submit(job)
         return job
@@ -1082,6 +1095,13 @@ class KBaseDriver:
         waiting, and it has not exhausted ``max_preemptions`` (the
         budget doubles per preemption, then the job runs unbounded —
         guaranteed forward progress).
+
+        With ``ArbiterPolicy.slice_issue_budget`` set and a static
+        ``cost_hint`` attached, the base budget is derived from the
+        predicted per-workgroup clause-issue cost — cheap jobs get wider
+        slices, expensive ones narrower — instead of the QoS class's
+        fixed workgroup count. Classes that are never sliced
+        (``slice_workgroups == 0``, e.g. rt) stay never-sliced.
         """
         if job.tenant is None or job.workgroups <= 0:
             return 0
@@ -1090,6 +1110,9 @@ class KBaseDriver:
             return 0
         if job.preemptions >= self.arbiter.policy.max_preemptions:
             return 0
+        issue_budget = self.arbiter.policy.slice_issue_budget
+        if issue_budget and job.cost_hint > 0:
+            slice_workgroups = max(1, issue_budget // job.cost_hint)
         budget = slice_workgroups << job.preemptions
         return budget if budget < job.workgroups else 0
 

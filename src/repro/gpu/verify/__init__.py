@@ -15,7 +15,11 @@ makes the Bifrost-like ISA contract explicit and machine-checkable:
 - **memory** — abstract range analysis of addresses derived from kernel
   arguments: statically out-of-bounds accesses, must-fault accesses that
   hit no mapped page, and per-workgroup write/write and read/write races
-  on global or local memory with no intervening barrier.
+  on global or local memory with no intervening barrier;
+- **cost** (opt-in, advisory) — static cost & resource analysis: loop
+  trip bounds, per-clause issue costs, worst-case clause-issue and
+  pages-accessed bounds, and access-pattern classification. Selected by
+  ``repro.tools analyze``; excluded from the lint-level default.
 
 Every producer of GPU binaries runs the verifier: the clc JIT compiler
 gates its own codegen, ``clBuildProgram`` re-verifies the decoded binary
@@ -27,6 +31,7 @@ anchored to disassembly lines.
 from repro.gpu.verify.context import BufferInfo, VerifyContext
 from repro.gpu.verify.cfg import ClauseCFG
 from repro.gpu.verify.pipeline import (
+    DEFAULT_PASSES,
     PASSES,
     verify_binary,
     verify_program,
@@ -39,16 +44,30 @@ from repro.gpu.verify.lint import (
     lint_source,
     lint_target,
 )
+from repro.gpu.verify.analyze import (
+    AnalyzeUnit,
+    analyze_source,
+    analyze_target,
+)
+from repro.gpu.verify.cost import CostSummary, LaunchBounds
+from repro.gpu.verify.loopbound import TripBound
 
 __all__ = [
+    "AnalyzeUnit",
     "BufferInfo",
     "ClauseCFG",
+    "CostSummary",
+    "DEFAULT_PASSES",
     "Finding",
+    "LaunchBounds",
     "LintUnit",
     "PASSES",
     "Report",
     "Severity",
+    "TripBound",
     "VerifyContext",
+    "analyze_source",
+    "analyze_target",
     "builtin_targets",
     "format_unit",
     "lint_source",

@@ -137,10 +137,10 @@ def av_and_mask(a, mask):
     return AVal(lo=0, hi=mask, uniform=a.uniform)
 
 
-def av_bitor_bound(a, b):
+def av_bitor_bound(a, b, xor=False):
     """IOR/IXOR upper bound via bit length (non-negative inputs only)."""
     if a.is_exact_const and b.is_exact_const and a.lo >= 0 and b.lo >= 0:
-        return const(a.lo | b.lo)
+        return const(a.lo ^ b.lo if xor else a.lo | b.lo)
     if (not a.top and not b.top and a.base is None and b.base is None
             and a.coeff == 0 and b.coeff == 0 and a.lo >= 0 and b.lo >= 0):
         bits = max(a.hi.bit_length(), b.hi.bit_length())
@@ -201,6 +201,48 @@ class AbsintResult:
         self.accesses = []
         self.cond_uniform = {}  # clause -> bool (branch condition)
         self.entry_states = {}
+
+
+# Integer ops the symbolic domain cannot track but that fold exactly
+# when every operand is a known constant (machine mod-2^32 semantics,
+# mirroring the warp.py scalar ALU).
+_FOLD_OPS = frozenset({Op.ISHR, Op.IASHR, Op.IABS, Op.IDIV, Op.IREM,
+                       Op.UDIV, Op.UREM})
+
+
+def _machine_u32(value):
+    return value & 0xFFFFFFFF
+
+
+def _machine_s32(value):
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def _fold_int(op, srcs):
+    """Machine-exact u32 result of *op* over exact-const operands —
+    bit-identical to the interpreter's vec_* / _h_* handlers."""
+    a = srcs[0].lo
+    b = srcs[1].lo if len(srcs) > 1 else 0
+    if op is Op.ISHR:
+        return _machine_u32(a) >> (_machine_u32(b) & 31)
+    if op is Op.IASHR:
+        # Python's >> on a signed int floors like the arithmetic shift
+        return _machine_u32(_machine_s32(a) >> (_machine_u32(b) & 31))
+    if op is Op.IABS:
+        return _machine_u32(abs(_machine_s32(a)))
+    if op in (Op.IDIV, Op.IREM):
+        sa, sb = _machine_s32(a), _machine_s32(b)
+        if sb == 0:
+            return 0  # architecture defines x/0 == x%0 == 0
+        quot = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quot = -quot  # truncate toward zero
+        return _machine_u32(quot if op is Op.IDIV else sa - quot * sb)
+    ua, ub = _machine_u32(a), _machine_u32(b)
+    if ub == 0:
+        return 0
+    return ua // ub if op is Op.UDIV else ua % ub
 
 
 def _read_aval(state, clause, operand):
@@ -272,7 +314,7 @@ def _transfer_slot(state, clause, instr, ctx, accesses, location):
         else:
             result = top_like(*srcs)
     elif op in (Op.IOR, Op.IXOR):
-        result = av_bitor_bound(srcs[0], srcs[1])
+        result = av_bitor_bound(srcs[0], srcs[1], xor=op is Op.IXOR)
     elif op is Op.CMP:
         result = AVal(lo=0, hi=1,
                       uniform=srcs[0].uniform and srcs[1].uniform)
@@ -282,6 +324,10 @@ def _transfer_slot(state, clause, instr, ctx, accesses, location):
             result = top_like(srcs[2]) if result.top else AVal(
                 base=result.base, sym=result.sym, coeff=result.coeff,
                 lo=result.lo, hi=result.hi, uniform=False)
+    elif op in _FOLD_OPS:
+        result = (const(_fold_int(op, srcs))
+                  if srcs and all(s.is_exact_const for s in srcs)
+                  else top_like(*srcs))
     elif op in (Op.IMIN, Op.IMAX, Op.UMIN, Op.UMAX):
         a, b = srcs
         if (not a.top and not b.top and a.base is None and b.base is None

@@ -133,3 +133,25 @@ class VerifyContext:
                 if info is not None:
                     info.size = size
         return ctx
+
+    @classmethod
+    def from_launch_words(cls, compiled, global_size, local_size,
+                          uniform_words, buffers=None, local_bytes=None,
+                          mapped_ranges=None):
+        """Launch context with the *encoded uniform image*: every slot
+        value is pinned, so the analysis folds scalar arguments (loop
+        limits, strides) exactly. *buffers* maps argument position ->
+        ``(va, size)``; *mapped_ranges* is the AS's mapped VA ranges.
+        """
+        ctx = cls.from_launch(compiled, global_size, local_size,
+                              local_bytes=local_bytes)
+        for slot, word in enumerate(uniform_words):
+            ctx.uniform_values[slot] = int(word)
+        if buffers:
+            for position, (va, size) in buffers.items():
+                info = ctx.buffers.get(NDRANGE_SLOTS + position)
+                if info is not None:
+                    info.va = va
+                    info.size = size
+        ctx.mapped_ranges = mapped_ranges
+        return ctx

@@ -119,3 +119,53 @@ def format_unit(unit, disasm=True, min_severity=Severity.WARNING):
                                             min_severity=min_severity))
             lines.append("")
     return "\n".join(lines)
+
+
+# Stable machine-readable schema tag for --json output.
+SCHEMA = "repro-lint-report/1"
+
+
+def finding_to_dict(finding):
+    return {
+        "code": finding.code,
+        "severity": finding.severity.tag,
+        "message": finding.message,
+        "clause": finding.clause,
+        "tuple": finding.tuple_index,
+        "slot": finding.slot,
+        "must_fault": bool(finding.must_fault),
+    }
+
+
+def unit_to_dict(unit, min_severity=Severity.WARNING):
+    """Stable JSON form of one unit (schema :data:`SCHEMA`)."""
+    data = {
+        "label": unit.label,
+        "kernel": unit.kernel,
+        "ok": unit.ok,
+        "counts": dict(unit.counts),
+        "error": unit.error,
+    }
+    if unit.report is not None:
+        data["findings"] = [finding_to_dict(f)
+                            for f in unit.report.sorted_findings()
+                            if f.severity >= min_severity]
+    return data
+
+
+def units_to_json(units, min_severity=Severity.WARNING):
+    """Top-level ``--json`` document for a list of units."""
+    totals = {"kernels": 0, "errors": 0, "warnings": 0, "notes": 0}
+    for unit in units:
+        if unit.error:
+            totals["errors"] += 1
+            continue
+        totals["kernels"] += 1
+        for key in ("errors", "warnings", "notes"):
+            totals[key] += unit.counts[key]
+    return {
+        "schema": SCHEMA,
+        "units": [unit_to_dict(u, min_severity=min_severity)
+                  for u in units],
+        "totals": totals,
+    }

@@ -53,13 +53,17 @@ def _absolute_interval(aval, ctx):
     if offset is None:
         return None
     if aval.base is None:
-        return offset
-    value = ctx.slot_known_value(aval.base[1])
-    if value is None:
-        return None
-    interval = (value + offset[0], value + offset[1])
+        interval = offset
+    else:
+        value = ctx.slot_known_value(aval.base[1])
+        if value is None:
+            return None
+        interval = (value + offset[0], value + offset[1])
+    # The wraparound guard applies to base-less intervals too: the
+    # machine computes addresses mod 2^32, so an abstract value outside
+    # [0, 2^32) may alias back into mapped VAs — make no claim.
     if interval[0] < 0 or interval[1] >= 1 << 32:
-        return None  # 32-bit wraparound: make no claim
+        return None
     return interval
 
 

@@ -2,6 +2,7 @@
 
 import abc
 import time
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -62,7 +63,9 @@ class Workload(abc.ABC):
         self.rng = np.random.default_rng(self.seed())
 
     def seed(self):
-        return abs(hash(self.name)) % (2**32)
+        # crc32, not hash(): str hashing is salted per process, which
+        # made inputs (and e.g. the bfs job count) vary between runs
+        return zlib.crc32(self.name.encode("utf-8"))
 
     @classmethod
     def compile_defines(cls):

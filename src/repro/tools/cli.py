@@ -25,7 +25,14 @@ Subcommands:
   (``--replay DIR`` re-runs them).
 - ``lint FILE``     — run the static binary verifier over compiled
   kernels; findings are inlined into the clause disassembly
-  (``--builtin`` sweeps every shipped workload + SLAM kernel).
+  (``--builtin`` sweeps every shipped workload + SLAM kernel,
+  ``--json`` emits the stable ``repro-lint-report/1`` document).
+- ``analyze FILE``  — static cost & resource analysis: loop trip
+  bounds, per-clause issue costs, access-pattern classes and sound
+  per-launch upper bounds on clause issues and pages touched
+  (``--json`` emits ``repro-analyze-report/1``; ``--soundness`` runs
+  the differential dominance sweep holding the bounds against observed
+  golden counters and writes ``analysis_report.json`` with ``--out``).
 - ``farm``          — the config-driven simulation farm: ``farm run
   CONFIG`` executes a declarative mixed sweep (conformance + faults +
   lint + bench) on a multiprocess worker pool with a deterministic
@@ -36,8 +43,9 @@ Subcommands:
   config.
 
 The campaign verbs (``conformance``, ``faultcampaign``, ``lint``,
-``farm``) exit non-zero on any failing case and end their output with a
-stable machine-parsable summary line::
+``analyze``, ``farm``) exit non-zero on any failing case (2 on usage
+errors) and end their output with a stable machine-parsable summary
+line::
 
     RESULT <verb> status=<ok|fail> key=value ...
 
@@ -141,8 +149,23 @@ def _cmd_disasm(options):
     for name in sorted(program.kernels):
         if options.kernel and name != options.kernel:
             continue
+        compiled = program.kernels[name]
+        annotations = None
+        if options.cost:
+            from repro.gpu.verify import VerifyContext, verify_program
+            from repro.gpu.verify.analyze import (
+                ANALYZE_PASSES,
+                cost_annotations,
+            )
+
+            ctx = VerifyContext.from_compiled_kernel(compiled)
+            report = verify_program(compiled.program, ctx,
+                                    passes=ANALYZE_PASSES)
+            summary = report.facts.get("cost")
+            if summary is not None:
+                annotations = cost_annotations(summary, ctx)
         print(f"; kernel {name}")
-        print(disassemble(program.kernels[name].program))
+        print(disassemble(compiled.program, annotations=annotations))
         print()
     return 0
 
@@ -393,24 +416,12 @@ def _cmd_lint(options):
     )
 
     min_severity = Severity.NOTE if options.notes else Severity.WARNING
-    total = {"kernels": 0, "errors": 0, "warnings": 0, "notes": 0}
-
-    def show(units):
-        for unit in units:
-            if unit.error:
-                print(f"FAIL {unit.label}: {unit.summary()}")
-                total["errors"] += 1
-                continue
-            total["kernels"] += 1
-            for key in ("errors", "warnings", "notes"):
-                total[key] += unit.counts[key]
-            print(format_unit(unit, disasm=not options.no_disasm,
-                              min_severity=min_severity))
+    units = []
 
     if options.builtin:
         for target in builtin_targets():
-            show(lint_target(target, version=options.version,
-                             kernel=options.kernel))
+            units.extend(lint_target(target, version=options.version,
+                                     kernel=options.kernel))
     else:
         if not options.file:
             print("lint: need a FILE or --builtin")
@@ -421,8 +432,29 @@ def _cmd_lint(options):
         except OSError as exc:
             print(f"lint: cannot read {options.file}: {exc}")
             return 2
-        show(lint_source(options.file, source, defines=_defines(options),
-                         version=options.version, kernel=options.kernel))
+        units = lint_source(options.file, source, defines=_defines(options),
+                            version=options.version, kernel=options.kernel)
+
+    if options.json:
+        import json
+
+        from repro.gpu.verify.lint import units_to_json
+
+        document = units_to_json(units, min_severity=min_severity)
+        print(json.dumps(document, indent=1))
+        return 1 if document["totals"]["errors"] else 0
+
+    total = {"kernels": 0, "errors": 0, "warnings": 0, "notes": 0}
+    for unit in units:
+        if unit.error:
+            print(f"FAIL {unit.label}: {unit.summary()}")
+            total["errors"] += 1
+            continue
+        total["kernels"] += 1
+        for key in ("errors", "warnings", "notes"):
+            total[key] += unit.counts[key]
+        print(format_unit(unit, disasm=not options.no_disasm,
+                          min_severity=min_severity))
 
     print(f"linted {total['kernels']} kernel(s): {total['errors']} "
           f"error(s), {total['warnings']} warning(s), "
@@ -431,6 +463,115 @@ def _cmd_lint(options):
                  errors=total["errors"], warnings=total["warnings"],
                  notes=total["notes"])
     return 1 if total["errors"] else 0
+
+
+def _cmd_analyze(options):
+    if options.soundness:
+        return _analyze_soundness(options)
+
+    from repro.gpu.verify.analyze import (
+        analyze_source,
+        analyze_target,
+        builtin_targets,
+        format_unit,
+        units_to_json,
+    )
+
+    geometry = {}
+    if options.global_size:
+        def _dims3(sizes):
+            return tuple((list(sizes) + [1, 1])[:3])
+
+        local = options.local_size or [min(64, options.global_size[0])]
+        geometry = {"global_size": _dims3(options.global_size),
+                    "local_size": _dims3(local)}
+
+    units = []
+    if options.builtin:
+        for target in builtin_targets():
+            units.extend(analyze_target(target, version=options.version,
+                                        kernel=options.kernel, **geometry))
+    else:
+        if not options.file:
+            print("analyze: need a FILE, --builtin or --soundness")
+            return 2
+        try:
+            with open(options.file) as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"analyze: cannot read {options.file}: {exc}")
+            return 2
+        units = analyze_source(options.file, source,
+                               defines=_defines(options),
+                               version=options.version,
+                               kernel=options.kernel, **geometry)
+
+    if options.json:
+        import json
+
+        document = units_to_json(units)
+        print(json.dumps(document, indent=1))
+        return 1 if document["totals"]["failed"] else 0
+
+    for unit in units:
+        print(format_unit(unit, disasm=options.disasm))
+    failed = sum(1 for u in units if not u.ok)
+    unbounded = sum(1 for u in units if u.ok and not u.bounded)
+    print(f"analyzed {len(units) - failed} kernel(s): {failed} failed, "
+          f"{unbounded} with unbounded loops")
+    _result_line("analyze", not failed, kernels=len(units) - failed,
+                 failed=failed, unbounded=unbounded)
+    return 1 if failed else 0
+
+
+def _analyze_soundness(options):
+    """``analyze --soundness``: the differential dominance sweep.
+
+    Every static bound must dominate the observed golden counters; any
+    violation (or a failed output verification, which would make the
+    comparison meaningless) fails the verb."""
+    from repro.validate import soundness
+
+    records = []
+    verified = True
+    if options.workloads != ["none"]:
+        names = None if options.workloads == ["all"] else options.workloads
+        workload_records, verified = soundness.workload_records(
+            names=names, version=options.version)
+        records.extend(workload_records)
+    if not options.no_slam:
+        records.extend(soundness.slam_records(version=options.version))
+    records.extend(soundness.stress_records(options.seed))
+    if options.progen:
+        records.extend(soundness.progen_records(options.seed,
+                                                options.progen))
+    if options.corpus:
+        records.extend(soundness.corpus_records(options.corpus))
+
+    report = soundness.build_report(records)
+    totals = report["totals"]
+    for record in records:
+        if not record["ok"]:
+            print(f"VIOLATION {record['label']}: "
+                  f"issues {record['observed_issues']} vs bound "
+                  f"{record['bound_issues']}, pages "
+                  f"{record['observed_pages']} vs bound "
+                  f"{record['bound_pages']} {record['error']}")
+    if options.out:
+        soundness.write_report(options.out, report)
+        print(f"report: {options.out}")
+    tight = totals["median_tightness_issues"]
+    print(f"soundness: {totals['records']} record(s), "
+          f"{totals['violations']} violation(s), "
+          f"{totals['unbounded_issues']} unbounded, median tightness "
+          f"{'n/a' if tight is None else f'{tight:.3f}'}")
+    ok = verified and not totals["violations"]
+    _result_line("analyze", ok, mode="soundness",
+                 records=totals["records"],
+                 violations=totals["violations"],
+                 unbounded=totals["unbounded_issues"],
+                 verified=verified)
+    return 0 if ok else 1
 
 
 def _cmd_faultcampaign(options):
@@ -593,6 +734,7 @@ _FARM_EXAMPLE = """\
    "scenarios": ["irq-lost", "mmu-transient"], "seeds": [0],
    "engines": ["interpreter"]},
   {"kind": "lint", "targets": ["builtin:sgemm", "slam"]},
+  {"kind": "analyze", "targets": ["builtin:sgemm", "slam"]},
   {"kind": "bench", "engines": ["interpreter"],
    "workloads": [{"name": "nn", "params": {"records": 128}}]}
  ]
@@ -685,6 +827,9 @@ def main(argv=None):
     p_disasm = sub.add_parser("disasm", help="clause-level disassembly")
     _add_compile_args(p_disasm)
     p_disasm.add_argument("--kernel", default=None)
+    p_disasm.add_argument("--cost", action="store_true",
+                          help="inline per-clause cost/loop/access "
+                               "annotations from the static analysis")
     p_disasm.set_defaults(func=_cmd_disasm)
 
     p_run = sub.add_parser("run", help="run a kernel on the platform")
@@ -777,7 +922,56 @@ def main(argv=None):
                         help="also show note-severity findings")
     p_lint.add_argument("--no-disasm", action="store_true",
                         help="plain finding list, no annotated disassembly")
+    p_lint.add_argument("--json", action="store_true",
+                        help="stable repro-lint-report/1 JSON instead of "
+                             "text")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="static cost & resource analysis (loop bounds, issue/page "
+             "bounds) or the --soundness dominance sweep")
+    p_analyze.add_argument("file", nargs="?", default=None,
+                           help="kernel-language source file")
+    p_analyze.add_argument("--version", default=None,
+                           help="compiler version preset (5.6 .. 6.2)")
+    p_analyze.add_argument("-D", "--define", action="append", default=[],
+                           metavar="NAME=VALUE",
+                           help="preprocessor define (repeatable)")
+    p_analyze.add_argument("--kernel", default=None,
+                           help="analyze only this kernel")
+    p_analyze.add_argument("--builtin", action="store_true",
+                           help="analyze every built-in workload + SLAM "
+                                "kernel instead of a file")
+    p_analyze.add_argument("--global-size", type=int, nargs="+",
+                           default=None, dest="global_size",
+                           help="evaluate bounds for this launch geometry")
+    p_analyze.add_argument("--local-size", type=int, nargs="+",
+                           default=None, dest="local_size")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="stable repro-analyze-report/1 JSON "
+                                "instead of text")
+    p_analyze.add_argument("--disasm", action="store_true",
+                           help="include cost-annotated disassembly")
+    p_analyze.add_argument("--soundness", action="store_true",
+                           help="differential dominance sweep: static "
+                                "bounds vs observed golden counters")
+    p_analyze.add_argument("--workloads", nargs="+", default=["all"],
+                           metavar="NAME",
+                           help="soundness workload subset ('all' or "
+                                "'none')")
+    p_analyze.add_argument("--no-slam", action="store_true",
+                           help="skip the SLAM pipeline in --soundness")
+    p_analyze.add_argument("--progen", type=int, default=0, metavar="N",
+                           help="also check N generated programs")
+    p_analyze.add_argument("--corpus", default=None, metavar="DIR",
+                           help="also check a reproducer corpus directory")
+    p_analyze.add_argument("--seed", type=int, default=0,
+                           help="generator seed for --soundness")
+    p_analyze.add_argument("--out", default=None, metavar="FILE",
+                           help="write analysis_report.json here "
+                                "(--soundness)")
+    p_analyze.set_defaults(func=_cmd_analyze)
 
     p_fault = sub.add_parser(
         "faultcampaign",

@@ -11,6 +11,10 @@ one of two forms:
 - **full form** — the encoded program binary plus every memory region as
   hex: self-contained, used for minimized reproducers written by the
   fuzzer (and for regression pins whose exact bytes matter).
+- **stress form** — ``{"stress": {"seed": S, "category": C}}``: a
+  cost-analysis stress case regenerated via
+  :func:`repro.validate.progen.generate_stress_case` (bounded loops with
+  known trip counts, strided/gather access patterns).
 
 ``expect`` is ``"match"`` for regression pins that must pass (replayed by
 the tier-1 suite) or ``"mismatch"`` for open reproducers of a known bug
@@ -64,6 +68,18 @@ def seed_entry(seed, index, name="", expect="match", notes=""):
     }
 
 
+def stress_entry(seed, category, name="", expect="match", notes=""):
+    """A compact cost-analysis stress-case corpus entry (regenerated via
+    :func:`repro.validate.progen.generate_stress_case`)."""
+    return {
+        "format": CORPUS_FORMAT,
+        "name": name or f"stress-{category}-seed{seed}",
+        "expect": expect,
+        "notes": notes,
+        "stress": {"seed": seed, "category": category},
+    }
+
+
 def dict_to_case(entry):
     """Materialize a corpus entry back into a :class:`DiffCase`."""
     if entry.get("format") != CORPUS_FORMAT:
@@ -72,6 +88,17 @@ def dict_to_case(entry):
     if generator is not None:
         produced = ProgramGenerator(generator["seed"]).generate_nth(
             generator["index"])
+        case = generated_case_to_diff(produced)
+        return DiffCase(
+            program=case.program, global_size=case.global_size,
+            local_size=case.local_size, regions=case.regions,
+            args=case.args, local_bytes=case.local_bytes,
+            name=entry.get("name", case.name))
+    stress = entry.get("stress")
+    if stress is not None:
+        from repro.validate.progen import generate_stress_case
+
+        produced = generate_stress_case(stress["seed"], stress["category"])
         case = generated_case_to_diff(produced)
         return DiffCase(
             program=case.program, global_size=case.global_size,

@@ -13,8 +13,9 @@ A provider contributes two pure pieces:
 
 The actual campaign logic lives with the subsystems being swept:
 ``repro.validate.conformance``, ``repro.validate.corpus``,
-``repro.inject.campaign`` and ``repro.gpu.verify.lint`` each export a
-farm case-provider interface this module adapts; ``bench`` runs
+``repro.inject.campaign``, ``repro.gpu.verify.lint`` and
+``repro.gpu.verify.analyze`` each export a farm case-provider interface
+this module adapts; ``bench`` runs
 registered workloads; ``selftest`` exercises the farm itself (a case
 that passes, a case that raises, a case that genuinely hangs) and is
 what the isolation and kill-recovery tests sweep.
@@ -227,6 +228,65 @@ class LintProvider:
         return not failing, detail, counters, artifacts
 
 
+class AnalyzeProvider:
+    """Static cost-analysis sweeps, one case per analyze target.
+
+    A case fails when any kernel fails to analyze (compile error or
+    structural errors blocking the cost pass); unbounded loops are
+    reported in the counters but are not failures (data-dependent loops
+    are legitimate — the soundness gate, not the farm, decides whether
+    their page bounds still dominate)."""
+
+    kind = "analyze"
+
+    def normalize(self, sweep):
+        targets = sweep.get("targets", "builtin")
+        if targets == "builtin":
+            from repro.gpu.verify.analyze import builtin_targets
+
+            targets = builtin_targets()
+        if not isinstance(targets, list) or not targets:
+            raise FarmConfigError(
+                "analyze sweep needs 'targets' (list or \"builtin\")")
+        return {"kind": self.kind, "targets": sorted(targets),
+                "version": sweep.get("version")}
+
+    def expand(self, sweep, config):
+        for target in sweep["targets"]:
+            yield f"analyze/{target}", {"target": target,
+                                        "version": sweep["version"]}
+
+    def execute(self, spec, artifact_dir):
+        from repro.gpu.verify.analyze import analyze_target, format_unit
+
+        units = analyze_target(spec["target"], version=spec["version"])
+        counters = {"kernels": 0, "failed": 0, "unbounded": 0,
+                    "loops": 0}
+        failing = []
+        for unit in units:
+            if not unit.ok:
+                counters["failed"] += 1
+                failing.append(unit)
+                continue
+            counters["kernels"] += 1
+            counters["loops"] += len(unit.summary.loops)
+            if not unit.bounded:
+                counters["unbounded"] += 1
+        artifacts = []
+        if failing and artifact_dir is not None:
+            from repro.checkpoint.format import atomic_write_text
+
+            os.makedirs(artifact_dir, exist_ok=True)
+            path = os.path.join(artifact_dir, "analysis.txt")
+            atomic_write_text(path, "".join(
+                format_unit(unit) + "\n" for unit in failing))
+            artifacts.append("analysis.txt")
+        detail = "; ".join(
+            f"{u.label}:{u.kernel or '<compile>'} {u.headline()}"
+            for u in failing[:3])
+        return not failing, detail, counters, artifacts
+
+
 class BenchProvider:
     """Workload runs with verification plus a golden-stats snapshot."""
 
@@ -423,6 +483,7 @@ PROVIDERS = {provider.kind: provider for provider in (
     CorpusProvider(),
     FaultProvider(),
     LintProvider(),
+    AnalyzeProvider(),
     BenchProvider(),
     TenantsProvider(),
     SelftestProvider(),
@@ -453,6 +514,7 @@ def _minimal_sweep(kind):
         "corpus": {"dir": "."},
         "fault": {},
         "lint": {"targets": ["slam"]},
+        "analyze": {"targets": ["slam"]},
         "bench": {"workloads": ["nn"]},
         "tenants": {},
         "selftest": {},

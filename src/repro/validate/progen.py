@@ -772,3 +772,177 @@ def generate_defect_case(seed, category):
         seed=seed,
         label=f"defect[{category},seed={seed}]",
     )
+
+
+# -- cost-analysis stress generation -------------------------------------------
+
+# category -> what the cost pass must conclude about the case:
+#   trips:    expected max back-edge count of the planted loop under the
+#             *launch* context (None = no loop planted)
+#   symbolic: the bound resolves only at launch (compile/generation-time
+#             analysis must report the loop as unbounded)
+#   patterns: access-pattern classes the planted accesses must include
+_STRESS_UNIFORM_LIMIT = 24  # extra-uniform loop limit (slot 13)
+
+STRESS_CATEGORIES = {
+    "loop-const": {"trips": 12, "symbolic": False, "patterns": ()},
+    "loop-uniform": {"trips": _STRESS_UNIFORM_LIMIT, "symbolic": True,
+                     "patterns": ()},
+    "loop-shr": {"trips": 11, "symbolic": False, "patterns": ()},
+    "strided": {"trips": None, "symbolic": False,
+                "patterns": ("strided", "contiguous")},
+    "gather": {"trips": None, "symbolic": False, "patterns": ("gather",)},
+}
+
+# planted bodies ride on the standard 2-clause prologue
+_STRESS_BODY_BASE = 2
+
+
+def _stress_loop_clauses(rng, init, limit_const=None, limit_slot=None,
+                         update_op=Op.IADD, update_amount=1,
+                         cmp_mode=CmpMode.ILT):
+    """A canonical counted loop: setup / head / body+latch / exit.
+
+    ``r0`` is the induction register, ``r1`` accumulates loads from the
+    input window (loop-invariant-free so no engine may hoist anything),
+    and the exit clause stores the accumulator to the private out slice.
+    """
+    setup = _ClauseBuilder(rng)
+    setup.slots = [
+        Instruction(Op.MOV, dst=0, srca=setup.const(init)),
+        Instruction(Op.MOV, dst=1, srca=setup.const(0)),
+    ]
+    if limit_slot is not None:
+        setup.slots.append(Instruction(Op.LDU, dst=4, imm=limit_slot))
+
+    head = _ClauseBuilder(rng)
+    limit = head.const(limit_const) if limit_slot is None else 4
+    head.slots = [
+        Instruction(Op.CMP, dst=2, srca=0, srcb=limit, flags=int(cmp_mode)),
+    ]
+
+    body = _ClauseBuilder(rng)
+    body.slots = [
+        Instruction(Op.ISHL, dst=REG_ADDR_A, srca=0, srcb=body.const(2)),
+        Instruction(Op.IAND, dst=REG_ADDR_A, srca=REG_ADDR_A,
+                    srcb=body.const(IN_BYTES - 4)),
+        Instruction(Op.IADD, dst=REG_ADDR_A, srca=REG_ADDR_A,
+                    srcb=REG_IN_BASE),
+        Instruction(Op.LD, dst=3, srca=REG_ADDR_A, flags=0),
+        Instruction(Op.IXOR, dst=1, srca=1, srcb=3),
+        Instruction(update_op, dst=0, srca=0,
+                    srcb=body.const(update_amount)),
+    ]
+
+    exit_clause = _ClauseBuilder(rng)
+    exit_clause.slots = [
+        Instruction(Op.ST, srca=REG_OUT_BASE, srcb=1, flags=0),
+    ]
+    return [
+        setup.pack(),
+        head.pack(tail=Tail.BRANCH_Z, cond_reg=2,
+                  target=_STRESS_BODY_BASE + 3),
+        body.pack(tail=Tail.JUMP, target=_STRESS_BODY_BASE + 1),
+        exit_clause.pack(tail=Tail.END),
+    ]
+
+
+def _stress_loop_const(rng):
+    return _stress_loop_clauses(rng, init=0, limit_const=12)
+
+
+def _stress_loop_uniform(rng):
+    return _stress_loop_clauses(rng, init=0,
+                                limit_slot=UNIFORM_ARG_BASE + 3)
+
+
+def _stress_loop_shr(rng):
+    # geometric: r0 halves twice per trip from 2^20 until it drains —
+    # 21 significant bits / 2 bits per shift -> 11 back edges
+    return _stress_loop_clauses(rng, init=1 << 20, limit_const=0,
+                                update_op=Op.ISHR, update_amount=2,
+                                cmp_mode=CmpMode.IGT)
+
+
+def _stress_strided(rng):
+    # one strided (gid*8) and one contiguous (gid*4) input load; both
+    # masked into the window so no thread can escape the region
+    a = _ClauseBuilder(rng)
+    a.slots = [
+        Instruction(Op.ISHL, dst=REG_ADDR_A, srca=REG_GLOBAL_ID,
+                    srcb=a.const(3)),
+        Instruction(Op.IADD, dst=REG_ADDR_A, srca=REG_ADDR_A,
+                    srcb=REG_IN_BASE),
+        Instruction(Op.LD, dst=3, srca=REG_ADDR_A, flags=0),
+        Instruction(Op.ISHL, dst=REG_ADDR_B, srca=REG_GLOBAL_ID,
+                    srcb=a.const(2)),
+        Instruction(Op.IADD, dst=REG_ADDR_B, srca=REG_ADDR_B,
+                    srcb=REG_IN_BASE),
+        Instruction(Op.LD, dst=4, srca=REG_ADDR_B, flags=0),
+        Instruction(Op.IXOR, dst=1, srca=3, srcb=4),
+    ]
+    b = _ClauseBuilder(rng)
+    b.slots = [
+        Instruction(Op.ST, srca=REG_OUT_BASE, srcb=1, flags=0),
+    ]
+    return [a.pack(), b.pack(tail=Tail.END)]
+
+
+def _stress_gather(rng):
+    # the address comes from loaded data (r8, seeded by the prologue):
+    # statically unanalyzable, masked into the window dynamically
+    a = _ClauseBuilder(rng)
+    a.slots = [
+        Instruction(Op.IAND, dst=REG_ADDR_A, srca=8,
+                    srcb=a.const(IN_BYTES - 4)),
+        Instruction(Op.IADD, dst=REG_ADDR_A, srca=REG_ADDR_A,
+                    srcb=REG_IN_BASE),
+        Instruction(Op.LD, dst=3, srca=REG_ADDR_A, flags=0),
+    ]
+    b = _ClauseBuilder(rng)
+    b.slots = [
+        Instruction(Op.ST, srca=REG_OUT_BASE, srcb=3, flags=0),
+    ]
+    return [a.pack(), b.pack(tail=Tail.END)]
+
+
+_STRESS_BUILDERS = {
+    "loop-const": _stress_loop_const,
+    "loop-uniform": _stress_loop_uniform,
+    "loop-shr": _stress_loop_shr,
+    "strided": _stress_strided,
+    "gather": _stress_gather,
+}
+
+
+def generate_stress_case(seed, category):
+    """A launch-ready case stressing the static cost analysis.
+
+    Unlike :func:`generate_defect_case` these programs are verifier-clean
+    and race-free (loops accumulate into per-thread registers and store
+    to the private out slice), so the full N-way differential runner can
+    execute them; ``STRESS_CATEGORIES[category]`` records the loop/access
+    facts the analysis must reproduce.
+    """
+    if category not in _STRESS_BUILDERS:
+        raise ValueError(f"unknown stress category {category!r}")
+    gen = ProgramGenerator(seed)
+    rng = gen.rng
+    local, groups = 8, 2
+    clauses = list(gen._prologue(rng))
+    assert len(clauses) == _STRESS_BODY_BASE
+    clauses.extend(_STRESS_BUILDERS[category](rng))
+    program = Program(clauses=clauses,
+                      meta={"generator_seed": seed, "stress": category})
+    in_words = np.array(
+        [gen._data_word(rng) for _ in range(IN_BYTES // 4)],
+        dtype=np.uint32)
+    return GeneratedCase(
+        program=program,
+        global_size=(local * groups, 1, 1),
+        local_size=(local, 1, 1),
+        in_words=in_words,
+        extra_uniforms=(_STRESS_UNIFORM_LIMIT, rng.getrandbits(32)),
+        seed=seed,
+        label=f"stress[{category},seed={seed}]",
+    )

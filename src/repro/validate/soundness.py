@@ -1,0 +1,275 @@
+"""Differential soundness gate for the static cost analysis.
+
+The cost pass claims *sound upper bounds* on two dynamic golden
+counters — clause issues and data pages touched. This module holds
+those claims against actual executions, across every program source the
+project ships:
+
+- **workloads** — each :data:`repro.kernels.WORKLOADS` entry runs on the
+  full platform with the CL runtime's soundness recorder enabled
+  (``Context.enable_analysis_log``), which evaluates the bounds for the
+  exact launch (encoded uniform image, bound buffers, mapped regions)
+  and records them next to the observed ``JobStats``/MMU counters;
+- **SLAM** — the KFusion pipeline's kernels, the same way;
+- **generated programs** — progen streams, stress cases and corpus
+  reproducers run through the :class:`DifferentialRunner` reference
+  interpreter with a fully pinned :class:`VerifyContext`.
+
+Every record compares ``observed <= bound`` for both counters; a
+violation is a hard test failure. Finite, non-trivial bounds also get a
+*tightness ratio* (``bound / observed``, 1.0 = exact) so the report
+tracks not just soundness but how much headroom the analysis leaves.
+``build_report`` aggregates everything into the ``analysis_report.json``
+document CI uploads.
+"""
+
+import json
+
+from repro.gpu.verify import VerifyContext, verify_program
+
+# Pass selection shared with repro.gpu.verify.analyze (kept literal so
+# this module never imports the compiler stack it does not need).
+_PASSES = ("structural", "cost")
+
+REPORT_SCHEMA = "repro-soundness-report/1"
+
+
+# -- generated-case checks -----------------------------------------------------
+
+
+def diffcase_context(case):
+    """Fully pinned verifier context for an arbitrary :class:`DiffCase`.
+
+    Every uniform slot (NDRange words plus raw argument words) carries
+    its concrete value and the mapped ranges mirror the runner's page
+    tables, so the analysis runs with exactly the knowledge the engines
+    execute under. Buffer classification is unnecessary: with all slots
+    exact the address intervals are concrete.
+    """
+    from repro.mem import PAGE_SIZE
+    from repro.validate.runner import _pages, build_uniforms
+
+    g, l = case.global_size, case.local_size
+    uniforms = build_uniforms(case)
+    ctx = VerifyContext(
+        name=case.name,
+        uniform_count=len(uniforms),
+        uniform_values={slot: int(w) for slot, w in enumerate(uniforms)},
+        local_bytes=case.local_bytes,
+        mapped_ranges=sorted(
+            (va, va + _pages(max(words.nbytes, 1)) * PAGE_SIZE)
+            for _name, va, words in case.regions),
+        threads=g[0] * g[1] * g[2],
+        threads_per_group=l[0] * l[1] * l[2],
+    )
+    return ctx
+
+
+def analyze_case(case):
+    """Cost-analyze a DiffCase; returns (summary, bounds) or (None, None)
+    when structural errors block the analysis."""
+    ctx = diffcase_context(case)
+    report = verify_program(case.program, ctx, passes=_PASSES)
+    summary = report.facts.get("cost")
+    if summary is None:
+        return None, None
+    return summary, summary.evaluate(ctx)
+
+
+def check_case(case, runner=None, label=None):
+    """Run one DiffCase on the reference interpreter and compare the
+    observed counters against the static bounds; returns a record dict
+    (see :func:`make_record`)."""
+    from repro.validate.runner import DifferentialRunner
+
+    summary, bounds = analyze_case(case)
+    if bounds is None:
+        return make_record(label or case.name, None, None, None, None,
+                           error="analysis blocked by structural errors")
+    if runner is None:
+        runner = DifferentialRunner(("interp",), trace=False)
+    results, _mismatches = runner.run_case(case)
+    result = results["interp"]
+    if result.error is not None:
+        return make_record(label or case.name, bounds.total_issues,
+                           bounds.pages, None, None, error=result.error)
+    observed_issues = int(result.stats["gpu.job.clauses_executed"])
+    observed_pages = len(result.mmu["pages_accessed"])
+    return make_record(label or case.name, bounds.total_issues,
+                       bounds.pages, observed_issues, observed_pages)
+
+
+def make_record(label, bound_issues, bound_pages, observed_issues,
+                observed_pages, error=""):
+    """One soundness comparison in the report's record shape."""
+    record = {
+        "label": label,
+        "bound_issues": bound_issues,
+        "bound_pages": bound_pages,
+        "observed_issues": observed_issues,
+        "observed_pages": observed_pages,
+        "error": error,
+    }
+    record["ok"] = not error and _dominates(record)
+    return record
+
+
+def _dominates(record):
+    for bound, observed in ((record["bound_issues"],
+                             record["observed_issues"]),
+                            (record["bound_pages"],
+                             record["observed_pages"])):
+        if observed is None:
+            return False
+        if bound is not None and observed > bound:
+            return False
+    return True
+
+
+# -- full-platform checks ------------------------------------------------------
+
+
+def workload_records(names=None, version=None):
+    """Run workloads with the runtime recorder; returns (records, all
+    verified). A failed output verification poisons the records (a wrong
+    simulation would make the dominance check meaningless)."""
+    from repro.cl import Context
+    from repro.kernels import WORKLOADS, get_workload
+
+    records = []
+    verified = True
+    for name in names or sorted(WORKLOADS):
+        context = Context()
+        log = context.enable_analysis_log()
+        result = get_workload(name).run(context=context, version=version)
+        verified = verified and result.verified
+        for launch in log:
+            records.append(make_record(
+                f"workload:{name}:{launch['kernel']}",
+                launch["bound_issues"], launch["bound_pages"],
+                launch["observed_issues"], launch["observed_pages"],
+                error="" if launch["ok"] else "analysis blocked"))
+    return records, verified
+
+
+def slam_records(config="express", version=None):
+    """Run the KFusion SLAM pipeline with the recorder; returns records."""
+    from repro.cl import Context
+    from repro.slam.pipeline import KFusionPipeline
+
+    context = Context()
+    log = context.enable_analysis_log()
+    KFusionPipeline(config=config).run_gpu(context=context, version=version)
+    return [make_record(f"slam:{launch['kernel']}",
+                        launch["bound_issues"], launch["bound_pages"],
+                        launch["observed_issues"], launch["observed_pages"],
+                        error="" if launch["ok"] else "analysis blocked")
+            for launch in log]
+
+
+def progen_records(seed, count, runner=None):
+    """Check *count* generated programs from one progen stream."""
+    from repro.validate.progen import ProgramGenerator
+    from repro.validate.runner import generated_case_to_diff
+
+    generator = ProgramGenerator(seed)
+    records = []
+    for _ in range(count):
+        case = generated_case_to_diff(generator.generate())
+        records.append(check_case(case, runner=runner,
+                                  label=f"progen:{case.name}"))
+    return records
+
+
+def stress_records(seed, runner=None, categories=None):
+    """Check one stress case per progen stress category."""
+    from repro.validate.progen import STRESS_CATEGORIES, generate_stress_case
+    from repro.validate.runner import generated_case_to_diff
+
+    records = []
+    for category in categories or STRESS_CATEGORIES:
+        case = generated_case_to_diff(generate_stress_case(seed, category))
+        records.append(check_case(case, runner=runner,
+                                  label=f"stress:{category}"))
+    return records
+
+
+def corpus_records(directory, runner=None):
+    """Check every corpus entry (reproducers included: soundness must
+    hold even on programs that once exposed an engine bug)."""
+    from repro.validate.corpus import dict_to_case, load_entries
+
+    records = []
+    for path, entry in load_entries(directory):
+        case = dict_to_case(entry)
+        records.append(check_case(case, runner=runner,
+                                  label=f"corpus:{case.name}"))
+    return records
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+def _median(values):
+    if not values:
+        return None
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def tightness(records, kind):
+    """Per-record ``bound / observed`` ratios for one counter (finite
+    bounds with nonzero observations only)."""
+    ratios = []
+    for record in records:
+        bound = record[f"bound_{kind}"]
+        observed = record[f"observed_{kind}"]
+        if bound and observed:
+            ratios.append(bound / observed)
+    return ratios
+
+
+def build_report(records):
+    """The ``analysis_report.json`` document: every record plus violation
+    counts and median tightness ratios."""
+    violations = [r for r in records if not r["ok"]]
+    issue_ratios = tightness(records, "issues")
+    page_ratios = tightness(records, "pages")
+    return {
+        "schema": REPORT_SCHEMA,
+        "records": records,
+        "totals": {
+            "records": len(records),
+            "violations": len(violations),
+            "unbounded_issues": sum(
+                1 for r in records if r["bound_issues"] is None),
+            "median_tightness_issues": _median(issue_ratios),
+            "median_tightness_pages": _median(page_ratios),
+        },
+    }
+
+
+def write_report(path, report):
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1, default=str)
+        handle.write("\n")
+
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "analyze_case",
+    "build_report",
+    "check_case",
+    "corpus_records",
+    "diffcase_context",
+    "make_record",
+    "progen_records",
+    "slam_records",
+    "stress_records",
+    "tightness",
+    "workload_records",
+    "write_report",
+]

@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for the verifier's abstract
+interval domain.
+
+The cost analysis leans on :mod:`repro.gpu.verify.absint` for every
+address and trip-count bound, so the domain operations must be *sound*:
+whenever concrete values ``x``, ``y`` are members of the abstract values
+``a``, ``b``, the concrete result of an operation must be a member of
+the abstract result. These tests draw random abstract values together
+with random members and check exactly that, plus the lattice laws the
+fixpoint iteration depends on (join is an upper bound, widening
+terminates) and the algebraic contract of the machine-exact constant
+folder.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.verify.absint import (
+    _SYMS,
+    _fold_int,
+    _machine_s32,
+    _machine_u32,
+    _norm,
+    AVal,
+    av_add,
+    av_and_mask,
+    av_bitor_bound,
+    av_neg,
+    av_scale,
+    av_sub,
+    const,
+    join,
+)
+from repro.gpu.warp import Op
+
+_SMALL = st.integers(min_value=-(1 << 20), max_value=1 << 20)
+_U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@st.composite
+def avals(draw):
+    """A well-formed, non-top, base-free abstract value."""
+    lo = draw(_SMALL)
+    hi = draw(_SMALL)
+    if hi < lo:
+        lo, hi = hi, lo
+    sym = draw(st.sampled_from((None,) + _SYMS))
+    coeff = draw(_SMALL) if sym else 0
+    uniform = draw(st.booleans()) if sym is None else False
+    return _norm(AVal(sym=sym, coeff=coeff, lo=lo, hi=hi,
+                      uniform=uniform))
+
+
+@st.composite
+def members(draw, val, syms):
+    """A concrete integer member of *val* under the symbol binding
+    *syms* (sym name -> concrete value)."""
+    offset = draw(st.integers(min_value=val.lo, max_value=val.hi))
+    return val.coeff * syms.get(val.sym, 0) + offset
+
+
+@st.composite
+def bindings(draw):
+    """One concrete value per symbol (gid/lid/lane are non-negative)."""
+    return {sym: draw(st.integers(min_value=0, max_value=1 << 16))
+            for sym in _SYMS}
+
+
+def _contains(val, concrete, syms):
+    if val.top:
+        return True
+    if val.base is not None:
+        return False
+    residue = concrete - val.coeff * syms.get(val.sym, 0)
+    return val.lo <= residue <= val.hi
+
+
+@given(st.data())
+@settings(max_examples=300)
+def test_add_sub_sound(data):
+    syms = data.draw(bindings())
+    a, b = data.draw(avals()), data.draw(avals())
+    x = data.draw(members(a, syms))
+    y = data.draw(members(b, syms))
+    assert _contains(av_add(a, b), x + y, syms)
+    assert _contains(av_sub(a, b), x - y, syms)
+
+
+@given(st.data())
+@settings(max_examples=300)
+def test_neg_scale_sound(data):
+    syms = data.draw(bindings())
+    a = data.draw(avals())
+    factor = data.draw(st.integers(min_value=-64, max_value=64))
+    x = data.draw(members(a, syms))
+    assert _contains(av_neg(a), -x, syms)
+    assert _contains(av_scale(a, factor), x * factor, syms)
+
+
+@given(st.data())
+@settings(max_examples=300)
+def test_and_mask_sound(data):
+    syms = data.draw(bindings())
+    a = data.draw(avals())
+    mask = data.draw(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    x = data.draw(members(a, syms))
+    # x & mask lies in [0, mask] for ANY integer x once mask >= 0
+    assert _contains(av_and_mask(a, mask), x & mask, syms)
+
+
+@given(st.data())
+@settings(max_examples=300)
+def test_bitor_bound_sound(data):
+    syms = data.draw(bindings())
+    a, b = data.draw(avals()), data.draw(avals())
+    x = data.draw(members(a, syms))
+    y = data.draw(members(b, syms))
+    if x >= 0 and y >= 0:
+        assert _contains(av_bitor_bound(a, b), x | y, syms)
+        assert _contains(av_bitor_bound(a, b, xor=True), x ^ y, syms)
+
+
+@given(st.data())
+@settings(max_examples=300)
+def test_join_is_upper_bound(data):
+    syms = data.draw(bindings())
+    a, b = data.draw(avals()), data.draw(avals())
+    x = data.draw(members(a, syms))
+    y = data.draw(members(b, syms))
+    joined = join(a, b)
+    assert _contains(joined, x, syms)
+    assert _contains(joined, y, syms)
+    # widening jumps straight to top unless the inputs already agree
+    widened = join(a, b, widen=True)
+    assert widened.top or a == b
+
+
+@given(st.data())
+@settings(max_examples=200)
+def test_join_commutes_and_idempotent(data):
+    a, b = data.draw(avals()), data.draw(avals())
+    assert join(a, a) == a
+    assert join(a, b) == join(b, a)
+
+
+@given(_U32, _U32)
+@settings(max_examples=300)
+def test_fold_shifts_machine_exact(a, b):
+    shift = b & 31
+    assert _fold_int(Op.ISHR, (const(a), const(b))) == a >> shift
+    signed = _machine_s32(a)
+    assert _fold_int(Op.IASHR, (const(a), const(b))) == \
+        _machine_u32(signed >> shift)
+    assert _fold_int(Op.IABS, (const(a),)) == _machine_u32(abs(signed))
+
+
+@given(_U32, _U32)
+@settings(max_examples=300)
+def test_fold_division_contract(a, b):
+    quot = _fold_int(Op.IDIV, (const(a), const(b)))
+    rem = _fold_int(Op.IREM, (const(a), const(b)))
+    sa, sb = _machine_s32(a), _machine_s32(b)
+    if sb == 0:
+        assert quot == 0 and rem == 0  # architecture-defined
+    else:
+        # truncate toward zero: a == quot*b + rem with |rem| < |b| and
+        # rem carrying a's sign (or zero)
+        squot, srem = _machine_s32(quot), _machine_s32(rem)
+        assert squot * sb + srem == sa
+        assert abs(srem) < abs(sb)
+        assert srem == 0 or (srem < 0) == (sa < 0)
+    uquot = _fold_int(Op.UDIV, (const(a), const(b)))
+    urem = _fold_int(Op.UREM, (const(a), const(b)))
+    if b == 0:
+        assert uquot == 0 and urem == 0
+    else:
+        assert uquot * b + urem == a
+        assert urem < b

@@ -153,3 +153,115 @@ def test_lint_missing_file_exits_two(tmp_path, capsys):
 
 def test_lint_without_target_exits_two(capsys):
     assert main(["lint"]) == 2
+
+
+LOOP_KERNEL = """
+__kernel void accum(__global uint* in, __global uint* out, uint n) {
+    uint gid = get_global_id(0);
+    uint acc = 0;
+    for (uint i = 0; i < n; i++) {
+        acc += in[(gid + i) & 63u];
+    }
+    out[gid] = acc;
+}
+"""
+
+
+@pytest.fixture()
+def loop_file(tmp_path):
+    path = tmp_path / "loop.cl"
+    path.write_text(LOOP_KERNEL)
+    return str(path)
+
+
+def test_analyze_result_line(kernel_file, capsys):
+    code = main(["analyze", kernel_file])
+    out = capsys.readouterr().out
+    fields = _result(out, "analyze")
+    assert code == 0
+    assert fields["status"] == "ok"
+    assert fields["kernels"] == "1"
+    assert fields["failed"] == "0"
+    assert "doubler" in out
+
+
+def test_analyze_reports_unbounded_loop(loop_file, capsys):
+    code = main(["analyze", loop_file])
+    fields = _result(capsys.readouterr().out, "analyze")
+    assert code == 0  # unbounded loops are findings, not failures
+    assert fields["unbounded"] == "1"
+
+
+def test_analyze_launch_geometry_bounds(kernel_file, capsys):
+    code = main(["analyze", kernel_file, "--global-size", "64",
+                 "--local-size", "16"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "issues/workgroup" in out
+
+
+def test_analyze_json_schema(kernel_file, capsys):
+    import json
+
+    code = main(["analyze", kernel_file, "--json"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert document["schema"] == "repro-analyze-report/1"
+    assert document["totals"] == {"units": 1, "failed": 0, "unbounded": 0}
+    (unit,) = document["units"]
+    assert unit["kernel"] == "doubler"
+    assert unit["ok"] is True
+    assert unit["analysis"]["clauses"]
+
+
+def test_analyze_without_target_exits_two(capsys):
+    assert main(["analyze"]) == 2
+
+
+def test_analyze_missing_file_exits_two(tmp_path, capsys):
+    assert main(["analyze", str(tmp_path / "nope.cl")]) == 2
+
+
+def test_analyze_compile_error_exits_one(tmp_path, capsys):
+    path = tmp_path / "bad.cl"
+    path.write_text("__kernel void broken( {")
+    code = main(["analyze", str(path)])
+    fields = _result(capsys.readouterr().out, "analyze")
+    assert code == 1
+    assert fields["status"] == "fail"
+    assert fields["failed"] == "1"
+
+
+def test_lint_json_schema(kernel_file, capsys):
+    import json
+
+    code = main(["lint", kernel_file, "--json"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert document["schema"] == "repro-lint-report/1"
+    assert document["totals"]["kernels"] == 1
+    assert document["totals"]["errors"] == 0
+
+
+def test_disasm_cost_annotations(loop_file, capsys):
+    assert main(["disasm", loop_file, "--cost"]) == 0
+    out = capsys.readouterr().out
+    assert "[cost]" in out
+    assert "back edge" in out
+
+
+def test_analyze_soundness_sweep(tmp_path, capsys):
+    report_path = tmp_path / "analysis_report.json"
+    code = main(["analyze", "--soundness", "--workloads", "none",
+                 "--no-slam", "--progen", "2", "--seed", "5",
+                 "--out", str(report_path)])
+    fields = _result(capsys.readouterr().out, "analyze")
+    assert code == 0
+    assert fields["mode"] == "soundness"
+    assert fields["violations"] == "0"
+    import json
+
+    report = json.loads(report_path.read_text())
+    assert report["schema"] == "repro-soundness-report/1"
+    assert report["totals"]["violations"] == 0
+    assert report["totals"]["records"] == 7  # 5 stress + 2 progen
